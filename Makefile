@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-full examples figures fuzz clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+bench-full:
+	dune exec bench/main.exe -- --full
+
+examples:
+	dune build @examples
+
+figures:
+	dune exec bin/rn_cli.exe -- figures --out plots
+
+fuzz:
+	dune exec bin/rn_fuzz.exe -- 200
+
+clean:
+	dune clean

@@ -1,0 +1,8 @@
+; The deterministic TDMA baseline on the Section 7 bridge network,
+; under the spiteful adversary it is immune to.
+(scenario
+ (network (bridge (beta 16)))
+ (detector (tau 0))
+ (adversary spiteful)
+ (algorithm ccds-tdma)
+ (seed 1))

@@ -1,0 +1,8 @@
+; Banned-list CCDS on a random geometric field under an active adversary.
+(scenario
+ (network (geometric (n 96) (degree 12)))
+ (detector (tau 0))
+ (adversary (bernoulli 0.5))
+ (algorithm ccds-banned)
+ (b 96)
+ (seed 7))

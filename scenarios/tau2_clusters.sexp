@@ -1,0 +1,7 @@
+; Exploration CCDS with a 2-complete detector on a clustered deployment.
+(scenario
+ (network (clusters (clusters 4) (per-cluster 16)))
+ (detector (tau 2))
+ (adversary (bernoulli 0.5))
+ (algorithm ccds-explore)
+ (seed 3))
