@@ -1,0 +1,134 @@
+(* Benchmark harness.
+
+   Part 1 — bechamel micro-benchmarks of the substrate (engine, graph
+   generation, overlay, verifier, subroutines): wall-clock per operation.
+   These characterise the simulator, not the paper (whose claims are round
+   counts, not seconds).
+
+   Part 2 — the experiment suite of DESIGN.md: one table per theorem of
+   the paper, regenerated from scratch.  Pass [--full] for the larger
+   parameter grids recorded in EXPERIMENTS.md. *)
+
+open Bechamel
+open Toolkit
+module Rng = Rn_util.Rng
+module Gen = Rn_graph.Gen
+module Dual = Rn_graph.Dual
+module Detector = Rn_detect.Detector
+module R = Core.Radio
+
+(* --- fixtures (built once, outside the timed thunks) --- *)
+
+let dual64 =
+  Gen.geometric ~rng:(Rng.create 11)
+    (Gen.default_spec ~n:64 ~side:(Gen.side_for_degree ~n:64 ~target_degree:10) ())
+
+let det64 = Detector.perfect (Dual.g dual64)
+let h64 = Detector.h_graph det64
+
+let mis_outputs =
+  let res =
+    Core.Mis.run ~seed:1
+      ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+      ~detector:(Detector.static det64) dual64
+  in
+  res.R.outputs
+
+let star32 = Dual.classic (Gen.star 33)
+let star32_det = Detector.perfect (Dual.g star32)
+
+let bench_mis_run () =
+  ignore
+    (Core.Mis.run ~seed:2
+       ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+       ~detector:(Detector.static det64) dual64)
+
+let bench_directed_decay () =
+  let cfg = R.config ~seed:3 ~detector:(Detector.static star32_det) star32 in
+  ignore
+    (R.run cfg (fun ctx ->
+         let me = R.me ctx in
+         let noms = if me = 0 then [] else [ (0, me) ] in
+         Core.Subroutines.directed_decay Core.Params.default ctx ~is_mis:(me = 0) ~noms))
+
+let bench_geometric () =
+  ignore
+    (Gen.geometric ~rng:(Rng.create 42)
+       (Gen.default_spec ~n:128 ~side:(Gen.side_for_degree ~n:128 ~target_degree:12) ()))
+
+let bench_overlay () = ignore (Rn_geom.Overlay.i_r 3.0)
+
+let bench_bitset () =
+  let a = Rn_util.Bitset.create 1024 and b = Rn_util.Bitset.create 1024 in
+  for i = 0 to 1023 do
+    if i land 1 = 0 then Rn_util.Bitset.add a i else Rn_util.Bitset.add b i
+  done;
+  Rn_util.Bitset.union_into ~into:a b;
+  ignore (Rn_util.Bitset.cardinal a)
+
+let bench_ccds_check () =
+  ignore (Rn_verify.Verify.Ccds_check.check ~h:h64 ~g':(Dual.g' dual64) mis_outputs)
+
+let bench_single_game () =
+  let rng = Rng.create 5 in
+  ignore (Rn_games.Single_game.play rng Permutation ~beta:256 ~target:129 ~max_rounds:10_000)
+
+let tests =
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"mis-full-run-n64" (Staged.stage bench_mis_run);
+      Test.make ~name:"directed-decay-star32" (Staged.stage bench_directed_decay);
+      Test.make ~name:"geometric-gen-n128" (Staged.stage bench_geometric);
+      Test.make ~name:"overlay-i_r-3" (Staged.stage bench_overlay);
+      Test.make ~name:"bitset-union-1024" (Staged.stage bench_bitset);
+      Test.make ~name:"ccds-check-n64" (Staged.stage bench_ccds_check);
+      Test.make ~name:"single-game-b256" (Staged.stage bench_single_game);
+    ]
+
+let run_microbenches () =
+  print_endline "--- substrate micro-benchmarks (bechamel, ns/run) ---";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name o acc -> (name, o) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let t = Rn_util.Table.create [ "benchmark"; "time/run"; "r^2" ] in
+  List.iter
+    (fun (name, o) ->
+      let est =
+        match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
+      in
+      let pretty =
+        if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+        else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+        else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+        else Printf.sprintf "%.0f ns" est
+      in
+      let r2 =
+        match Analyze.OLS.r_square o with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"
+      in
+      Rn_util.Table.add_row t [ name; pretty; r2 ])
+    rows;
+  Rn_util.Table.print t;
+  print_newline ()
+
+let () =
+  let full = Array.exists (fun a -> a = "--full") Sys.argv in
+  let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
+  run_microbenches ();
+  Printf.printf "--- experiment suite (%s scale; see DESIGN.md / EXPERIMENTS.md) ---\n\n"
+    (if full then "full" else "quick");
+  List.iter
+    (fun id ->
+      Printf.printf "[running %s...]\n%!" id;
+      match Rn_harness.All.find id with
+      | Some f -> Rn_harness.Harness.print (f scale)
+      | None -> ())
+    Rn_harness.All.ids

@@ -1,0 +1,1 @@
+bin/rn_cli.ml: Arg Array Cmd Cmdliner Core Fmt Format List Printf Rn_broadcast Rn_detect Rn_games Rn_graph Rn_harness Rn_sim Rn_util Rn_verify String Term

@@ -1,0 +1,1 @@
+bin/rn_fuzz.ml: Array Core List Printf Rn_detect Rn_graph Rn_harness Rn_sim Rn_util Rn_verify Sys

@@ -1,0 +1,1 @@
+bin/rn_fuzz.mli:

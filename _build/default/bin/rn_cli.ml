@@ -1,0 +1,322 @@
+(* Command-line driver: run any algorithm or experiment from the shell.
+
+     rn_cli experiment E1 E4c --full
+     rn_cli mis --n 128 --degree 12 --adversary bernoulli:0.5
+     rn_cli ccds --n 128 --algo banned --b 96
+     rn_cli bridge --beta 16
+*)
+
+open Cmdliner
+module R = Core.Radio
+module Dual = Rn_graph.Dual
+module Detector = Rn_detect.Detector
+module Verify = Rn_verify.Verify
+
+let adversary_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "silent" ] -> Ok Rn_sim.Adversary.silent
+    | [ "all" ] -> Ok Rn_sim.Adversary.all_gray
+    | [ "spiteful" ] -> Ok Rn_sim.Adversary.spiteful
+    | [ "jamming" ] -> Ok Rn_sim.Adversary.jamming
+    | [ "bernoulli"; p ] -> begin
+      match float_of_string_opt p with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (Rn_sim.Adversary.bernoulli p)
+      | _ -> Error (`Msg "bernoulli probability must be in [0,1]")
+    end
+    | [ "harassing"; p ] -> begin
+      match float_of_string_opt p with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (Rn_sim.Adversary.harassing p)
+      | _ -> Error (`Msg "harassing probability must be in [0,1]")
+    end
+    | _ -> Error (`Msg "expected silent|all|spiteful|jamming|bernoulli:P|harassing:P")
+  in
+  Arg.conv (parse, fun ppf a -> Fmt.string ppf (Rn_sim.Adversary.name a))
+
+let n_arg = Arg.(value & opt int 128 & info [ "n"; "nodes" ] ~doc:"Network size.")
+let degree_arg = Arg.(value & opt int 12 & info [ "degree" ] ~doc:"Target reliable degree.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Experiment seed.")
+let tau_arg = Arg.(value & opt int 0 & info [ "tau" ] ~doc:"Detector completeness parameter.")
+
+let b_arg =
+  Arg.(value & opt (some int) None & info [ "b" ] ~doc:"Message size bound in bits.")
+
+let adversary_arg =
+  Arg.(
+    value
+    & opt adversary_conv (Rn_sim.Adversary.bernoulli 0.5)
+    & info [ "adversary" ] ~doc:"Gray-edge policy: silent|all|spiteful|bernoulli:P|harassing:P.")
+
+let build_instance ~seed ~n ~degree ~tau =
+  let dual = Rn_harness.Harness.geometric ~seed ~n ~degree () in
+  let det =
+    if tau = 0 then Detector.perfect (Dual.g dual)
+    else
+      Detector.tau_complete ~rng:(Rn_util.Rng.create (seed + 77)) ~tau dual
+  in
+  (dual, det)
+
+let summarize_engine name (rounds, stats, timed_out) =
+  Printf.printf "%s: rounds=%d sends=%d deliveries=%d collisions=%d bits=%d%s\n" name rounds
+    stats.Rn_sim.Engine.sends stats.Rn_sim.Engine.deliveries stats.Rn_sim.Engine.collisions
+    stats.Rn_sim.Engine.bits_sent
+    (if timed_out then " TIMEOUT" else "")
+
+let print_mis_report dual det outputs =
+  let rep = Verify.Mis_check.check ~g:(Dual.g dual) ~h:(Detector.h_graph det) outputs in
+  Printf.printf "MIS check: termination=%b independence=%b maximality=%b\n" rep.termination
+    rep.independence rep.maximality;
+  List.iter (fun v -> Printf.printf "  violation: %s\n" v) rep.violations;
+  let size = Array.fold_left (fun c o -> if o = Some 1 then c + 1 else c) 0 outputs in
+  Printf.printf "MIS size: %d / %d\n" size (Array.length outputs)
+
+let print_ccds_report dual det outputs =
+  let rep = Verify.Ccds_check.check ~h:(Detector.h_graph det) ~g':(Dual.g' dual) outputs in
+  Printf.printf
+    "CCDS check: termination=%b connectivity=%b domination=%b max-G'-neighbours=%d size=%d\n"
+    rep.termination rep.connectivity rep.domination rep.max_neighbors_g' rep.size;
+  List.iter (fun v -> Printf.printf "  violation: %s\n" v) rep.violations
+
+(* --- mis command --- *)
+
+let run_mis n degree seed tau adversary trace =
+  let dual, det = build_instance ~seed ~n ~degree ~tau in
+  Printf.printf "instance: %s, Delta=%d\n" (Format.asprintf "%a" Dual.pp dual)
+    (Dual.max_degree_g dual);
+  let tracer = Rn_sim.Trace.create () in
+  let observer (v : R.view) =
+    Rn_sim.Trace.observe tracer ~view_round:v.R.view_round
+      ~view_broadcasters:v.R.view_broadcasters ~view_decided:v.R.view_decided
+      ~view_outputs:v.R.view_outputs
+  in
+  let cfg = R.config ~adversary ~seed ~observer ~detector:(Detector.static det) dual in
+  let res =
+    R.run cfg (fun ctx ->
+        Core.Mis.body ~on_decide:(fun v -> R.output ctx v) Core.Params.default ctx)
+  in
+  summarize_engine "mis" (res.R.rounds, res.R.stats, res.R.timed_out);
+  if trace then Format.printf "%a@." Rn_sim.Trace.pp tracer;
+  print_mis_report dual det res.R.outputs
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print an activity sparkline of the run.")
+
+let mis_cmd =
+  Cmd.v
+    (Cmd.info "mis" ~doc:"Run the Section 4 MIS algorithm on a random geometric network.")
+    Term.(const run_mis $ n_arg $ degree_arg $ seed_arg $ tau_arg $ adversary_arg $ trace_arg)
+
+(* --- ccds command --- *)
+
+let run_ccds n degree seed tau b algo adversary =
+  let dual, det = build_instance ~seed ~n ~degree ~tau in
+  Printf.printf "instance: %s, Delta=%d\n" (Format.asprintf "%a" Dual.pp dual)
+    (Dual.max_degree_g dual);
+  let rounds, stats, timed_out, outputs =
+    match algo with
+    | `Banned ->
+      if tau > 0 then
+        failwith "the banned-list algorithm requires a 0-complete detector (--tau 0)";
+      let res = Core.Ccds.run ~seed ?b_bits:b ~adversary ~detector:(Detector.static det) dual in
+      (res.R.rounds, res.R.stats, res.R.timed_out, res.R.outputs)
+    | `Explore ->
+      let res =
+        Core.Explore_ccds.run ~seed ?b_bits:b ~tau ~adversary ~detector:(Detector.static det)
+          dual
+      in
+      (res.R.rounds, res.R.stats, res.R.timed_out, res.R.outputs)
+  in
+  summarize_engine "ccds" (rounds, stats, timed_out);
+  print_ccds_report dual det outputs
+
+let algo_arg =
+  Arg.(
+    value
+    & opt (enum [ ("banned", `Banned); ("explore", `Explore) ]) `Banned
+    & info [ "algo" ] ~doc:"CCDS algorithm: banned (Sec 5) or explore (Sec 6).")
+
+let ccds_cmd =
+  Cmd.v
+    (Cmd.info "ccds" ~doc:"Run a CCDS algorithm on a random geometric network.")
+    Term.(const run_ccds $ n_arg $ degree_arg $ seed_arg $ tau_arg $ b_arg $ algo_arg $ adversary_arg)
+
+(* --- bridge command --- *)
+
+let run_bridge beta seed =
+  let r = Rn_games.Reduction.bridge_run ~beta ~seed () in
+  Printf.printf "bridge beta=%d: rounds=%d solved=%b\n" beta r.rounds r.solved;
+  List.iter (fun v -> Printf.printf "  violation: %s\n" v) r.report.violations
+
+let beta_arg = Arg.(value & opt int 16 & info [ "beta" ] ~doc:"Clique size (Delta = beta).")
+
+let bridge_cmd =
+  Cmd.v
+    (Cmd.info "bridge"
+       ~doc:"Run the tau=1 CCDS on the Section 7 two-clique bridge network.")
+    Term.(const run_bridge $ beta_arg $ seed_arg)
+
+(* --- experiment command --- *)
+
+let run_experiments ids full =
+  let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
+  let ids = if ids = [] then Rn_harness.All.ids else ids in
+  List.iter
+    (fun id ->
+      match Rn_harness.All.find id with
+      | Some f -> Rn_harness.Harness.print (f scale)
+      | None ->
+        Printf.eprintf "unknown experiment %s (known: %s)\n" id
+          (String.concat ", " Rn_harness.All.ids))
+    ids
+
+let ids_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+
+let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Full scale (slower, more sizes/reps).")
+
+let experiment_cmd =
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate the paper's experiment tables (see DESIGN.md).")
+    Term.(const run_experiments $ ids_arg $ full_arg)
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List experiment ids.")
+    Term.(
+      const (fun () -> List.iter print_endline Rn_harness.All.ids) $ const ())
+
+(* --- scenario command --- *)
+
+let run_scenario_files files =
+  List.iter
+    (fun path ->
+      Printf.printf "== %s ==\n" path;
+      match Rn_harness.Scenario.run_file path with
+      | report -> print_string (Rn_harness.Scenario.render report)
+      | exception Rn_harness.Scenario.Scenario_error m ->
+        Printf.eprintf "scenario error: %s\n" m;
+        exit 1
+      | exception Rn_util.Sexp.Parse_error { pos; message } ->
+        Printf.eprintf "parse error at %d: %s\n" pos message;
+        exit 1)
+    files
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Scenario files (.sexp).")
+
+let scenario_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run declarative scenario files (see scenarios/*.sexp).")
+    Term.(const run_scenario_files $ files_arg)
+
+(* --- figures command --- *)
+
+let run_figures out =
+  let paths = Rn_harness.Figures.write_all out in
+  List.iter (fun p -> Printf.printf "wrote %s\n" p) paths
+
+let out_arg =
+  Arg.(value & opt string "plots" & info [ "out" ] ~doc:"Output directory for SVG figures.")
+
+let figures_cmd =
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Render the scaling figures (F1-F4) as SVG files.")
+    Term.(const run_figures $ out_arg)
+
+(* --- broadcast command --- *)
+
+let run_broadcast n degree seed adversary protocol =
+  let dual, det = build_instance ~seed ~n ~degree ~tau:0 in
+  let proto, rounds =
+    match protocol with
+    | `Flood -> (Rn_broadcast.Broadcast.Flood 0.1, 12 * n)
+    | `Decay -> (Rn_broadcast.Broadcast.Decay (2 * Rn_util.Ilog.log2_up n), 12 * n)
+    | `Round_robin ->
+      (Rn_broadcast.Broadcast.Round_robin, Rn_broadcast.Broadcast.round_robin_budget dual ~source:0)
+    | `Backbone ->
+      let ccds = Core.Ccds.run ~seed ~adversary ~detector:(Detector.static det) dual in
+      let bb = Array.map (fun o -> o = Some 1) ccds.R.outputs in
+      (Rn_broadcast.Broadcast.Backbone { relay = (fun v -> bb.(v)); p = 0.1 }, 12 * n)
+  in
+  let r = Rn_broadcast.Broadcast.run ~adversary ~seed ~protocol:proto ~source:0 ~rounds dual in
+  Printf.printf "coverage=%d/%d transmissions=%d bits=%d rounds=%d\n" r.coverage n r.sends
+    r.bits_sent r.rounds
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("flood", `Flood);
+             ("decay", `Decay);
+             ("round-robin", `Round_robin);
+             ("backbone", `Backbone);
+           ])
+        `Flood
+    & info [ "protocol" ] ~doc:"flood | decay | round-robin | backbone.")
+
+let broadcast_cmd =
+  Cmd.v
+    (Cmd.info "broadcast" ~doc:"Disseminate a token from node 0 and report coverage/cost.")
+    Term.(const run_broadcast $ n_arg $ degree_arg $ seed_arg $ adversary_arg $ protocol_arg)
+
+(* --- repair command --- *)
+
+let run_repair n degree seed adversary orphans =
+  let dual, det0 = build_instance ~seed ~n ~degree ~tau:0 in
+  let build = Core.Ccds.run ~seed ~adversary ~detector:(Detector.static det0) dual in
+  let old_outputs = build.R.outputs in
+  let old_masters =
+    Array.map
+      (function Some (o : Core.Ccds.outcome) -> o.mis_neighbors | None -> [])
+      build.R.returns
+  in
+  let old_dominators =
+    Array.map (function Some (o : Core.Ccds.outcome) -> o.in_mis | None -> false) build.R.returns
+  in
+  (* orphan up to [orphans] covered processes *)
+  let current = ref dual and count = ref 0 in
+  Array.iteri
+    (fun v o ->
+      if !count < orphans && o = Some 0 && old_masters.(v) <> [] then begin
+        let candidate =
+          Dual.demote_edges !current (List.map (fun m -> (v, m)) old_masters.(v))
+        in
+        if Rn_graph.Algo.is_connected (Dual.g candidate) then begin
+          current := candidate;
+          incr count
+        end
+      end)
+    old_outputs;
+  let dual1 = !current in
+  Printf.printf "demoted the master links of %d processes\n" !count;
+  let det1 = Detector.perfect (Dual.g dual1) in
+  let rep =
+    Core.Repair.run ~seed:(seed + 1) ~adversary ~detector:(Detector.static det1) ~old_outputs
+      ~old_dominators ~old_masters dual1
+  in
+  summarize_engine "repair" (rep.R.rounds, rep.R.stats, rep.R.timed_out);
+  Printf.printf "churn: %.1f%%\n"
+    (100.0 *. Core.Repair.churn ~before:old_outputs ~after:rep.R.outputs);
+  print_ccds_report dual1 det1 rep.R.outputs
+
+let orphans_arg =
+  Arg.(value & opt int 3 & info [ "orphans" ] ~doc:"Covered processes to orphan.")
+
+let repair_cmd =
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:"Build a CCDS, degrade some links, and run the localized repair protocol.")
+    Term.(const run_repair $ n_arg $ degree_arg $ seed_arg $ adversary_arg $ orphans_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "rn_cli" ~version:"1.0.0"
+       ~doc:"Dual graph radio network algorithms (Censor-Hillel et al., PODC 2011).")
+    [
+      mis_cmd; ccds_cmd; bridge_cmd; experiment_cmd; list_cmd; figures_cmd; broadcast_cmd;
+      repair_cmd; scenario_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,105 @@
+(* Continuous randomized validation: generate random instances, run a
+   random algorithm under a random adversary, verify the output against
+   the Section 3 definitions, and report any violation with its full
+   recipe (seed, size, degree, τ, adversary) so it can be replayed with
+   rn_cli.
+
+     dune exec bin/rn_fuzz.exe            # run until interrupted
+     dune exec bin/rn_fuzz.exe -- 200     # exactly 200 trials
+*)
+
+module Rng = Rn_util.Rng
+module Dual = Rn_graph.Dual
+module Detector = Rn_detect.Detector
+module Verify = Rn_verify.Verify
+module R = Core.Radio
+
+type recipe = {
+  seed : int;
+  n : int;
+  degree : int;
+  tau : int;
+  adv_name : string;
+  adversary : Rn_sim.Adversary.t;
+  algo : string;
+}
+
+let random_recipe rng trial =
+  let seed = 100_000 + trial in
+  let n = 24 + Rng.int rng 96 in
+  let degree = 6 + Rng.int rng 10 in
+  let adversaries =
+    [|
+      ("silent", Rn_sim.Adversary.silent);
+      ("bernoulli:0.3", Rn_sim.Adversary.bernoulli 0.3);
+      ("bernoulli:0.5", Rn_sim.Adversary.bernoulli 0.5);
+      ("harassing:0.5", Rn_sim.Adversary.harassing 0.5);
+    |]
+  in
+  let adv_name, adversary = Rng.choose rng adversaries in
+  let algos = [| "mis"; "ccds-banned"; "ccds-explore"; "ccds-tdma" |] in
+  let algo = Rng.choose rng algos in
+  let tau = if algo = "ccds-explore" then Rng.int rng 3 else 0 in
+  { seed; n; degree; tau; adv_name; adversary; algo }
+
+let run_recipe r =
+  let dual = Rn_harness.Harness.geometric ~seed:r.seed ~n:r.n ~degree:r.degree () in
+  let det =
+    if r.tau = 0 then Detector.perfect (Dual.g dual)
+    else Detector.tau_complete ~rng:(Rng.create (r.seed + 77)) ~tau:r.tau dual
+  in
+  let h = Detector.h_graph det in
+  let detector = Detector.static det in
+  let ok_mis outputs =
+    let c = Verify.Mis_check.check ~g:(Dual.g dual) ~h outputs in
+    (Verify.Mis_check.ok c, c.violations)
+  in
+  let ok_ccds outputs =
+    let c = Verify.Ccds_check.check ~h ~g':(Dual.g' dual) outputs in
+    (Verify.Ccds_check.ok c, c.violations)
+  in
+  match r.algo with
+  | "mis" ->
+    let res = Core.Mis.run ~seed:r.seed ~adversary:r.adversary ~detector dual in
+    ok_mis res.R.outputs
+  | "ccds-banned" ->
+    let res = Core.Ccds.run ~seed:r.seed ~adversary:r.adversary ~detector dual in
+    ok_ccds res.R.outputs
+  | "ccds-explore" ->
+    let res =
+      Core.Explore_ccds.run ~seed:r.seed ~adversary:r.adversary ~tau:r.tau ~detector dual
+    in
+    ok_ccds res.R.outputs
+  | "ccds-tdma" ->
+    let res = Core.Tdma_ccds.run ~seed:r.seed ~adversary:r.adversary ~detector dual in
+    ok_ccds res.R.outputs
+  | _ -> assert false
+
+let () =
+  let max_trials =
+    if Array.length Sys.argv > 1 then int_of_string_opt Sys.argv.(1) else None
+  in
+  let rng = Rng.create 20260705 in
+  let trial = ref 0 and failures = ref 0 in
+  let continue () = match max_trials with Some m -> !trial < m | None -> true in
+  while continue () do
+    incr trial;
+    let r = random_recipe rng !trial in
+    let ok, violations = run_recipe r in
+    if not ok then begin
+      incr failures;
+      Printf.printf "FAIL trial=%d algo=%s n=%d degree=%d tau=%d adversary=%s seed=%d\n"
+        !trial r.algo r.n r.degree r.tau r.adv_name r.seed;
+      List.iter (fun v -> Printf.printf "   %s\n" v) violations;
+      Printf.printf "   replay: rn_cli %s -n %d --degree %d --tau %d --adversary %s --seed %d\n%!"
+        (if r.algo = "mis" then "mis"
+         else if r.algo = "ccds-banned" then "ccds --algo banned"
+         else if r.algo = "ccds-explore" then "ccds --algo explore"
+         else "ccds")
+        r.n r.degree r.tau r.adv_name r.seed
+    end;
+    if !trial mod 25 = 0 then
+      Printf.printf "[%d trials, %d failures]\n%!" !trial !failures
+  done;
+  Printf.printf "done: %d trials, %d failures\n" !trial !failures;
+  if !failures > 0 then exit 1

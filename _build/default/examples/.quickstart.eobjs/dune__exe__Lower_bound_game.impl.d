@@ -1,0 +1,1 @@
+examples/lower_bound_game.ml: List Printf Rn_games Rn_util String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Format List Printf Rn_detect Rn_graph Rn_sim Rn_util Rn_verify Seq String

@@ -1,0 +1,1 @@
+examples/sensor_backbone.ml: Array Core Format Printf Rn_broadcast Rn_detect Rn_graph Rn_sim Rn_util Rn_verify

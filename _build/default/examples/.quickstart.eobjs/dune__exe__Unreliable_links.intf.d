@@ -1,0 +1,1 @@
+examples/unreliable_links.mli:

@@ -1,0 +1,66 @@
+(* Sensor-network backbone: the motivating workload from the paper's
+   introduction.  A CCDS gives a routing backbone; disseminating data over
+   the backbone instead of flooding the whole network cuts transmissions
+   while still reaching everyone, and the deterministic round-robin
+   broadcast of the paper's reference [5] shows the
+   unreliability-proof-but-slow end of the spectrum.
+
+   Run with:  dune exec examples/sensor_backbone.exe *)
+
+module Rng = Rn_util.Rng
+module Gen = Rn_graph.Gen
+module Dual = Rn_graph.Dual
+module Detector = Rn_detect.Detector
+module B = Rn_broadcast.Broadcast
+module R = Core.Radio
+
+let () =
+  let rng = Rng.create 314 in
+  let n = 150 in
+  let spec = Gen.default_spec ~n ~side:(Gen.side_for_degree ~n ~target_degree:14) () in
+  let dual = Gen.geometric ~rng spec in
+  Format.printf "sensor field: %a@." Dual.pp dual;
+
+  (* Build the backbone once. *)
+  let det = Detector.perfect (Dual.g dual) in
+  let ccds =
+    Core.Ccds.run ~seed:9
+      ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+      ~detector:(Detector.static det) dual
+  in
+  let in_backbone = Array.map (fun o -> o = Some 1) ccds.R.outputs in
+  let backbone_size = Array.fold_left (fun c b -> if b then c + 1 else c) 0 in_backbone in
+  Printf.printf "backbone built in %d rounds: %d of %d nodes\n" ccds.R.rounds backbone_size n;
+
+  (* Routing quality of the backbone. *)
+  let members = ref [] in
+  Array.iteri (fun v b -> if b then members := v :: !members) in_backbone;
+  let stretch =
+    Rn_verify.Verify.Stretch.measure
+      ~sample:(Rng.create 4, 300)
+      ~h:(Detector.h_graph det) ~members:!members ()
+  in
+  Printf.printf "routing stretch via backbone: max %.2f, mean %.2f (%d pairs)\n"
+    stretch.max_stretch stretch.mean_stretch stretch.pairs;
+
+  (* Disseminate a reading from node 0 under an active adversary. *)
+  let adversary = Rn_sim.Adversary.bernoulli 0.5 in
+  let rounds = 400 in
+  let report name (r : B.result) =
+    Printf.printf "%-14s reached %3d/%d nodes with %5d transmissions (%d bits)\n" name
+      r.coverage n r.sends r.bits_sent
+  in
+  let flood = B.run ~adversary ~seed:21 ~protocol:(B.Flood 0.1) ~source:0 ~rounds dual in
+  report "flooding:" flood;
+  let bb =
+    B.run ~adversary ~seed:21
+      ~protocol:(B.Backbone { relay = (fun v -> in_backbone.(v)); p = 0.1 })
+      ~source:0 ~rounds dual
+  in
+  report "backbone:" bb;
+  let rr_budget = B.round_robin_budget dual ~source:0 in
+  let rr = B.run ~adversary ~seed:21 ~protocol:B.Round_robin ~source:0 ~rounds:rr_budget dual in
+  report "round-robin:" rr;
+  if bb.sends < flood.sends && B.full_coverage bb then
+    Printf.printf "backbone saves %.0f%% of transmissions at full coverage\n"
+      (100.0 *. (1.0 -. (float_of_int bb.sends /. float_of_int flood.sends)))

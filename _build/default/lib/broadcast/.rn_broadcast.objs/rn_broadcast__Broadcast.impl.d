@@ -1,0 +1,1 @@
+lib/broadcast/broadcast.ml: Array Fmt Rn_detect Rn_graph Rn_sim Rn_util

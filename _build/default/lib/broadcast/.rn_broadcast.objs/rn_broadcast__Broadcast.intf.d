@@ -1,0 +1,1 @@
+lib/broadcast/broadcast.mli: Rn_graph Rn_sim

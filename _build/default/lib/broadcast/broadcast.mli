@@ -1,0 +1,39 @@
+(** Single-source multihop broadcast in the dual graph model: probabilistic
+    flooding, backbone-restricted flooding (the CCDS use case from the
+    paper's introduction), and the deterministic round-robin schedule of
+    Clementi-Monti-Silvestri (the paper's reference [5]). *)
+
+type protocol =
+  | Flood of float  (** every informed node relays with this probability *)
+  | Backbone of { relay : int -> bool; p : float }
+      (** only designated relays (plus the source) forward *)
+  | Round_robin  (** ids take turns; collision-free and unreliability-proof *)
+  | Decay of int
+      (** Bar-Yehuda–Goldreich–Itai decay phases of the given length:
+          informed nodes halve their broadcast probability each round
+          within a phase.  Use [Θ(log n)] for the classic guarantee. *)
+
+type result = {
+  reached : bool array;
+  coverage : int;
+  first_hear : int option array;  (** round of first reception, per node *)
+  rounds : int;
+  sends : int;
+  bits_sent : int;
+}
+
+(** Run a broadcast from [source] for exactly [rounds] rounds. *)
+val run :
+  ?adversary:Rn_sim.Adversary.t ->
+  ?seed:int ->
+  protocol:protocol ->
+  source:int ->
+  rounds:int ->
+  Rn_graph.Dual.t ->
+  result
+
+(** [n · eccentricity(source)]: a budget with which round-robin provably
+    covers a connected [G] whatever the adversary does. *)
+val round_robin_budget : Rn_graph.Dual.t -> source:int -> int
+
+val full_coverage : result -> bool

@@ -1,0 +1,1 @@
+lib/core/async_mis.ml: Msg Params Radio Rn_sim Rn_util

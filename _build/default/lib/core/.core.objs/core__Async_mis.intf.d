@@ -1,0 +1,1 @@
+lib/core/async_mis.mli: Msg Params Radio Rn_detect Rn_graph Rn_sim

@@ -1,0 +1,1 @@
+lib/core/ccds.ml: Hashtbl List Mis Msg Params Radio Rn_sim Rn_util Subroutines

@@ -1,0 +1,1 @@
+lib/core/ccds.mli: Params Radio Rn_detect Rn_graph Rn_sim

@@ -1,0 +1,1 @@
+lib/core/continuous.ml: Ccds List Params Radio Rn_detect Rn_sim

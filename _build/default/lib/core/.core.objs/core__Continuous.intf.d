@@ -1,0 +1,1 @@
+lib/core/continuous.mli: Params Rn_detect Rn_graph Rn_sim

@@ -1,0 +1,1 @@
+lib/core/explore_ccds.ml: Array Hashtbl Iterated_mis List Mis Msg Params Radio Rn_sim Rn_util Subroutines

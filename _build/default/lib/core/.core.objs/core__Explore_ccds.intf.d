@@ -1,0 +1,1 @@
+lib/core/explore_ccds.mli: Msg Params Radio Rn_detect Rn_graph Rn_sim

@@ -1,0 +1,1 @@
+lib/core/iterated_mis.ml: Hashtbl List Mis Params Radio Rn_sim

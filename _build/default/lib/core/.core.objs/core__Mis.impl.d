@@ -1,0 +1,1 @@
+lib/core/mis.ml: Hashtbl List Msg Params Radio Rn_sim Rn_util

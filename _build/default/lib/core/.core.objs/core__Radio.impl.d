@@ -1,0 +1,1 @@
+lib/core/radio.ml: List Msg Printf Rn_sim Rn_util

@@ -1,0 +1,1 @@
+lib/core/repair.ml: Array Explore_ccds List Mis Params Radio Rn_graph Rn_sim Rn_util

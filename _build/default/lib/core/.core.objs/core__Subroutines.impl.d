@@ -1,0 +1,1 @@
+lib/core/subroutines.ml: Hashtbl List Msg Params Radio Rn_util

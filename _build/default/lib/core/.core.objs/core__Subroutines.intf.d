@@ -1,0 +1,1 @@
+lib/core/subroutines.mli: Msg Params Radio

@@ -1,0 +1,1 @@
+lib/core/tdma_ccds.ml: Explore_ccds Hashtbl List Msg Params Radio Rn_sim Rn_util

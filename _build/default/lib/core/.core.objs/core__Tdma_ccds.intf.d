@@ -1,0 +1,1 @@
+lib/core/tdma_ccds.mli: Explore_ccds Params Radio Rn_detect Rn_graph Rn_sim

@@ -1,0 +1,30 @@
+(** The asynchronous-start MIS of Section 9: a Θ(log² n) listening phase
+    prefixes each epoch, any received message knocks a process back to a
+    fresh epoch, and MIS members announce forever so late wakers decide.
+    Solves the MIS problem within O(log³ n) rounds of waking (Theorem
+    9.4), in the dual graph model with a 0-complete detector or in the
+    classic model ([classic = true]) with no topology information. *)
+
+type outcome = {
+  in_mis : bool;
+  covered : bool;  (** decided 0 after learning of an MIS neighbour *)
+}
+
+(** Accept every received message (the no-topology-information filter). *)
+val accept_all : Radio.ctx -> Radio.receive -> Msg.t option
+
+(** The per-process body.  MIS members never return (they announce
+    forever); run under [stop = All_decided]. *)
+val body : ?classic:bool -> ?on_decide:(int -> unit) -> Params.t -> Radio.ctx -> outcome
+
+(** Standalone runner; [wake] gives per-process wake rounds (≥ 1). *)
+val run :
+  ?params:Params.t ->
+  ?adversary:Rn_sim.Adversary.t ->
+  ?seed:int ->
+  ?classic:bool ->
+  ?wake:int array ->
+  ?max_rounds:int ->
+  detector:Rn_detect.Detector.dynamic ->
+  Rn_graph.Dual.t ->
+  outcome Radio.result

@@ -1,0 +1,225 @@
+(* The banned-list CCDS algorithm of Section 5 (0-complete detectors).
+
+   After building an MIS (every MIS process joins the CCDS), the algorithm
+   runs ℓ_SE search epochs, each with three phases:
+
+   Phase 1 — every MIS process u transmits B_u \ D_u (its banned list since
+   the last delivery) to its covered neighbours in chunks of at most
+   b - O(log n) bits via bounded-broadcast; receivers v maintain replicas
+   B^v_u, and during the first epoch also the primary replica P^v_u (u's
+   original neighbour set).  This phase is the Δ·log²n/b term of Thm 5.3.
+
+   Phase 2 — covered processes nominate, per MIS neighbour u, one of their
+   own detector neighbours w that is not in B^v_u, via directed-decay.  By
+   construction a nominee leads to an MIS process u has not yet discovered.
+
+   Phase 3 — u selects one nomination (v, w); bounded-broadcast hops tell v
+   it was selected and let v probe w; w replies with its own neighbour set
+   (if in the MIS) or with the id and neighbour set of one of its MIS
+   neighbours x; v forwards the reply to u, which adds everything to B_u.
+   v and w join the CCDS, materialising a ≤ 3-hop path from u to the
+   discovered MIS process. *)
+
+module R = Radio
+module Bitset = Rn_util.Bitset
+module Ilog = Rn_util.Ilog
+
+type outcome = {
+  in_mis : bool;
+  in_ccds : bool;
+  mis_neighbors : int list;
+  discovered : int list; (* MIS processes discovered during the search *)
+}
+
+(* Number of bounded-broadcast slots needed to ship a banned-list delta of
+   up to delta_bound + 2 ids. *)
+let max_chunks ctx =
+  let cap = Radio.chunk_capacity ctx ~header_ids:3 in
+  Ilog.cdiv (R.delta_bound ctx + 2) cap
+
+let body ?(on_decide = fun _ -> ()) (params : Params.t) ctx =
+  let me = R.me ctx in
+  let mis = Mis.body params ctx in
+  let in_ccds = ref mis.in_mis in
+  if mis.in_mis then on_decide 1;
+  let join () =
+    if not !in_ccds then begin
+      in_ccds := true;
+      on_decide 1
+    end
+  in
+  let n = R.n ctx in
+  let cap = Radio.chunk_capacity ctx ~header_ids:3 in
+  let slots = max_chunks ctx in
+  let bb msg ~on_recv =
+    Subroutines.bounded_broadcast params ctx ~delta:params.delta_bb msg ~on_recv
+  in
+  (* Detector-filtered receive hook for bounded-broadcast slots. *)
+  let filtered on_msg m = if Radio.in_detector ctx (Msg.src m) then on_msg m in
+  (* --- MIS-node state --- *)
+  let banned = Bitset.create n in
+  let delivered = Bitset.create n in
+  if mis.in_mis then begin
+    Bitset.add banned me;
+    Bitset.iter (Bitset.add banned) (R.detector ctx)
+  end;
+  let discovered = ref [] in
+  (* --- covered-node state --- *)
+  let replica : (int, Bitset.t) Hashtbl.t = Hashtbl.create 4 in
+  let primary : (int, Bitset.t) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun u ->
+      Hashtbl.replace replica u (Bitset.create n);
+      Hashtbl.replace primary u (Bitset.create n))
+    mis.mis_neighbors;
+  for epoch = 1 to params.search_epochs do
+    (* ---------------- Phase 1: banned-list transfer ---------------- *)
+    let my_chunks =
+      if mis.in_mis then
+        Radio.chunks ~cap (Bitset.to_list (Bitset.diff banned delivered))
+      else []
+    in
+    for slot = 0 to slots - 1 do
+      let msg =
+        match List.nth_opt my_chunks slot with
+        | Some ids -> Some (Msg.Banned_chunk { src = me; ids })
+        | None -> None
+      in
+      bb msg ~on_recv:(fun m ->
+          filtered
+            (function
+              | Msg.Banned_chunk { src; ids } when Hashtbl.mem replica src ->
+                let r = Hashtbl.find replica src in
+                List.iter (Bitset.add r) ids;
+                if epoch = 1 then begin
+                  let p = Hashtbl.find primary src in
+                  List.iter (Bitset.add p) ids
+                end
+              | _ -> ())
+            m)
+    done;
+    if mis.in_mis then begin
+      Bitset.clear delivered;
+      Bitset.union_into ~into:delivered banned
+    end;
+    (* ---------------- Phase 2: nominations via directed-decay ------- *)
+    let noms =
+      if mis.in_mis then []
+      else
+        List.filter_map
+          (fun u ->
+            let r = Hashtbl.find replica u in
+            Bitset.fold
+              (fun w acc -> match acc with Some _ -> acc | None -> if Bitset.mem r w then None else Some (u, w))
+              (R.detector ctx) None)
+          mis.mis_neighbors
+    in
+    let nominations =
+      Subroutines.directed_decay params ctx ~is_mis:mis.in_mis ~noms
+    in
+    (* ---------------- Phase 3: exploration --------------------------- *)
+    let my_pick = match nominations with [] -> None | (v, w) :: _ -> Some (v, w) in
+    (* 3a: u announces its selected relay and target. *)
+    let relay_task = ref None in
+    let msg_3a =
+      match my_pick with
+      | Some (v, w) when mis.in_mis -> Some (Msg.Selected { src = me; relay = v; target = w })
+      | _ -> None
+    in
+    bb msg_3a ~on_recv:(fun m ->
+        filtered
+          (function
+            | Msg.Selected { src; relay; target }
+              when relay = me && List.mem src mis.mis_neighbors && !relay_task = None ->
+              relay_task := Some (src, target);
+              join ()
+            | _ -> ())
+          m);
+    (* 3b: the relay probes the target. *)
+    let probed = ref false in
+    let msg_3b =
+      match !relay_task with
+      | Some (origin, target) -> Some (Msg.Explore_req { src = me; target; origin })
+      | None -> None
+    in
+    bb msg_3b ~on_recv:(fun m ->
+        filtered
+          (function
+            | Msg.Explore_req { src = _; target; origin = _ } when target = me ->
+              probed := true;
+              join ()
+            | _ -> ())
+          m);
+    (* 3c: the target replies — its own neighbour set if in the MIS, else
+       the id and (primary-replica) neighbour set of one MIS neighbour. *)
+    let reply =
+      if not !probed then None
+      else if mis.in_mis then Some (me, me :: Bitset.to_list (R.detector ctx))
+      else begin
+        match mis.mis_neighbors with
+        | [] -> None (* MIS failure fallback: nothing to report *)
+        | x :: _ -> Some (x, x :: Bitset.to_list (Hashtbl.find primary x))
+      end
+    in
+    let reply_chunks =
+      match reply with
+      | Some (about, ids) -> List.map (fun c -> (about, c)) (Radio.chunks ~cap ids)
+      | None -> []
+    in
+    let forward_acc = ref [] in
+    for slot = 0 to slots - 1 do
+      let msg =
+        match List.nth_opt reply_chunks slot with
+        | Some (about, ids) -> Some (Msg.Reply_chunk { src = me; about; ids })
+        | None -> None
+      in
+      bb msg ~on_recv:(fun m ->
+          filtered
+            (function
+              | Msg.Reply_chunk { src; about; ids } -> begin
+                match !relay_task with
+                | Some (_, target) when src = target ->
+                  forward_acc := (about, ids) :: !forward_acc
+                | _ -> ()
+              end
+              | _ -> ())
+            m)
+    done;
+    (* 3d: the relay forwards the reply to its origin MIS process. *)
+    let forward_chunks =
+      match !relay_task with
+      | Some (origin, _) ->
+        List.rev_map (fun (about, ids) -> (origin, about, ids)) !forward_acc
+      | None -> []
+    in
+    for slot = 0 to slots - 1 do
+      let msg =
+        match List.nth_opt forward_chunks slot with
+        | Some (dest, about, ids) -> Some (Msg.Forward_chunk { src = me; dest; about; ids })
+        | None -> None
+      in
+      bb msg ~on_recv:(fun m ->
+          filtered
+            (function
+              | Msg.Forward_chunk { src = _; dest; about; ids } when dest = me && mis.in_mis ->
+                if not (Bitset.mem banned about) then discovered := about :: !discovered;
+                Bitset.add banned about;
+                List.iter (Bitset.add banned) ids
+              | _ -> ())
+            m)
+    done
+  done;
+  if not !in_ccds then on_decide 0;
+  {
+    in_mis = mis.in_mis;
+    in_ccds = !in_ccds;
+    mis_neighbors = mis.mis_neighbors;
+    discovered = List.sort_uniq compare !discovered;
+  }
+
+(* Standalone runner: processes output their CCDS membership. *)
+let run ?(params = Params.default) ?(adversary = Rn_sim.Adversary.silent)
+    ?(seed = 0) ?b_bits ~detector dual =
+  Params.validate params;
+  let cfg = R.config ~adversary ~seed ?b_bits ~detector dual in
+  R.run cfg (fun ctx -> body ~on_decide:(fun v -> R.output ctx v) params ctx)

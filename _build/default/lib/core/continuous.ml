@@ -1,0 +1,65 @@
+(* The continuous CCDS of Section 8.
+
+   With a dynamic link detector, the one-shot CCDS algorithm is simply
+   rerun every δ_CCDS rounds; processes hold their previous outputs until
+   the very end of each rerun and then switch atomically.  Theorem 8.1: if
+   the detector stabilises by round r, the structure solves the CCDS
+   problem from round r + 2·δ_CCDS on.
+
+   The driver below realises exactly that semantics as a sequence of
+   engine runs, each seeing the dynamic detector shifted by the rounds
+   already consumed; iteration k's outputs are the structure in force
+   during iteration k+1. *)
+
+module R = Radio
+module Detector = Rn_detect.Detector
+
+type iteration = {
+  index : int;
+  start_round : int; (* first global round of this rerun *)
+  end_round : int; (* last global round of this rerun *)
+  outputs : int option array; (* CCDS outputs installed at [end_round] *)
+  timed_out : bool;
+}
+
+type run_result = {
+  iterations : iteration list;
+  period : int; (* δ_CCDS: fixed length of one rerun *)
+}
+
+(* The structure in force at a global round: outputs of the last rerun
+   that finished strictly before it, if any. *)
+let structure_at result round =
+  List.fold_left
+    (fun acc it -> if it.end_round < round then Some it else acc)
+    None result.iterations
+
+let run ?(params = Params.default) ?(adversary = Rn_sim.Adversary.silent)
+    ?(seed = 0) ?b_bits ~detector ~iterations dual =
+  Params.validate params;
+  if iterations < 1 then invalid_arg "Continuous.run: iterations < 1";
+  let offset = ref 0 in
+  let period = ref 0 in
+  let revd = ref [] in
+  for k = 1 to iterations do
+    let start_round = !offset + 1 in
+    let shifted =
+      Detector.dynamic ~at:(fun r -> Detector.at detector (!offset + r)) ()
+    in
+    let res =
+      Ccds.run ~params ~adversary ~seed:(seed + (1000 * k)) ?b_bits
+        ~detector:shifted dual
+    in
+    offset := !offset + res.R.rounds;
+    if !period = 0 then period := res.R.rounds;
+    revd :=
+      {
+        index = k;
+        start_round;
+        end_round = !offset;
+        outputs = res.R.outputs;
+        timed_out = res.R.timed_out;
+      }
+      :: !revd
+  done;
+  { iterations = List.rev !revd; period = !period }

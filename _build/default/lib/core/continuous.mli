@@ -1,0 +1,32 @@
+(** The continuous CCDS of Section 8: rerun the one-shot algorithm every
+    δ_CCDS rounds against a dynamic link detector, installing each rerun's
+    outputs atomically at its end.  If the detector stabilises by round
+    [r], the installed structure solves the CCDS problem from
+    [r + 2·δ_CCDS] on (Theorem 8.1). *)
+
+type iteration = {
+  index : int;  (** 1-based rerun index *)
+  start_round : int;
+  end_round : int;
+  outputs : int option array;  (** outputs installed at [end_round] *)
+  timed_out : bool;
+}
+
+type run_result = {
+  iterations : iteration list;
+  period : int;  (** δ_CCDS: fixed length of one rerun *)
+}
+
+(** The structure in force at a global round: the last rerun finishing
+    strictly before it, if any. *)
+val structure_at : run_result -> int -> iteration option
+
+val run :
+  ?params:Params.t ->
+  ?adversary:Rn_sim.Adversary.t ->
+  ?seed:int ->
+  ?b_bits:int ->
+  detector:Rn_detect.Detector.dynamic ->
+  iterations:int ->
+  Rn_graph.Dual.t ->
+  run_result

@@ -1,0 +1,26 @@
+(** The iterated MIS of Section 6: τ+1 sequential MIS runs with mutual
+    detector-set (H-edge) filtering; earlier winners sit out later
+    iterations.  Lemma 6.1: w.h.p. every process outputs 1 or has a
+    G-neighbour that does, and only O(1) winners fall within G' range of
+    any node. *)
+
+type outcome = {
+  dominator : bool;
+  iteration_joined : int option;  (** 1-based iteration of joining *)
+  masters : int list;  (** H-neighbours known to have output 1 *)
+}
+
+(** [(τ+1) ·] the MIS schedule. *)
+val schedule_rounds : Params.t -> n:int -> tau:int -> int
+
+val body : ?on_decide:(int -> unit) -> Params.t -> tau:int -> Radio.ctx -> outcome
+
+val run :
+  ?params:Params.t ->
+  ?adversary:Rn_sim.Adversary.t ->
+  ?seed:int ->
+  ?b_bits:int ->
+  tau:int ->
+  detector:Rn_detect.Detector.dynamic ->
+  Rn_graph.Dual.t ->
+  outcome Radio.result

@@ -1,0 +1,104 @@
+(* The message vocabulary of all algorithms in the paper, with bit-size
+   accounting.
+
+   The model bounds message size by b bits; an id costs ⌈log₂ n⌉ bits and a
+   constructor tag a constant.  [size_bits] implements that accounting so
+   the engine can enforce b, which is what makes the Δ·log²n/b term of
+   Theorem 5.3 measurable: small b forces the banned-list transfer of the
+   CCDS algorithm into many chunks.
+
+   The optional [lds] labels on competition messages carry the sender's
+   link detector set, used by the Section 6 algorithms to restrict
+   communication to H-neighbours (mutual detector membership). *)
+
+type entry = { pid : int; master : int option }
+
+type t =
+  | Contender of { src : int; lds : int list option }
+  | Mis_announce of { src : int; lds : int list option }
+  (* CCDS (Section 5) *)
+  | Banned_chunk of { src : int; ids : int list }
+  | Nominations of { src : int; noms : (int * int) list } (* (dest MIS id, nominee) *)
+  | Stop_order of { src : int }
+  | Selected of { src : int; relay : int; target : int }
+  | Explore_req of { src : int; target : int; origin : int }
+  | Reply_chunk of { src : int; about : int; ids : int list }
+  | Forward_chunk of { src : int; dest : int; about : int; ids : int list }
+  (* Exploration CCDS (Section 6 / naive baseline) *)
+  | Poll of { src : int; who : int }
+  | Announce of { src : int; master : int option; lds : int list option }
+  | Gossip of { src : int; entries : entry list; lds : int list option }
+  | Path_select of { src : int; picks : (int * int option) list }
+  | Relay_select of { src : int; xs : int list }
+
+let tag_bits = 5
+
+let id_bits ~n = Rn_util.Ilog.log2_up n
+
+(* One optional id costs one presence bit plus the id. *)
+let opt_id_bits ~n = function None -> 1 | Some _ -> 1 + id_bits ~n
+
+let list_ids_bits ~n k = id_bits ~n * k
+
+let lds_bits ~n = function
+  | None -> 1
+  | Some l -> 1 + id_bits ~n (* length *) + list_ids_bits ~n (List.length l)
+
+let size_bits ~n t =
+  let id = id_bits ~n in
+  match t with
+  | Contender { src = _; lds } | Mis_announce { src = _; lds } -> tag_bits + id + lds_bits ~n lds
+  | Banned_chunk { src = _; ids } -> tag_bits + id + list_ids_bits ~n (List.length ids)
+  | Nominations { src = _; noms } -> tag_bits + id + (2 * id * List.length noms)
+  | Stop_order _ -> tag_bits + id
+  | Selected _ -> tag_bits + (3 * id)
+  | Explore_req _ -> tag_bits + (3 * id)
+  | Reply_chunk { src = _; about = _; ids } ->
+    tag_bits + (2 * id) + list_ids_bits ~n (List.length ids)
+  | Forward_chunk { src = _; dest = _; about = _; ids } ->
+    tag_bits + (3 * id) + list_ids_bits ~n (List.length ids)
+  | Poll _ -> tag_bits + (2 * id)
+  | Announce { src = _; master; lds } -> tag_bits + id + opt_id_bits ~n master + lds_bits ~n lds
+  | Gossip { src = _; entries; lds } ->
+    tag_bits + id
+    + List.fold_left (fun acc e -> acc + id + opt_id_bits ~n e.master) 0 entries
+    + lds_bits ~n lds
+  | Path_select { src = _; picks } ->
+    tag_bits + id
+    + List.fold_left (fun acc (_, x) -> acc + id + opt_id_bits ~n x) 0 picks
+  | Relay_select { src = _; xs } -> tag_bits + id + list_ids_bits ~n (List.length xs)
+
+let src = function
+  | Contender { src; _ }
+  | Mis_announce { src; _ }
+  | Banned_chunk { src; _ }
+  | Nominations { src; _ }
+  | Stop_order { src }
+  | Selected { src; _ }
+  | Explore_req { src; _ }
+  | Reply_chunk { src; _ }
+  | Forward_chunk { src; _ }
+  | Poll { src; _ }
+  | Announce { src; _ }
+  | Gossip { src; _ }
+  | Path_select { src; _ }
+  | Relay_select { src; _ } -> src
+
+let pp ppf t =
+  match t with
+  | Contender { src; _ } -> Fmt.pf ppf "contender(%d)" src
+  | Mis_announce { src; _ } -> Fmt.pf ppf "mis(%d)" src
+  | Banned_chunk { src; ids } -> Fmt.pf ppf "banned(%d,#%d)" src (List.length ids)
+  | Nominations { src; noms } -> Fmt.pf ppf "noms(%d,#%d)" src (List.length noms)
+  | Stop_order { src } -> Fmt.pf ppf "stop(%d)" src
+  | Selected { src; relay; target } -> Fmt.pf ppf "selected(%d,%d,%d)" src relay target
+  | Explore_req { src; target; origin } -> Fmt.pf ppf "explore(%d,%d,%d)" src target origin
+  | Reply_chunk { src; about; ids } -> Fmt.pf ppf "reply(%d,about=%d,#%d)" src about (List.length ids)
+  | Forward_chunk { src; dest; about; ids } ->
+    Fmt.pf ppf "forward(%d,to=%d,about=%d,#%d)" src dest about (List.length ids)
+  | Poll { src; who } -> Fmt.pf ppf "poll(%d,%d)" src who
+  | Announce { src; master; _ } ->
+    Fmt.pf ppf "announce(%d,master=%a)" src Fmt.(option ~none:(any "-") int) master
+  | Gossip { src; entries; _ } -> Fmt.pf ppf "gossip(%d,#%d)" src (List.length entries)
+  | Path_select { src; picks } -> Fmt.pf ppf "paths(%d,#%d)" src (List.length picks)
+  | Relay_select { src; xs } -> Fmt.pf ppf "relays(%d,#%d)" src (List.length xs)

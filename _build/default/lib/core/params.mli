@@ -1,0 +1,30 @@
+(** Tunable constants behind the paper's Θ(·) phase lengths.
+
+    Every schedule length in the library keeps the paper's asymptotic form;
+    these constants set the leading factors.  The defaults are tuned so the
+    verifiers pass across the test matrix (see DESIGN.md and
+    [test/test_params.ml]); the paper's own "sufficiently large" constants
+    would be correct but impractically slow. *)
+
+type t = {
+  c_phase : int;  (** competition/announcement phase length multiplier *)
+  c_epochs : int;  (** epoch count multiplier *)
+  c_bb : int;  (** bounded-broadcast length multiplier *)
+  bb_cap : int;  (** cap on the exponent in [2^δ] for bounded-broadcast *)
+  c_dd : int;  (** directed-decay phase length multiplier *)
+  delta_bb : int;  (** contention constant δ for CCDS bounded-broadcasts *)
+  search_epochs : int;  (** CCDS search epochs ℓ_SE (paper: [I_{3d}] = O(1)) *)
+  c_listen : int;  (** async-start listening phase multiplier *)
+  max_async_epochs : int;  (** epoch-restart budget before passive waiting *)
+}
+
+(** Tuned defaults used by all experiments. *)
+val default : t
+
+(** Cheaper constants for demos; higher failure probability. *)
+val fast : t
+
+(** Raises [Invalid_argument] if any constant is out of range. *)
+val validate : t -> unit
+
+val pp : Format.formatter -> t -> unit

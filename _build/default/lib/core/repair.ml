@@ -1,0 +1,97 @@
+(* Localized CCDS repair — the open problem Section 8 raises ("design
+   efficient repair protocols that can fix breaks in the structure in a
+   localized fashion"), made concrete.
+
+   Setting: a CCDS was built, then some reliable links degraded to
+   unreliable (the detector re-stabilised on the shrunken G).  Rather than
+   rebuilding from scratch, processes repair around the damage:
+
+   1. Orphan detection is purely local: a non-member is an orphan iff none
+      of its remembered masters is still in its (new) link detector set.
+   2. Orphans run one MIS schedule among themselves (everyone else stays
+      silent through it); winners join the structure, losers are covered
+      by a new winner — domination is restored.
+   3. All members, old and new, run the Section 6 connection machinery
+      ([Explore_ccds.connect]): every pair of members within 3 hops gets a
+      relay path, splicing new winners into the backbone and re-linking
+      old members around dropped edges.
+
+   The win over a full rebuild is *stability*, not asymptotic rounds (both
+   schedules are fixed-length): almost all processes keep their previous
+   output, so upper layers see a patched backbone instead of a fresh one.
+   Experiment A4 quantifies churn and message cost against a rebuild. *)
+
+module R = Radio
+module Bitset = Rn_util.Bitset
+
+(* What a process carries over from the previous structure. *)
+type plan = {
+  was_member : bool; (* output 1 in the previous structure *)
+  was_dominator : bool; (* an MIS node of the previous structure *)
+  old_masters : int list; (* dominators it was covered by *)
+}
+
+type outcome = {
+  orphan : bool;
+  dominator : bool; (* member responsible for polling in the reconnect *)
+  in_ccds : bool;
+}
+
+let body ?(on_decide = fun _ -> ()) (params : Params.t) (plan : plan) ctx =
+  let still_master m = Bitset.mem (R.detector ctx) m in
+  let orphan =
+    (not plan.was_member) && not (List.exists still_master plan.old_masters)
+  in
+  (* Orphan-local MIS: non-orphans listen through the whole schedule. *)
+  let mis = Mis.body ~participate:orphan params ctx in
+  (* Only previous MIS dominators and fresh winners drive the reconnect
+     polls; previous relays keep their membership without polling, which
+     keeps the repair's message bill proportional to the damage. *)
+  let dominator = plan.was_dominator || mis.in_mis in
+  let in_ccds = ref (plan.was_member || dominator) in
+  if !in_ccds then on_decide 1;
+  let on_join () =
+    if not !in_ccds then begin
+      in_ccds := true;
+      on_decide 1
+    end
+  in
+  let my_master =
+    match List.filter still_master plan.old_masters with
+    | m :: _ -> Some m
+    | [] -> ( match mis.mis_neighbors with m :: _ -> Some m | [] -> None)
+  in
+  let _targets = Explore_ccds.connect ~on_join params ctx ~dominator ~my_master in
+  if not !in_ccds then on_decide 0;
+  { orphan; dominator; in_ccds = !in_ccds }
+
+(* Standalone runner.  [old_outputs], [old_dominators] and [old_masters]
+   come from the previous build (a [Ccds.run] result: its outputs, the
+   per-process [in_mis] flags and [mis_neighbors]). *)
+let run ?(params = Params.default) ?(adversary = Rn_sim.Adversary.silent)
+    ?(seed = 0) ?b_bits ~detector ~old_outputs ~old_dominators ~old_masters dual =
+  Params.validate params;
+  let n = Rn_graph.Dual.n dual in
+  if
+    Array.length old_outputs <> n
+    || Array.length old_masters <> n
+    || Array.length old_dominators <> n
+  then invalid_arg "Repair.run: state arity mismatch";
+  let cfg = R.config ~adversary ~seed ?b_bits ~detector dual in
+  R.run cfg (fun ctx ->
+      let v = R.me ctx in
+      let plan =
+        {
+          was_member = old_outputs.(v) = Some 1;
+          was_dominator = old_dominators.(v);
+          old_masters = old_masters.(v);
+        }
+      in
+      body ~on_decide:(fun o -> R.output ctx o) params plan ctx)
+
+(* Fraction of processes whose output differs between two structures. *)
+let churn ~before ~after =
+  if Array.length before <> Array.length after then invalid_arg "Repair.churn";
+  let changed = ref 0 in
+  Array.iteri (fun i o -> if o <> after.(i) then incr changed) before;
+  float_of_int !changed /. float_of_int (Array.length before)

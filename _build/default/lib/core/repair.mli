@@ -1,0 +1,33 @@
+(** Localized CCDS repair after link degradation — a concrete answer to
+    the open problem raised in Section 8.  Orphaned processes (all their
+    remembered masters gone from the detector) elect replacements via one
+    MIS schedule among themselves; old and new members then re-link
+    through the Section 6 connection machinery.  The benefit over a full
+    rebuild is structural stability (low churn); experiment A4 quantifies
+    it. *)
+
+type plan = {
+  was_member : bool;  (** output 1 in the previous structure *)
+  was_dominator : bool;  (** an MIS node of the previous structure *)
+  old_masters : int list;  (** dominators this process was covered by *)
+}
+
+type outcome = { orphan : bool; dominator : bool; in_ccds : bool }
+
+val body : ?on_decide:(int -> unit) -> Params.t -> plan -> Radio.ctx -> outcome
+
+(** Standalone runner over the per-process state of a previous build. *)
+val run :
+  ?params:Params.t ->
+  ?adversary:Rn_sim.Adversary.t ->
+  ?seed:int ->
+  ?b_bits:int ->
+  detector:Rn_detect.Detector.dynamic ->
+  old_outputs:int option array ->
+  old_dominators:bool array ->
+  old_masters:int list array ->
+  Rn_graph.Dual.t ->
+  outcome Radio.result
+
+(** Fraction of positions whose outputs differ. *)
+val churn : before:int option array -> after:int option array -> float

@@ -1,0 +1,25 @@
+(** A deterministic Θ(n)-round CCDS via id-indexed TDMA frames, in the
+    style of the paper's reference [19].  One speaker per round means no
+    collisions ever, so the construction is immune to the gray-edge
+    adversary (given a 0-complete detector).  The A5 experiment contrasts
+    its linear round cost with the randomized polylog schedules. *)
+
+type outcome = {
+  dominator : bool;
+  in_ccds : bool;
+  targets : (int * Explore_ccds.path) list;
+}
+
+(** Total fixed schedule length: [(5 + extra chunk frames) · n]. *)
+val schedule_rounds : Radio.ctx -> int
+
+val body : ?on_decide:(int -> unit) -> Params.t -> Radio.ctx -> outcome
+
+val run :
+  ?params:Params.t ->
+  ?adversary:Rn_sim.Adversary.t ->
+  ?seed:int ->
+  ?b_bits:int ->
+  detector:Rn_detect.Detector.dynamic ->
+  Rn_graph.Dual.t ->
+  outcome Radio.result

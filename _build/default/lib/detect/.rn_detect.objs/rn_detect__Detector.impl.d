@@ -1,0 +1,1 @@
+lib/detect/detector.ml: Array List Rn_graph Rn_util Seq

@@ -1,0 +1,1 @@
+lib/detect/detector.mli: Rn_graph Rn_util

@@ -1,0 +1,54 @@
+(** Link detectors (Section 2): per-process estimates of the reliable
+    neighbourhood, with at most τ misclassified unreliable links. *)
+
+type t
+
+(** Number of processes covered. *)
+val n : t -> int
+
+(** The detector set [L_u] (do not mutate). *)
+val set : t -> int -> Rn_util.Bitset.t
+
+(** [mem t u v] iff [v ∈ L_u]. *)
+val mem : t -> int -> int -> bool
+
+(** Wrap explicit per-node sets (no validation). *)
+val of_sets : Rn_util.Bitset.t array -> t
+
+(** The 0-complete detector [L_u = N_G(u)]. *)
+val perfect : Rn_graph.Graph.t -> t
+
+type mistake_pool =
+  | Gray_only  (** misclassify only actual gray neighbours (realistic) *)
+  | Any_non_neighbor
+  | Planted of (int -> int list)
+      (** exact mistakes per node; used by the lower-bound construction *)
+
+(** τ-complete detector: perfect knowledge plus up to τ mistakes per node
+    drawn from [pool] (default [Gray_only]). *)
+val tau_complete :
+  rng:Rn_util.Rng.t -> tau:int -> ?pool:mistake_pool -> Rn_graph.Dual.t -> t
+
+(** Validates the τ-completeness conditions against the reliable graph. *)
+val is_tau_complete : t -> tau:int -> Rn_graph.Graph.t -> bool
+
+(** The graph [H] of Section 3: edge iff mutual detector membership. *)
+val h_graph : t -> Rn_graph.Graph.t
+
+(** Dynamic link detectors (Section 8): one output per round. *)
+type dynamic
+
+(** A dynamic detector that never changes. *)
+val static : t -> dynamic
+
+val dynamic : at:(int -> t) -> ?stabilizes_at:int -> unit -> dynamic
+
+(** Output [before] until [round], then [after] forever (stabilises at
+    [round]). *)
+val switching : before:t -> after:t -> round:int -> dynamic
+
+(** The detector output at a given round. *)
+val at : dynamic -> int -> t
+
+(** Round at which the detector is known to stabilise, if declared. *)
+val stabilizes_at : dynamic -> int option

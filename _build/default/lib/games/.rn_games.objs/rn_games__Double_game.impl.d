@@ -1,0 +1,1 @@
+lib/games/double_game.ml: Array Hashtbl List Rn_util

@@ -1,0 +1,1 @@
+lib/games/reduction.ml: Array Core Double_game Hashtbl List Rn_detect Rn_graph Rn_sim Rn_util Rn_verify

@@ -1,0 +1,1 @@
+lib/games/reduction.mli: Core Double_game Rn_detect Rn_graph Rn_verify

@@ -1,0 +1,1 @@
+lib/games/single_game.ml: Array Rn_util

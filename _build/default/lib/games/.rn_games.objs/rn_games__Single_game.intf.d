@@ -1,0 +1,1 @@
+lib/games/single_game.mli: Rn_util

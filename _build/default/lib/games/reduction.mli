@@ -1,0 +1,35 @@
+(** Lemma 7.2 made executable: CCDS algorithms as double-hitting-game
+    players, and the two-clique bridge networks of the Theorem 7.1 lower
+    bound. *)
+
+(** β-clique plus one isolated phantom node standing for the presumed
+    bridge partner. *)
+val clique_with_phantom : beta:int -> Rn_graph.Dual.t
+
+(** The planted 1-complete detector of the player simulation:
+    [L_u = clique ∪ {phantom}]. *)
+val planted_detector : beta:int -> Rn_detect.Detector.t
+
+(** Guess trace of one player: run the τ=1 CCDS on the clique simulation;
+    every solo broadcast is a guess, and the final CCDS members are
+    guessed at termination. *)
+val ccds_clique_trace :
+  ?params:Core.Params.t -> beta:int -> seed:int -> unit -> Double_game.trace
+
+(** The Lemma 7.2 player pair (traces memoised per seed). *)
+val ccds_players :
+  ?params:Core.Params.t -> beta:int -> unit -> Double_game.player * Double_game.player
+
+(** The planted 1-complete detector for the full two-clique bridge
+    network: everyone additionally trusts the opposite bridge endpoint. *)
+val bridge_detector : beta:int -> Rn_detect.Detector.t
+
+type bridge_result = {
+  rounds : int;
+  solved : bool;
+  report : Rn_verify.Verify.Ccds_check.report;
+}
+
+(** Run the τ=1 CCDS on the bridge network with the spiteful adversary and
+    judge the result (Theorem 7.1 forces Ω(Δ) rounds here). *)
+val bridge_run : ?params:Core.Params.t -> beta:int -> seed:int -> unit -> bridge_result

@@ -1,0 +1,22 @@
+(** The β-single hitting game of Section 7: guess a hidden target in
+    [1, β], one guess per round, no feedback.  Ω(β) rounds are needed
+    w.h.p. — the quantitative root of the Theorem 7.1 lower bound. *)
+
+type strategy =
+  | Permutation  (** a uniformly random permutation — optimal *)
+  | Memoryless  (** a fresh uniform guess each round *)
+  | Custom of (Rn_util.Rng.t -> beta:int -> round:int -> int)
+
+(** The strategy's first [max_rounds] guesses. *)
+val guesses : Rn_util.Rng.t -> strategy -> beta:int -> max_rounds:int -> int array
+
+(** Rounds until the target is guessed, or [None]. *)
+val play :
+  Rn_util.Rng.t -> strategy -> beta:int -> target:int -> max_rounds:int -> int option
+
+(** Mean hit time over uniform targets. *)
+val mean_rounds : Rn_util.Rng.t -> strategy -> beta:int -> samples:int -> float
+
+(** Worst-case-target [q]-quantile of the hit time (the w.h.p. cost). *)
+val quantile_rounds :
+  Rn_util.Rng.t -> strategy -> beta:int -> samples:int -> q:float -> float

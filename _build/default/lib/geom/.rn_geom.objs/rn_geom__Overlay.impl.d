@@ -1,0 +1,1 @@
+lib/geom/overlay.ml: Hashtbl List Point

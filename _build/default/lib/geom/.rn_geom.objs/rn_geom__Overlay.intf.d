@@ -1,0 +1,1 @@
+lib/geom/overlay.mli: Point

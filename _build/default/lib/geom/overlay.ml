@@ -1,0 +1,106 @@
+(* The disk overlay of Section 4.
+
+   The correctness proofs cover the plane with disks of radius 1/2 whose
+   centres sit on a hexagonal (triangular) lattice chosen to minimise
+   overlap: the Voronoi cells of a triangular lattice with nearest-neighbour
+   spacing sqrt(3)*R are regular hexagons of circumradius R, so disks of
+   radius R centred on the lattice cover the plane.
+
+   This module makes the overlay executable: it assigns every point its
+   covering disk (the nearest lattice centre) and computes the paper's
+   I_r — the maximum number of overlay disks that can intersect a disk of
+   radius r — by direct enumeration over one fundamental domain.  Fact 4.1
+   (I_c = O(1) for constant c) is then checkable, and Corollary 4.7 (at most
+   I_r MIS nodes within distance r) is verified against the real overlay. *)
+
+let radius = 0.5
+
+(* Lattice basis: v1 = (a, 0), v2 = (a/2, a*sqrt(3)/2), a = sqrt(3) * R. *)
+let pitch = sqrt 3.0 *. radius
+
+let v2x = pitch /. 2.0
+let v2y = pitch *. sqrt 3.0 /. 2.0
+
+(* Centre of the lattice disk with integer coordinates (i, j). *)
+let center i j = Point.make ((float_of_int i *. pitch) +. (float_of_int j *. v2x)) (float_of_int j *. v2y)
+
+(* Fractional lattice coordinates of a point (inverse of [center]). *)
+let frac_coords (p : Point.t) =
+  let j = p.y /. v2y in
+  let i = (p.x -. (j *. v2x)) /. pitch in
+  (i, j)
+
+(* The covering disk of [p]: the lattice centre nearest to [p].  Rounding
+   each fractional coordinate up and down gives four candidates; the Voronoi
+   cell structure of the triangular lattice guarantees the nearest centre is
+   among them. *)
+let disk_of_point p =
+  let fi, fj = frac_coords p in
+  let cands =
+    [
+      (int_of_float (floor fi), int_of_float (floor fj));
+      (int_of_float (floor fi) + 1, int_of_float (floor fj));
+      (int_of_float (floor fi), int_of_float (floor fj) + 1);
+      (int_of_float (floor fi) + 1, int_of_float (floor fj) + 1);
+    ]
+  in
+  let best =
+    List.fold_left
+      (fun (bij, bd) (i, j) ->
+        let d = Point.dist2 (center i j) p in
+        if d < bd then ((i, j), d) else (bij, bd))
+      (((0, 0), infinity))
+      cands
+  in
+  fst best
+
+(* Every point is within the circumradius of its covering disk. *)
+let covered p =
+  let i, j = disk_of_point p in
+  Point.dist (center i j) p <= radius +. 1e-9
+
+(* Lattice centres within distance [range] of [p]. *)
+let centers_within p range =
+  let fi, fj = frac_coords p in
+  let slack = int_of_float (ceil (range /. v2y)) + 2 in
+  let ci = int_of_float (floor fi) and cj = int_of_float (floor fj) in
+  let acc = ref [] in
+  for j = cj - slack to cj + slack do
+    for i = ci - (2 * slack) to ci + (2 * slack) do
+      if Point.dist (center i j) p <= range then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+(* I_r: the maximum, over placements of a disk of radius r, of the number of
+   overlay disks it intersects.  An overlay disk (radius 1/2, centre c)
+   intersects the disk (radius r, centre p) iff dist(c,p) <= r + 1/2, so we
+   maximise the count of lattice centres within r + 1/2 of p over p sampled
+   on a fine grid covering one lattice fundamental domain. *)
+let i_r ?(samples = 24) r =
+  if r < 0.0 then invalid_arg "Overlay.i_r: negative radius";
+  let reach = r +. radius in
+  let best = ref 0 in
+  for sy = 0 to samples - 1 do
+    for sx = 0 to samples - 1 do
+      let p =
+        Point.make
+          ((float_of_int sx /. float_of_int samples) *. pitch)
+          ((float_of_int sy /. float_of_int samples) *. v2y)
+      in
+      let c = List.length (centers_within p reach) in
+      if c > !best then best := c
+    done
+  done;
+  !best
+
+(* Memoised I_r for the handful of constants the algorithms use. *)
+let i_r_cache : (float, int) Hashtbl.t = Hashtbl.create 16
+
+let i_r_cached r =
+  match Hashtbl.find_opt i_r_cache r with
+  | Some v -> v
+  | None ->
+    let v = i_r r in
+    Hashtbl.add i_r_cache r v;
+    v

@@ -1,0 +1,26 @@
+(* Points in the two-dimensional plane in which the network nodes are
+   embedded (Section 2 of the paper). *)
+
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let origin = { x = 0.0; y = 0.0 }
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist a b = sqrt (dist2 a b)
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale k a = { x = k *. a.x; y = k *. a.y }
+
+let equal a b = a.x = b.x && a.y = b.y
+
+let pp ppf p = Fmt.pf ppf "(%.3f, %.3f)" p.x p.y
+
+(* Uniform point in the axis-aligned box [0,w] x [0,h]. *)
+let random rng ~w ~h =
+  { x = Rn_util.Rng.float rng *. w; y = Rn_util.Rng.float rng *. h }

@@ -1,0 +1,19 @@
+(** Points in the plane. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val origin : t
+val dist : t -> t -> float
+
+(** Squared distance (no sqrt). *)
+val dist2 : t -> t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Uniform point in [\[0,w\] × \[0,h\]]. *)
+val random : Rn_util.Rng.t -> w:float -> h:float -> t

@@ -1,0 +1,1 @@
+lib/graph/dual.ml: Array Fmt Graph List Rn_geom

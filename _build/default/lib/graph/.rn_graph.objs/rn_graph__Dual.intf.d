@@ -1,0 +1,1 @@
+lib/graph/dual.mli: Format Graph Rn_geom

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Algo Array Dual Float Graph List Printf Rn_geom Rn_util

@@ -1,0 +1,1 @@
+lib/graph/gen.mli: Dual Graph Rn_geom Rn_util

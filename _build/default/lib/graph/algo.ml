@@ -1,0 +1,125 @@
+(* Classic graph algorithms over [Graph.t], used by generators (connectivity
+   retries), verifiers (CCDS connectivity/domination) and experiments
+   (hop-distance bookkeeping). *)
+
+let unreachable = max_int
+
+(* BFS hop distances from [src]; [unreachable] where no path exists. *)
+let bfs_dist g src =
+  let n = Graph.n g in
+  let dist = Array.make n unreachable in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun v ->
+        if dist.(v) = unreachable then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+(* BFS restricted to nodes satisfying [allow] (source must satisfy it). *)
+let bfs_dist_restricted g src ~allow =
+  let n = Graph.n g in
+  let dist = Array.make n unreachable in
+  if allow src then begin
+    let q = Queue.create () in
+    dist.(src) <- 0;
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Array.iter
+        (fun v ->
+          if allow v && dist.(v) = unreachable then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        (Graph.neighbors g u)
+    done
+  end;
+  dist
+
+let is_connected g =
+  let n = Graph.n g in
+  n <= 1
+  ||
+  let dist = bfs_dist g 0 in
+  Array.for_all (fun d -> d <> unreachable) dist
+
+(* Connectivity of the subgraph induced by [members] (a node list).  Vacuous
+   for the empty and singleton sets. *)
+let is_connected_subset g members =
+  match members with
+  | [] -> true
+  | src :: _ ->
+    let allow =
+      let set = Hashtbl.create (List.length members) in
+      List.iter (fun v -> Hashtbl.replace set v ()) members;
+      fun v -> Hashtbl.mem set v
+    in
+    let dist = bfs_dist_restricted g src ~allow in
+    List.for_all (fun v -> dist.(v) <> unreachable) members
+
+let connected_components g =
+  let n = Graph.n g in
+  let uf = Rn_util.Union_find.create n in
+  Graph.iter_edges (fun u v -> Rn_util.Union_find.union uf u v) g;
+  Rn_util.Union_find.components uf
+
+(* Exact diameter by all-sources BFS (fine at experiment scales). *)
+let diameter g =
+  if not (is_connected g) then invalid_arg "Algo.diameter: disconnected";
+  let best = ref 0 in
+  for src = 0 to Graph.n g - 1 do
+    let dist = bfs_dist g src in
+    Array.iter (fun d -> if d <> unreachable && d > !best then best := d) dist
+  done;
+  !best
+
+(* Eccentricity of one node. *)
+let eccentricity g src =
+  let dist = bfs_dist g src in
+  Array.fold_left (fun acc d -> if d = unreachable then acc else max acc d) 0 dist
+
+(* Nodes within [h] hops of [src] (excluding [src]). *)
+let within_hops g src h =
+  let dist = bfs_dist g src in
+  let acc = ref [] in
+  Array.iteri (fun v d -> if v <> src && d <= h then acc := v :: !acc) dist;
+  List.rev !acc
+
+(* A shortest path from [src] to [dst] as a node list, or [None]. *)
+let shortest_path g src dst =
+  let dist = bfs_dist g src in
+  if dist.(dst) = unreachable then None
+  else begin
+    (* Walk back from dst choosing any neighbour one hop closer. *)
+    let rec back v acc =
+      if v = src then v :: acc
+      else begin
+        let next =
+          Array.to_seq (Graph.neighbors g v)
+          |> Seq.filter (fun u -> dist.(u) = dist.(v) - 1)
+          |> Seq.uncons
+        in
+        match next with
+        | Some (u, _) -> back u (v :: acc)
+        | None -> assert false
+      end
+    in
+    Some (back dst [])
+  end
+
+(* Greedy check that a set is independent in g. *)
+let is_independent_set g members =
+  let rec loop = function
+    | [] -> true
+    | v :: rest ->
+      List.for_all (fun u -> not (Graph.mem_edge g u v)) rest && loop rest
+  in
+  loop members

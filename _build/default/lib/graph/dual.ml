@@ -1,0 +1,88 @@
+(* The dual graph network (G, G') of Section 2.
+
+   G = (V, E) is the reliable link graph and G' = (V, E') the unreliable
+   one, with E ⊆ E'.  We store G plus the *gray* edges E' \ E explicitly:
+   these are exactly the links the round adversary may switch on and off,
+   and the simulator indexes them densely so an adversary policy can
+   activate them with a boolean per edge.
+
+   Geometric instances additionally carry the plane embedding; the paper
+   requires dist(u,v) <= 1 => (u,v) ∈ E and (u,v) ∈ E' => dist(u,v) <= d. *)
+
+type t = {
+  g : Graph.t;  (* reliable links E *)
+  g' : Graph.t; (* E' = E ∪ gray *)
+  gray : (int * int) array; (* E' \ E, canonical u < v, indexable *)
+  gray_adj : (int * int) array array; (* node -> [(neighbor, gray edge id)] *)
+  pos : Rn_geom.Point.t array option; (* plane embedding, if geometric *)
+  d : float; (* max distance of a G' edge (paper's constant d) *)
+}
+
+let g t = t.g
+let g' t = t.g'
+let n t = Graph.n t.g
+let gray_edges t = t.gray
+let gray_count t = Array.length t.gray
+let gray_adj t v = t.gray_adj.(v)
+let positions t = t.pos
+let d t = t.d
+
+let make ?pos ?(d = 2.0) ~g ~gray () =
+  let n = Graph.n g in
+  let canon (u, v) = if u < v then (u, v) else (v, u) in
+  let gray =
+    List.sort_uniq compare (List.map canon gray)
+    |> List.filter (fun (u, v) -> not (Graph.mem_edge g u v))
+  in
+  let gray = Array.of_list gray in
+  let g' = Graph.union g (Graph.of_edges n (Array.to_list gray)) in
+  (match pos with
+  | Some p ->
+    if Array.length p <> n then invalid_arg "Dual.make: positions arity";
+    (* Model constraints: unit-distance pairs must be reliable links and no
+       G' edge may exceed distance d. *)
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let dist = Rn_geom.Point.dist p.(u) p.(v) in
+        if dist <= 1.0 && not (Graph.mem_edge g u v) then
+          invalid_arg "Dual.make: unit-distance pair missing from E";
+        if Graph.mem_edge g' u v && dist > d +. 1e-9 then
+          invalid_arg "Dual.make: G' edge longer than d"
+      done
+    done
+  | None -> ());
+  let buckets = Array.make n [] in
+  Array.iteri
+    (fun id (u, v) ->
+      buckets.(u) <- (v, id) :: buckets.(u);
+      buckets.(v) <- (u, id) :: buckets.(v))
+    gray;
+  let gray_adj = Array.map Array.of_list buckets in
+  { g; g'; gray; gray_adj; pos; d }
+
+(* A dual graph with no unreliable links: the classic radio model G = G'. *)
+let classic g = make ~g ~gray:[] ()
+
+(* Move reliable edges into the gray set — the Section 8 "link degrades"
+   event.  G' is unchanged; only the reliability of the named links drops.
+   The geometric embedding is deliberately dropped: a demoted unit-distance
+   edge no longer satisfies the *static* model constraint (dynamics is
+   exactly the regime where that constraint is soft). *)
+let demote_edges t edges =
+  let canon (u, v) = if u < v then (u, v) else (v, u) in
+  let demoted = List.sort_uniq compare (List.map canon edges) in
+  List.iter
+    (fun (u, v) ->
+      if not (Graph.mem_edge t.g u v) then
+        invalid_arg "Dual.demote_edges: not a reliable edge")
+    demoted;
+  let keep e = not (List.mem e demoted) in
+  let g1 = Graph.of_edges (n t) (List.filter keep (Graph.edges t.g)) in
+  make ~d:t.d ~g:g1 ~gray:(Array.to_list t.gray @ demoted) ()
+
+let max_degree_g t = Graph.max_degree t.g
+let max_degree_g' t = Graph.max_degree t.g'
+
+let pp ppf t =
+  Fmt.pf ppf "dual(n=%d, |E|=%d, gray=%d)" (n t) (Graph.edge_count t.g)
+    (gray_count t)

@@ -1,0 +1,40 @@
+(** The dual graph network [(G, G')] of the paper: reliable links [G] plus
+    gray (unreliable) links [E' \ E] the adversary controls per round. *)
+
+type t
+
+(** [make ~g ~gray ()] builds a dual graph from the reliable graph and the
+    gray edge list (deduplicated; edges already in [g] dropped).  With
+    [?pos], validates the geometric constraints: unit-distance pairs are in
+    [E] and every [G'] edge has length at most [d] (default [2.0]). *)
+val make :
+  ?pos:Rn_geom.Point.t array -> ?d:float -> g:Graph.t -> gray:(int * int) list -> unit -> t
+
+(** Classic radio model: [G = G'] (no gray edges). *)
+val classic : Graph.t -> t
+
+(** Demote reliable edges to gray (the Section 8 "link degrades" event);
+    [G'] is unchanged, the embedding is dropped.  Raises if an edge is not
+    currently reliable. *)
+val demote_edges : t -> (int * int) list -> t
+
+val g : t -> Graph.t
+val g' : t -> Graph.t
+val n : t -> int
+
+(** Gray edges, canonically ordered, densely indexed by position. *)
+val gray_edges : t -> (int * int) array
+
+val gray_count : t -> int
+
+(** Gray incidence of a node: [(neighbor, gray_edge_id)] pairs. *)
+val gray_adj : t -> int -> (int * int) array
+
+val positions : t -> Rn_geom.Point.t array option
+
+(** The paper's constant [d]: maximum length of a [G'] edge. *)
+val d : t -> float
+
+val max_degree_g : t -> int
+val max_degree_g' : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+(** Network generators: geometric dual graphs, the Section 7 lower-bound
+    family, and simple deterministic topologies. *)
+
+type geometric_spec = {
+  n : int;
+  side : float;
+  d : float;
+  gray_p : float;
+  max_attempts : int;
+}
+
+val default_spec :
+  ?d:float -> ?gray_p:float -> ?max_attempts:int -> n:int -> side:float -> unit -> geometric_spec
+
+(** Box side yielding expected reliable degree ≈ [target_degree]. *)
+val side_for_degree : n:int -> target_degree:int -> float
+
+(** Dual graph induced by fixed positions: reliable at distance ≤ 1,
+    gray-zone pairs in (1, d] kept with probability [gray_p]. *)
+val of_positions :
+  rng:Rn_util.Rng.t -> d:float -> gray_p:float -> Rn_geom.Point.t array -> Dual.t
+
+(** Random geometric dual graph resampled until [G] is connected.
+    Raises [Failure] after [max_attempts]. *)
+val geometric : rng:Rn_util.Rng.t -> geometric_spec -> Dual.t
+
+(** Jittered grid placement (connected by construction for the default
+    spacing/jitter). *)
+val grid_jitter :
+  rng:Rn_util.Rng.t ->
+  ?spacing:float ->
+  ?jitter:float ->
+  ?d:float ->
+  ?gray_p:float ->
+  rows:int ->
+  cols:int ->
+  unit ->
+  Dual.t
+
+(** Clustered deployment: [clusters] dense hotspots of [per_cluster] nodes
+    on a ring, linked by waypoint chains (connected by construction or
+    [Failure]).  High in-cluster contention, thin corridors between. *)
+val clusters :
+  rng:Rn_util.Rng.t ->
+  ?d:float ->
+  ?gray_p:float ->
+  ?cluster_radius:float ->
+  clusters:int ->
+  per_cluster:int ->
+  unit ->
+  Dual.t
+
+(** Two β-cliques joined by one reliable bridge edge; [G'] complete
+    (Section 7 lower bound).  Defaults: bridge endpoints [0] and [β]. *)
+val bridge_cliques : beta:int -> ?bridge_a:int -> ?bridge_b:int -> unit -> Dual.t
+
+val clique : int -> Graph.t
+val path : int -> Graph.t
+val ring : int -> Graph.t
+val star : int -> Graph.t

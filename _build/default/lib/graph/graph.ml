@@ -1,0 +1,102 @@
+(* Immutable undirected graphs over nodes [0, n).
+
+   Adjacency lists are sorted int arrays, giving O(log deg) membership
+   tests and cache-friendly iteration — the simulator's inner loop walks
+   broadcaster adjacency every round. *)
+
+type t = { n : int; adj : int array array; m : int }
+
+let n t = t.n
+let edge_count t = t.m
+
+let check_node t v =
+  if v < 0 || v >= t.n then invalid_arg "Graph: node out of range"
+
+let of_edges n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let deg = Array.make n 0 in
+  let canon (u, v) =
+    if u = v then invalid_arg "Graph.of_edges: self loop";
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph.of_edges: endpoint out of range";
+    if u < v then (u, v) else (v, u)
+  in
+  let edges = List.sort_uniq compare (List.map canon edges) in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  Array.iter (fun a -> Array.sort compare a) adj;
+  { n; adj; m = List.length edges }
+
+let neighbors t v =
+  check_node t v;
+  t.adj.(v)
+
+let degree t v = Array.length (neighbors t v)
+
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    if degree t v > !best then best := degree t v
+  done;
+  !best
+
+let mem_edge t u v =
+  check_node t u;
+  check_node t v;
+  let a = t.adj.(u) in
+  (* Binary search in the sorted adjacency array. *)
+  let rec bs lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true else if a.(mid) < v then bs (mid + 1) hi else bs lo mid
+    end
+  in
+  bs 0 (Array.length a)
+
+let edges t =
+  let acc = ref [] in
+  for u = 0 to t.n - 1 do
+    Array.iter (fun v -> if u < v then acc := (u, v) :: !acc) t.adj.(u)
+  done;
+  List.rev !acc
+
+let iter_edges f t = List.iter (fun (u, v) -> f u v) (edges t)
+
+let fold_nodes f t init =
+  let acc = ref init in
+  for v = 0 to t.n - 1 do
+    acc := f v !acc
+  done;
+  !acc
+
+(* [union a b] has an edge wherever either graph does. *)
+let union a b =
+  if a.n <> b.n then invalid_arg "Graph.union: size mismatch";
+  of_edges a.n (edges a @ edges b)
+
+(* [is_subgraph a b]: every edge of [a] is an edge of [b]. *)
+let is_subgraph a b =
+  a.n = b.n && List.for_all (fun (u, v) -> mem_edge b u v) (edges a)
+
+(* [induced t keep] restricts to nodes where [keep] holds (same node ids). *)
+let induced t keep =
+  let es =
+    List.filter (fun (u, v) -> keep u && keep v) (edges t)
+  in
+  of_edges t.n es
+
+let pp ppf t =
+  Fmt.pf ppf "graph(n=%d, m=%d)" t.n t.m

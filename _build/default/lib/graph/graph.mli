@@ -1,0 +1,34 @@
+(** Immutable undirected graphs over nodes [0, n). *)
+
+type t
+
+(** [of_edges n edges] builds a graph; duplicate edges are collapsed,
+    self-loops and out-of-range endpoints rejected. *)
+val of_edges : int -> (int * int) list -> t
+
+val n : t -> int
+val edge_count : t -> int
+
+(** Sorted adjacency array of a node (do not mutate). *)
+val neighbors : t -> int -> int array
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val mem_edge : t -> int -> int -> bool
+
+(** All edges with [u < v], lexicographic order. *)
+val edges : t -> (int * int) list
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+val fold_nodes : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Edge-union of two graphs on the same node set. *)
+val union : t -> t -> t
+
+(** [is_subgraph a b] iff every edge of [a] is in [b] (and sizes match). *)
+val is_subgraph : t -> t -> bool
+
+(** Subgraph keeping only edges between nodes satisfying the predicate. *)
+val induced : t -> (int -> bool) -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/harness/all.ml: Exp_broadcast Exp_ccds Exp_lower Exp_mis Exp_params Exp_quality Exp_repair Exp_subroutines Exp_tdma Harness List String

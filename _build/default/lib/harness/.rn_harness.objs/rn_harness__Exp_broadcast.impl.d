@@ -1,0 +1,1 @@
+lib/harness/exp_broadcast.ml: Array Core Harness List Printf Rn_broadcast Rn_detect Rn_graph Rn_sim Rn_util Rn_verify

@@ -1,0 +1,1 @@
+lib/harness/exp_lower.ml: Harness List Rn_games Rn_util

@@ -1,0 +1,1 @@
+lib/harness/exp_mis.ml: Array Core Harness List Rn_detect Rn_geom Rn_graph Rn_sim Rn_util Rn_verify

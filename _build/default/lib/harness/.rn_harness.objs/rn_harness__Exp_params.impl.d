@@ -1,0 +1,1 @@
+lib/harness/exp_params.ml: Core Harness List Rn_detect Rn_graph Rn_sim Rn_util Rn_verify

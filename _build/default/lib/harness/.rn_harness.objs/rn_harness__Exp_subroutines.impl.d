@@ -1,0 +1,1 @@
+lib/harness/exp_subroutines.ml: Array Core Harness Hashtbl List Rn_detect Rn_graph Rn_util

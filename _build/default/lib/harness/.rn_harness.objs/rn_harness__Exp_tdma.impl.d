@@ -1,0 +1,1 @@
+lib/harness/exp_tdma.ml: Array Core Harness List Printf Rn_detect Rn_graph Rn_sim Rn_util Rn_verify

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Core Filename Harness List Printf Rn_detect Rn_games Rn_graph Rn_sim Rn_util Sys

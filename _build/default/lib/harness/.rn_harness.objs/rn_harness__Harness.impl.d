@@ -1,0 +1,1 @@
+lib/harness/harness.ml: Array Buffer Fun List Printf Rn_detect Rn_graph Rn_util

@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Array Buffer Core Harness List Printf Rn_detect Rn_graph Rn_sim Rn_util Rn_verify

@@ -1,0 +1,35 @@
+(* Registry of every experiment, keyed by the DESIGN.md index. *)
+
+let experiments : (string * (Harness.scale -> Harness.result)) list =
+  [
+    ("E1", Exp_mis.e1);
+    ("E2", Exp_ccds.e2);
+    ("E3", Exp_ccds.e3);
+    ("E4a", Exp_lower.e4_single);
+    ("E4b", Exp_lower.e4_double);
+    ("E4c", Exp_lower.e4_bridge);
+    ("E5", Exp_mis.e5);
+    ("E6", Exp_ccds.e6);
+    ("E7", Exp_mis.e7);
+    ("E8a", Exp_subroutines.e8_bb);
+    ("E8b", Exp_subroutines.e8_dd);
+    ("A1", Exp_ccds.a1);
+    ("A2", Exp_mis.a2);
+    ("A3", Exp_broadcast.a3);
+    ("A4", Exp_repair.a4);
+    ("A5", Exp_tdma.a5);
+    ("A6", Exp_params.a6);
+    ("A7", Exp_broadcast.a7);
+    ("A8", Exp_quality.a8);
+  ]
+
+let ids = List.map fst experiments
+
+let find id =
+  let canon s = String.lowercase_ascii s in
+  List.find_map
+    (fun (k, f) -> if canon k = canon id then Some f else None)
+    experiments
+
+let run_all scale =
+  List.map (fun (_, f) -> f scale) experiments

@@ -1,0 +1,100 @@
+(* Experiment E4 — the Section 7 lower bound, measured three ways:
+
+   (a) the β-single hitting game needs Θ(β) guesses even for the optimal
+       strategy (the quantitative core of Theorem 7.1);
+   (b) the Lemma 7.2 reduction run for real: double-hitting players built
+       from the τ=1 CCDS algorithm solve every target pair, in rounds that
+       grow linearly with β;
+   (c) the τ=1 CCDS algorithm on the two-clique bridge network with the
+       spiteful adversary: Ω(Δ) is forced, our algorithm takes Θ(Δ·polylog). *)
+
+module Table = Rn_util.Table
+module Rng = Rn_util.Rng
+open Harness
+
+let e4_single scale =
+  let betas = match scale with Quick -> [ 8; 16; 32; 64 ] | Full -> [ 8; 16; 32; 64; 128; 256 ] in
+  let t = Table.create [ "beta"; "mean (permutation)"; "mean (memoryless)"; "p90 worst target" ] in
+  let xs = ref [] and ys = ref [] in
+  let rng = Rng.create 1 in
+  List.iter
+    (fun beta ->
+      let samples = match scale with Quick -> 200 | Full -> 1000 in
+      let perm = Rn_games.Single_game.mean_rounds rng Permutation ~beta ~samples in
+      let memless = Rn_games.Single_game.mean_rounds rng Memoryless ~beta ~samples in
+      let p90 =
+        Rn_games.Single_game.quantile_rounds rng Permutation ~beta
+          ~samples:(max 50 (samples / 10)) ~q:0.9
+      in
+      Table.add_row t
+        [
+          Table.cell_int beta;
+          Table.cell_float perm;
+          Table.cell_float memless;
+          Table.cell_float p90;
+        ];
+      xs := float_of_int beta :: !xs;
+      ys := perm :: !ys)
+    betas;
+  {
+    id = "E4a";
+    title = "Single hitting game: rounds to hit vs beta (lower-bound core)";
+    body = Table.render t;
+    notes =
+      [
+        note_power ~what:"mean rounds (optimal strategy)" (List.rev !xs) (List.rev !ys);
+        "paper: identifying one of beta elements takes Omega(beta) rounds w.h.p.";
+      ];
+  }
+
+let e4_double scale =
+  let betas = match scale with Quick -> [ 4; 8 ] | Full -> [ 4; 8; 16 ] in
+  let t = Table.create [ "beta"; "worst pair rounds"; "unsolved pairs" ] in
+  let xs = ref [] and ys = ref [] in
+  List.iter
+    (fun beta ->
+      let pa, pb = Rn_games.Reduction.ccds_players ~beta () in
+      let worst, unsolved = Rn_games.Double_game.worst_case ~pa ~pb ~beta ~seed:11 in
+      Table.add_row t [ Table.cell_int beta; Table.cell_int worst; Table.cell_int unsolved ];
+      xs := float_of_int beta :: !xs;
+      ys := float_of_int worst :: !ys)
+    betas;
+  {
+    id = "E4b";
+    title = "Double hitting game via the Lemma 7.2 CCDS reduction";
+    body = Table.render t;
+    notes =
+      [
+        note_power ~what:"worst-pair rounds" (List.rev !xs) (List.rev !ys);
+        "every pair must be solved (unsolved = 0); rounds grow ~linearly in beta";
+      ];
+  }
+
+let e4_bridge scale =
+  let betas = match scale with Quick -> [ 4; 8; 16; 32 ] | Full -> [ 4; 8; 16; 32; 64 ] in
+  let t = Table.create [ "beta"; "Delta"; "rounds"; "solved" ] in
+  let xs = ref [] and ys = ref [] in
+  List.iter
+    (fun beta ->
+      let r = Rn_games.Reduction.bridge_run ~beta ~seed:3 () in
+      Table.add_row t
+        [
+          Table.cell_int beta;
+          Table.cell_int beta (* max G-degree of the bridge network *);
+          Table.cell_int r.rounds;
+          (if r.solved then "yes" else "no");
+        ];
+      xs := float_of_int beta :: !xs;
+      ys := float_of_int r.rounds :: !ys)
+    betas;
+  {
+    id = "E4c";
+    title = "tau=1 CCDS on the two-clique bridge network (Thm 7.1: Omega(Delta))";
+    body = Table.render t;
+    notes =
+      [
+        note_power ~what:"rounds vs Delta" (List.rev !xs) (List.rev !ys);
+        "paper: with 1-complete detectors every CCDS algorithm needs Omega(Delta) rounds";
+        "our Sec-6 algorithm realises Theta(Delta polylog n) here, matching the bound";
+      ];
+  }

@@ -1,0 +1,102 @@
+(* Experiment E8 — the delivery guarantees of the Section 5 subroutines
+   (Lemmas 5.1 and 5.2), exercised directly on synthetic topologies. *)
+
+module R = Core.Radio
+module Table = Rn_util.Table
+module Gen = Rn_graph.Gen
+module Dual = Rn_graph.Dual
+module Detector = Rn_detect.Detector
+open Harness
+
+(* Honest (uncapped) 2^delta schedule lengths for the subroutine study. *)
+let sub_params = { Core.Params.default with bb_cap = 8 }
+
+(* k concurrent bounded-broadcast callers in a clique, one listener.
+   Lemma 5.1: with delta = k, every caller delivers w.h.p. — the listener
+   should hear all k distinct sources. *)
+let bb_trial ~k ~seed =
+  let g = Gen.clique (k + 1) in
+  let dual = Dual.classic g in
+  let det = Detector.perfect g in
+  let cfg = R.config ~seed ~detector:(Detector.static det) dual in
+  let res =
+    R.run cfg (fun ctx ->
+        let me = R.me ctx in
+        let heard : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+        let msg = if me > 0 then Some (Core.Msg.Stop_order { src = me }) else None in
+        Core.Subroutines.bounded_broadcast sub_params ctx ~delta:k msg
+          ~on_recv:(fun m -> Hashtbl.replace heard (Core.Msg.src m) ());
+        Hashtbl.length heard)
+  in
+  let heard = match res.R.returns.(0) with Some h -> h | None -> 0 in
+  (heard, res.R.rounds)
+
+let e8_bb scale =
+  let t = Table.create [ "concurrent callers k"; "rounds"; "heard all k" ] in
+  List.iter
+    (fun k ->
+      let oks = ref [] and rounds = ref 0 in
+      for rep = 1 to 2 * reps scale do
+        let heard, r = bb_trial ~k ~seed:(rep + (10 * k)) in
+        rounds := r;
+        oks := (heard = k) :: !oks
+      done;
+      Table.add_row t
+        [ Table.cell_int k; Table.cell_int !rounds; Table.cell_pct (success_rate !oks) ])
+    [ 1; 2; 4; 8 ];
+  {
+    id = "E8a";
+    title = "bounded-broadcast under contention (Lemma 5.1)";
+    body = Table.render t;
+    notes =
+      [
+        "with honest ell_BB(delta) = Theta(2^delta log n), all concurrent callers deliver";
+      ];
+  }
+
+(* A star of m covered leaves, padded with idle nodes to a fixed network
+   size so the schedule length is identical across m.  Lemma 5.2: the MIS
+   centre receives at least one nomination w.h.p., in O(log^2 n) rounds
+   regardless of the covered-set size. *)
+let dd_network_size = 160
+
+let dd_trial ~m ~seed =
+  if m + 1 > dd_network_size then invalid_arg "dd_trial";
+  let g =
+    Rn_graph.Graph.of_edges dd_network_size (List.init m (fun i -> (0, i + 1)))
+  in
+  let dual = Dual.classic g in
+  let det = Detector.perfect g in
+  let cfg = R.config ~seed ~detector:(Detector.static det) dual in
+  let res =
+    R.run cfg (fun ctx ->
+        let me = R.me ctx in
+        let noms = if me = 0 then [] else [ (0, me) ] in
+        Core.Subroutines.directed_decay sub_params ctx ~is_mis:(me = 0) ~noms)
+  in
+  let received = match res.R.returns.(0) with Some l -> List.length l | None -> 0 in
+  (received, res.R.rounds)
+
+let e8_dd scale =
+  let t = Table.create [ "covered set m"; "rounds"; "centre heard >=1" ] in
+  List.iter
+    (fun m ->
+      let oks = ref [] and rounds = ref 0 in
+      for rep = 1 to 2 * reps scale do
+        let received, r = dd_trial ~m ~seed:(rep + (7 * m)) in
+        rounds := r;
+        oks := (received >= 1) :: !oks
+      done;
+      Table.add_row t
+        [ Table.cell_int m; Table.cell_int !rounds; Table.cell_pct (success_rate !oks) ])
+    [ 2; 8; 32; 128 ];
+  {
+    id = "E8b";
+    title = "directed-decay delivery (Lemma 5.2)";
+    body = Table.render t;
+    notes =
+      [
+        "the network size is fixed (padding nodes), so the constant rounds column \
+shows the point: directed-decay's schedule does not grow with the covered-set size";
+      ];
+  }

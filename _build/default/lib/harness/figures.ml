@@ -1,0 +1,124 @@
+(* Figure generation: the scaling curves behind the experiment tables,
+   rendered as standalone SVG files (the paper is a theory paper with no
+   figures; these are the figures its theorems describe).
+
+     F1  MIS rounds vs n (log-log)                        — Theorem 4.6
+     F2  CCDS rounds vs Delta for small/large b           — Theorem 5.3
+     F3  lower-bound costs vs beta (log-log)              — Theorem 7.1
+     F4  deterministic TDMA vs randomized CCDS vs n       — related work [19]
+*)
+
+module Svg = Rn_util.Svg_plot
+module Dual = Rn_graph.Dual
+module Detector = Rn_detect.Detector
+module R = Core.Radio
+open Harness
+
+let f1 () =
+  let ns = [ 32; 64; 128; 256; 512 ] in
+  let rounds = ref [] and decide = ref [] in
+  List.iter
+    (fun n ->
+      let dual = geometric ~seed:n ~n ~degree:(max 8 (2 * Rn_util.Ilog.log2_up n)) () in
+      let det = Detector.perfect (Dual.g dual) in
+      let res =
+        Core.Mis.run ~seed:1
+          ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+          ~detector:(Detector.static det) dual
+      in
+      let last =
+        Array.fold_left (fun acc d -> match d with Some r -> max acc r | None -> acc) 0
+          res.R.decided_round
+      in
+      rounds := (float_of_int n, float_of_int res.R.rounds) :: !rounds;
+      decide := (float_of_int n, float_of_int last) :: !decide)
+    ns;
+  Svg.create ~x_axis:Svg.Log ~y_axis:Svg.Log ~title:"F1: MIS rounds vs n (Thm 4.6)"
+    ~x_label:"n" ~y_label:"rounds" ()
+  |> Svg.add_series ~label:"schedule" (List.rev !rounds)
+  |> Svg.add_series ~label:"last decision" (List.rev !decide)
+
+let f2 () =
+  let n = 128 in
+  let id = Rn_util.Ilog.log2_up n in
+  let degrees = [ 8; 16; 32; 48 ] in
+  let series_for b =
+    List.map
+      (fun degree ->
+        let dual = geometric ~seed:(17 * degree) ~n ~degree () in
+        let det = Detector.perfect (Dual.g dual) in
+        let res =
+          Core.Ccds.run ~seed:1 ?b_bits:b
+            ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+            ~detector:(Detector.static det) dual
+        in
+        (float_of_int (Dual.max_degree_g dual), float_of_int res.R.rounds))
+      degrees
+  in
+  Svg.create ~title:"F2: banned-list CCDS rounds vs Delta (Thm 5.3)" ~x_label:"Delta"
+    ~y_label:"rounds" ()
+  |> Svg.add_series ~label:(Printf.sprintf "b = %d bits" (6 * id)) (series_for (Some (6 * id)))
+  |> Svg.add_series
+       ~label:(Printf.sprintf "b = %d bits" (24 * id))
+       (series_for (Some (24 * id)))
+  |> Svg.add_series ~label:"b unbounded" (series_for None)
+
+let f3 () =
+  let betas = [ 4; 8; 16; 32; 64 ] in
+  let bridge =
+    List.map
+      (fun beta ->
+        let r = Rn_games.Reduction.bridge_run ~beta ~seed:3 () in
+        (float_of_int beta, float_of_int r.rounds))
+      betas
+  in
+  let rng = Rn_util.Rng.create 1 in
+  let game =
+    List.map
+      (fun beta ->
+        (float_of_int beta, Rn_games.Single_game.mean_rounds rng Permutation ~beta ~samples:300))
+      betas
+  in
+  Svg.create ~x_axis:Svg.Log ~y_axis:Svg.Log
+    ~title:"F3: the Omega(Delta) lower bound (Thm 7.1)" ~x_label:"beta = Delta"
+    ~y_label:"rounds" ()
+  |> Svg.add_series ~label:"tau=1 CCDS on bridge" bridge
+  |> Svg.add_series ~label:"single hitting game" game
+
+let f4 () =
+  let ns = [ 32; 64; 128; 256 ] in
+  let collect runner =
+    List.map
+      (fun n ->
+        let dual = geometric ~seed:(11 * n) ~n ~degree:(max 8 (2 * Rn_util.Ilog.log2_up n)) () in
+        let det = Detector.perfect (Dual.g dual) in
+        (float_of_int n, float_of_int (runner det dual)))
+      ns
+  in
+  let tdma det dual =
+    (Core.Tdma_ccds.run ~seed:1 ~adversary:Rn_sim.Adversary.all_gray
+       ~detector:(Detector.static det) dual)
+      .R.rounds
+  in
+  let banned det dual =
+    (Core.Ccds.run ~seed:1
+       ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+       ~detector:(Detector.static det) dual)
+      .R.rounds
+  in
+  Svg.create ~x_axis:Svg.Log ~y_axis:Svg.Log
+    ~title:"F4: deterministic TDMA [19] vs randomized CCDS" ~x_label:"n" ~y_label:"rounds" ()
+  |> Svg.add_series ~label:"TDMA (all-gray)" (collect tdma)
+  |> Svg.add_series ~label:"banned-list (bern 0.5)" (collect banned)
+
+let all = [ ("F1", f1); ("F2", f2); ("F3", f3); ("F4", f4) ]
+
+(* Write every figure into [dir] (created if missing); returns the paths. *)
+let write_all dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun (name, f) ->
+      let path = Filename.concat dir (name ^ ".svg") in
+      Rn_util.Svg_plot.write (f ()) path;
+      path)
+    all

@@ -1,0 +1,66 @@
+(* Shared experiment plumbing: instance construction, repetition over
+   seeds, aggregation, and a uniform result format rendered by both
+   [bench/main.ml] and the CLI. *)
+
+module Rng = Rn_util.Rng
+module Table = Rn_util.Table
+module Stats = Rn_util.Stats
+module Fit = Rn_util.Fit
+module Gen = Rn_graph.Gen
+module Dual = Rn_graph.Dual
+module Detector = Rn_detect.Detector
+
+type scale = Quick | Full
+
+let reps = function Quick -> 3 | Full -> 5
+
+type result = {
+  id : string;
+  title : string;
+  body : string; (* rendered tables *)
+  notes : string list; (* fit summaries, paper-vs-measured one-liners *)
+}
+
+let render r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "=== %s: %s ===\n" r.id r.title);
+  Buffer.add_string b r.body;
+  List.iter (fun n -> Buffer.add_string b (Printf.sprintf "  . %s\n" n)) r.notes;
+  Buffer.add_string b "\n";
+  Buffer.contents b
+
+let print r =
+  print_string (render r);
+  flush stdout
+
+(* A connected random geometric dual graph with expected reliable degree
+   [degree]; deterministic in [seed]. *)
+let geometric ?(d = 2.0) ?(gray_p = 0.5) ~seed ~n ~degree () =
+  let rng = Rng.create (0x9E0 + seed) in
+  let side = Gen.side_for_degree ~n ~target_degree:degree in
+  Gen.geometric ~rng (Gen.default_spec ~d ~gray_p ~n ~side ())
+
+(* Perfect (0-complete) static detector for an instance. *)
+let perfect_detector dual = Detector.static (Detector.perfect (Dual.g dual))
+
+let tau_detector ~seed ~tau dual =
+  let rng = Rng.create (0x7A0 + seed) in
+  Detector.static (Detector.tau_complete ~rng ~tau dual)
+
+let success_rate oks =
+  let total = List.length oks in
+  if total = 0 then 0.0
+  else
+    float_of_int (List.length (List.filter Fun.id oks)) /. float_of_int total
+
+(* Mean of int samples as float. *)
+let mean_int xs = Stats.mean (Stats.of_ints (Array.of_list xs))
+
+(* Fit note helpers. *)
+let note_polylog ~what xs ys =
+  let p, r2 = Fit.polylog_exponent (Array.of_list xs) (Array.of_list ys) in
+  Printf.sprintf "%s ~ (log n)^%.2f (r2=%.3f)" what p r2
+
+let note_power ~what xs ys =
+  let p, r2 = Fit.power_law (Array.of_list xs) (Array.of_list ys) in
+  Printf.sprintf "%s ~ x^%.2f (r2=%.3f)" what p r2

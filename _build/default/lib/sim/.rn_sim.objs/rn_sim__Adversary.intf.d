@@ -1,0 +1,1 @@
+lib/sim/adversary.mli: Rn_graph Rn_util

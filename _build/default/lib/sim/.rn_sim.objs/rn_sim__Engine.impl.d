@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Adversary Array Effect Format List Printf Rn_detect Rn_graph Rn_util

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Adversary Format Rn_detect Rn_graph Rn_util

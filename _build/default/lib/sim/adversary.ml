@@ -1,0 +1,118 @@
+(* Round adversaries for the dual graph model.
+
+   Each round, after seeing who broadcasts, the adversary picks a reach set
+   consisting of all reliable edges E plus an arbitrary subset of the gray
+   edges E' \ E (Section 2).  A policy fills a bitset over gray-edge ids.
+
+   The [spiteful] policy is the Section 7 simulation adversary: whenever two
+   or more processes broadcast it activates every gray edge, colliding any
+   message that would otherwise have crossed between weakly-connected parts;
+   a solo broadcaster is left alone so its message travels only on E. *)
+
+module Bitset = Rn_util.Bitset
+module Rng = Rn_util.Rng
+module Dual = Rn_graph.Dual
+
+type t = {
+  name : string;
+  choose :
+    round:int -> broadcasters:int array -> Dual.t -> Rng.t -> Bitset.t -> unit;
+}
+
+let name t = t.name
+
+let choose t ~round ~broadcasters dual rng active =
+  t.choose ~round ~broadcasters dual rng active
+
+let silent = { name = "silent"; choose = (fun ~round:_ ~broadcasters:_ _ _ _ -> ()) }
+
+let all_gray =
+  {
+    name = "all-gray";
+    choose =
+      (fun ~round:_ ~broadcasters:_ dual _ active ->
+        for e = 0 to Dual.gray_count dual - 1 do
+          Bitset.add active e
+        done);
+  }
+
+(* Each gray edge independently active with probability p, fresh each
+   round. *)
+let bernoulli p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Adversary.bernoulli";
+  {
+    name = Printf.sprintf "bernoulli(%.2f)" p;
+    choose =
+      (fun ~round:_ ~broadcasters:_ dual rng active ->
+        for e = 0 to Dual.gray_count dual - 1 do
+          if Rng.bool rng p then Bitset.add active e
+        done);
+  }
+
+(* Activate gray edges incident to broadcasters with probability p: a
+   cheaper adaptive policy that concentrates unreliability where it can
+   actually cause collisions. *)
+let harassing p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Adversary.harassing";
+  {
+    name = Printf.sprintf "harassing(%.2f)" p;
+    choose =
+      (fun ~round:_ ~broadcasters dual rng active ->
+        Array.iter
+          (fun u ->
+            Array.iter
+              (fun (_, e) -> if Rng.bool rng p then Bitset.add active e)
+              (Dual.gray_adj dual u))
+          broadcasters);
+  }
+
+(* Section 7 simulation adversary: collide everything whenever at least two
+   processes broadcast, never interfere with a solo broadcaster. *)
+let spiteful =
+  {
+    name = "spiteful";
+    choose =
+      (fun ~round:_ ~broadcasters dual _ active ->
+        if Array.length broadcasters >= 2 then
+          for e = 0 to Dual.gray_count dual - 1 do
+            Bitset.add active e
+          done);
+  }
+
+(* The broadcast-hardness adversary of the dual graph line of work
+   (references [10, 11] of the paper): wherever a node is about to hear a
+   solo reliable broadcaster, activate a gray edge from *another*
+   broadcaster to collide it.  It never helps — gray edges are only ever
+   switched on to raise a receiver's broadcaster count past one. *)
+let jamming =
+  {
+    name = "jamming";
+    choose =
+      (fun ~round:_ ~broadcasters dual _ active ->
+        let g = Dual.g dual in
+        let n = Dual.n dual in
+        let bcast = Array.make n false in
+        Array.iter (fun u -> bcast.(u) <- true) broadcasters;
+        let reliable_count = Array.make n 0 in
+        Array.iter
+          (fun u ->
+            Array.iter
+              (fun v -> reliable_count.(v) <- reliable_count.(v) + 1)
+              (Rn_graph.Graph.neighbors g u))
+          broadcasters;
+        for v = 0 to n - 1 do
+          if (not bcast.(v)) && reliable_count.(v) = 1 then begin
+            (* one gray broadcaster suffices to collide v *)
+            let jammed = ref false in
+            Array.iter
+              (fun (w, e) ->
+                if (not !jammed) && bcast.(w) then begin
+                  Bitset.add active e;
+                  jammed := true
+                end)
+              (Dual.gray_adj dual v)
+          end
+        done);
+  }
+
+let custom ~name choose = { name; choose }

@@ -1,0 +1,47 @@
+(** Round adversaries controlling gray (unreliable) links. *)
+
+type t
+
+val name : t -> string
+
+(** Fill [active] (a cleared bitset over gray-edge ids) with this round's
+    activated gray edges; the adversary sees the broadcasters first, as in
+    Section 2. *)
+val choose :
+  t ->
+  round:int ->
+  broadcasters:int array ->
+  Rn_graph.Dual.t ->
+  Rn_util.Rng.t ->
+  Rn_util.Bitset.t ->
+  unit
+
+(** Never activates a gray edge. *)
+val silent : t
+
+(** Activates every gray edge every round. *)
+val all_gray : t
+
+(** Every gray edge independently active with probability [p] per round. *)
+val bernoulli : float -> t
+
+(** Gray edges incident to broadcasters active with probability [p]. *)
+val harassing : float -> t
+
+(** The Section 7 adversary: all gray edges active iff ≥ 2 broadcasters. *)
+val spiteful : t
+
+(** The broadcast-hardness adversary ([10,11]-style): adds one gray
+    broadcaster at every receiver about to hear a solo reliable sender,
+    and never activates a gray edge that could help. *)
+val jamming : t
+
+val custom :
+  name:string ->
+  (round:int ->
+  broadcasters:int array ->
+  Rn_graph.Dual.t ->
+  Rn_util.Rng.t ->
+  Rn_util.Bitset.t ->
+  unit) ->
+  t

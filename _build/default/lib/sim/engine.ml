@@ -1,0 +1,304 @@
+(* The dual graph round engine (Section 2 semantics).
+
+   Each process runs as an OCaml-5 effect fiber: algorithm code is written
+   in direct style and performs [Sync send] once per round.  The engine
+   gathers all send intents, lets the adversary pick the round's reach set
+   (all of E plus an arbitrary subset of gray edges), computes receives
+   under the collision rule — a node receives a message iff it did not
+   broadcast and exactly one reachable neighbour broadcast; otherwise it
+   gets silence, with no collision detection — and resumes every fiber with
+   its receive.
+
+   The functor is parameterised by the message type so each algorithm gets
+   a typed payload; [size_bits] lets the engine enforce the model's bound b
+   on message size in bits. *)
+
+module Bitset = Rn_util.Bitset
+module Rng = Rn_util.Rng
+module Graph = Rn_graph.Graph
+module Dual = Rn_graph.Dual
+module Detector = Rn_detect.Detector
+
+module type MESSAGE = sig
+  type t
+
+  (* Size of the encoded message in bits, given the network size (ids cost
+     ceil(log2 n) bits). *)
+  val size_bits : n:int -> t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type stop_condition =
+  | All_done (* every fiber returned *)
+  | All_decided (* every process produced an output *)
+  | At_round of int (* run exactly this many rounds *)
+
+type stats = {
+  rounds : int;
+  sends : int;
+  deliveries : int;
+  collisions : int; (* receiver-side: >= 2 reachable broadcasters *)
+  bits_sent : int;
+}
+
+module Make (M : MESSAGE) = struct
+  type receive = Own | Silence | Recv of M.t
+
+  type _ Effect.t += Sync : M.t option -> receive Effect.t
+
+  type view = {
+    view_round : int;
+    view_broadcasters : int array; (* who sent this round (read-only) *)
+    view_outputs : int option array; (* read-only *)
+    view_decided : int option array; (* read-only *)
+  }
+
+  type config = {
+    dual : Dual.t;
+    detector : Detector.dynamic;
+    adversary : Adversary.t;
+    seed : int;
+    b_bits : int option;
+    delta_bound : int;
+    wake : int array option; (* global wake round per node; default all 1 *)
+    stop : stop_condition;
+    max_rounds : int;
+    observer : (view -> unit) option;
+  }
+
+  let config ?(adversary = Adversary.silent) ?(seed = 0) ?b_bits ?(delta_bound = 0)
+      ?wake ?(stop = All_done) ?(max_rounds = 2_000_000) ?observer ~detector dual =
+    let delta_bound =
+      if delta_bound > 0 then delta_bound else Dual.max_degree_g dual
+    in
+    { dual; detector; adversary; seed; b_bits; delta_bound; wake; stop; max_rounds; observer }
+
+  type ctx = {
+    me : int;
+    n : int;
+    delta_bound : int;
+    b_bits : int option;
+    rng : Rng.t;
+    mutable local_round : int; (* completed syncs *)
+    current_detector : unit -> Detector.t;
+    do_output : int -> unit;
+  }
+
+  let me ctx = ctx.me
+  let n ctx = ctx.n
+  let delta_bound ctx = ctx.delta_bound
+  let b_bits ctx = ctx.b_bits
+  let rng ctx = ctx.rng
+  let round ctx = ctx.local_round
+  let detector ctx = Detector.set (ctx.current_detector ()) ctx.me
+  let detector_mem ctx v = Bitset.mem (detector ctx) v
+  let output ctx v = ctx.do_output v
+
+  let sync ctx send =
+    let r = Effect.perform (Sync send) in
+    ctx.local_round <- ctx.local_round + 1;
+    r
+
+  (* Sync [k] rounds with no send, discarding receives. *)
+  let idle ctx k =
+    for _ = 1 to k do
+      ignore (sync ctx None)
+    done
+
+  (* Broadcast with probability [p], otherwise listen. *)
+  let sync_p ctx p send = if Rng.bool ctx.rng p then sync ctx (Some send) else sync ctx None
+
+  type 'a result = {
+    outputs : int option array;
+    returns : 'a option array;
+    rounds : int;
+    decided_round : int option array;
+    stats : stats;
+    timed_out : bool;
+  }
+
+  type fiber_status = Asleep | Running | Finished
+
+  let run cfg body =
+    let dual = cfg.dual in
+    let nn = Dual.n dual in
+    let root_rng = Rng.create cfg.seed in
+    let adv_rng = Rng.derive root_rng 0x5EED in
+    let wake = match cfg.wake with Some w -> Array.copy w | None -> Array.make nn 1 in
+    Array.iteri
+      (fun v w -> if w < 1 then invalid_arg (Printf.sprintf "Engine.run: wake.(%d) < 1" v))
+      wake;
+    let outputs = Array.make nn None in
+    let decided = Array.make nn None in
+    let returns = Array.make nn None in
+    let status = Array.make nn Asleep in
+    let sends = Array.make nn None in
+    let conts :
+        (receive, unit) Effect.Deep.continuation option array =
+      Array.make nn None
+    in
+    let round_counter = ref 0 in
+    let sends_total = ref 0 and deliveries = ref 0 and collisions = ref 0 in
+    let bits_sent = ref 0 in
+    let mk_ctx v =
+      {
+        me = v;
+        n = nn;
+        delta_bound = cfg.delta_bound;
+        b_bits = cfg.b_bits;
+        rng = Rng.derive root_rng (v + 1);
+        local_round = 0;
+        current_detector = (fun () -> Detector.at cfg.detector !round_counter);
+        do_output =
+          (fun value ->
+            match outputs.(v) with
+            | Some old when old <> value ->
+              invalid_arg
+                (Printf.sprintf "Engine: process %d re-output %d after %d" v value old)
+            | Some _ -> ()
+            | None ->
+              outputs.(v) <- Some value;
+              decided.(v) <- Some !round_counter);
+      }
+    in
+    let handler v : (unit, unit) Effect.Deep.handler =
+      {
+        retc = (fun () -> status.(v) <- Finished);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Sync send ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  sends.(v) <- send;
+                  conts.(v) <- Some k)
+            | _ -> None);
+      }
+    in
+    let start v =
+      status.(v) <- Running;
+      let ctx = mk_ctx v in
+      Effect.Deep.match_with (fun () -> returns.(v) <- Some (body ctx)) () (handler v)
+    in
+    (* Delivery scratch space, reset via the touched list each round. *)
+    let recv_count = Array.make nn 0 in
+    let recv_msg : M.t option array = Array.make nn None in
+    let touched = ref [] in
+    let gray_active = Bitset.create (max 1 (Dual.gray_count dual)) in
+    (* Preallocated receive buffer, reused every round. *)
+    let receives = Array.make nn Silence in
+    let g = Dual.g dual in
+    let finished () = Array.for_all (fun s -> s = Finished) status in
+    let decided_all () = Array.for_all (fun o -> o <> None) outputs in
+    let stop_now () =
+      match cfg.stop with
+      | All_done -> finished ()
+      | All_decided -> decided_all () || finished ()
+      | At_round r -> !round_counter >= r
+    in
+    let timed_out = ref false in
+    (try
+       while not (stop_now ()) do
+         if !round_counter >= cfg.max_rounds then begin
+           timed_out := true;
+           raise Exit
+         end;
+         incr round_counter;
+         let r = !round_counter in
+         (* 1. Wake processes scheduled for this round; they run to their
+            first sync and thereby register this round's send intent. *)
+         for v = 0 to nn - 1 do
+           if status.(v) = Asleep && wake.(v) = r then start v
+         done;
+         (* 2. Collect broadcasters and enforce the message-size bound. *)
+         let bcast = ref [] in
+         for v = nn - 1 downto 0 do
+           match sends.(v) with
+           | Some m ->
+             bcast := v :: !bcast;
+             incr sends_total;
+             let sz = M.size_bits ~n:nn m in
+             bits_sent := !bits_sent + sz;
+             (match cfg.b_bits with
+             | Some b when sz > b ->
+               invalid_arg
+                 (Format.asprintf
+                    "Engine: process %d sent %d bits > b=%d in round %d: %a" v sz b r M.pp m)
+             | _ -> ())
+           | None -> ()
+         done;
+         let broadcasters = Array.of_list !bcast in
+         (* 3. Adversary picks the gray edges that behave reliably. *)
+         Bitset.clear gray_active;
+         Adversary.choose cfg.adversary ~round:r ~broadcasters dual adv_rng gray_active;
+         (* 4. Deliveries along E plus activated gray edges. *)
+         let touch v m =
+           if recv_count.(v) = 0 then touched := v :: !touched;
+           recv_count.(v) <- recv_count.(v) + 1;
+           recv_msg.(v) <- Some m
+         in
+         Array.iter
+           (fun u ->
+             let m = match sends.(u) with Some m -> m | None -> assert false in
+             Array.iter (fun v -> touch v m) (Graph.neighbors g u);
+             Array.iter
+               (fun (v, e) -> if Bitset.mem gray_active e then touch v m)
+               (Dual.gray_adj dual u))
+           broadcasters;
+         (* 5. Compute receives for every live fiber, then resume.  All
+            receives are computed before any resume so next-round send
+            intents cannot bleed into this round. *)
+         for v = 0 to nn - 1 do
+           receives.(v) <- Silence;
+           if conts.(v) <> None then
+             if sends.(v) <> None then receives.(v) <- Own
+             else if recv_count.(v) = 1 then begin
+               (match recv_msg.(v) with Some m -> receives.(v) <- Recv m | None -> assert false);
+               incr deliveries
+             end
+             else if recv_count.(v) >= 2 then incr collisions
+         done;
+         List.iter
+           (fun v ->
+             recv_count.(v) <- 0;
+             recv_msg.(v) <- None)
+           !touched;
+         touched := [];
+         for v = 0 to nn - 1 do
+           match conts.(v) with
+           | Some k ->
+             sends.(v) <- None;
+             conts.(v) <- None;
+             Effect.Deep.continue k receives.(v)
+           | None -> sends.(v) <- None
+         done;
+         match cfg.observer with
+         | Some f ->
+           f
+             {
+               view_round = r;
+               view_broadcasters = broadcasters;
+               view_outputs = outputs;
+               view_decided = decided;
+             }
+         | None -> ()
+       done
+     with Exit -> ());
+    {
+      outputs;
+      returns;
+      rounds = !round_counter;
+      decided_round = decided;
+      stats =
+        {
+          rounds = !round_counter;
+          sends = !sends_total;
+          deliveries = !deliveries;
+          collisions = !collisions;
+          bits_sent = !bits_sent;
+        };
+      timed_out = !timed_out;
+    }
+end

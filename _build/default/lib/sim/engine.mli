@@ -1,0 +1,121 @@
+(** The dual graph round engine.
+
+    Processes are effect-based fibers written in direct style: they call
+    {!Make.sync} once per round with an optional message; the engine applies
+    the Section 2 semantics (adversarial reach set over gray edges, receive
+    iff exactly one reachable broadcaster and not broadcasting yourself, no
+    collision detection) and resumes every fiber with its receive. *)
+
+module type MESSAGE = sig
+  type t
+
+  (** Encoded size in bits given network size (an id costs ⌈log₂ n⌉). *)
+  val size_bits : n:int -> t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type stop_condition =
+  | All_done  (** stop when every fiber has returned *)
+  | All_decided  (** stop when every process has produced an output *)
+  | At_round of int  (** run exactly this many rounds *)
+
+type stats = {
+  rounds : int;
+  sends : int;
+  deliveries : int;
+  collisions : int;
+  bits_sent : int;
+}
+
+module Make (M : MESSAGE) : sig
+  (** What a process sees at the end of a round: its own broadcast, silence
+      (zero or ≥ 2 reachable broadcasters — indistinguishable), or a
+      message. *)
+  type receive = Own | Silence | Recv of M.t
+
+  (** Read-only snapshot passed to the per-round observer. *)
+  type view = {
+    view_round : int;
+    view_broadcasters : int array;
+    view_outputs : int option array;
+    view_decided : int option array;
+  }
+
+  type config = {
+    dual : Rn_graph.Dual.t;
+    detector : Rn_detect.Detector.dynamic;
+    adversary : Adversary.t;
+    seed : int;
+    b_bits : int option;  (** enforced bound on message size, if given *)
+    delta_bound : int;  (** global Δ bound known to processes *)
+    wake : int array option;  (** global wake round per node (≥ 1) *)
+    stop : stop_condition;
+    max_rounds : int;
+    observer : (view -> unit) option;
+  }
+
+  (** Build a config with sensible defaults: silent adversary, seed 0,
+      [delta_bound] defaulting to the true max degree of [G], synchronous
+      wake-up, stop at [All_done], 2M-round safety cap. *)
+  val config :
+    ?adversary:Adversary.t ->
+    ?seed:int ->
+    ?b_bits:int ->
+    ?delta_bound:int ->
+    ?wake:int array ->
+    ?stop:stop_condition ->
+    ?max_rounds:int ->
+    ?observer:(view -> unit) ->
+    detector:Rn_detect.Detector.dynamic ->
+    Rn_graph.Dual.t ->
+    config
+
+  (** Per-process handle available inside the fiber. *)
+  type ctx
+
+  val me : ctx -> int
+  val n : ctx -> int
+
+  (** The Δ bound shared by all processes (phase alignment). *)
+  val delta_bound : ctx -> int
+
+  val b_bits : ctx -> int option
+
+  (** This process's private deterministic random stream. *)
+  val rng : ctx -> Rn_util.Rng.t
+
+  (** Completed rounds since this process woke (local round number). *)
+  val round : ctx -> int
+
+  (** Current round's link detector set [L_me]. *)
+  val detector : ctx -> Rn_util.Bitset.t
+
+  val detector_mem : ctx -> int -> bool
+
+  (** Record the process's problem output (0 or 1).  Idempotent for equal
+      values; raises on conflicting re-output. *)
+  val output : ctx -> int -> unit
+
+  (** Execute one round, optionally broadcasting. *)
+  val sync : ctx -> M.t option -> receive
+
+  (** [idle ctx k]: listen for [k] rounds, discarding receives. *)
+  val idle : ctx -> int -> unit
+
+  (** Broadcast with probability [p], else listen. *)
+  val sync_p : ctx -> float -> M.t -> receive
+
+  type 'a result = {
+    outputs : int option array;
+    returns : 'a option array;  (** fiber return values (None on timeout) *)
+    rounds : int;
+    decided_round : int option array;
+    stats : stats;
+    timed_out : bool;
+  }
+
+  (** Run all processes in lock step until the stop condition (or
+      [max_rounds], setting [timed_out]). *)
+  val run : config -> (ctx -> 'a) -> 'a result
+end

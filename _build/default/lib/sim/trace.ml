@@ -1,0 +1,81 @@
+(* Execution tracing: an observer that records per-round activity and
+   renders compact summaries (activity sparklines, decision timelines,
+   window statistics).  Useful for eyeballing an algorithm's phase
+   structure — competition bursts, announcement windows, the long quiet
+   stretches of bounded-broadcast slots — without drowning in events. *)
+
+module Stats = Rn_util.Stats
+
+type t = {
+  mutable broadcasters : int list; (* per round, reversed *)
+  mutable decisions : (int * int * int) list; (* (round, process, output) *)
+  mutable seen : bool array; (* processes whose decision is recorded *)
+  mutable rounds : int;
+}
+
+let create () = { broadcasters = []; decisions = []; seen = [||]; rounds = 0 }
+
+(* Feed one engine view into the trace (pass as the engine observer,
+   partially applied: [~observer:(Trace.observe t)]). *)
+let observe t ~view_round ~view_broadcasters ~view_decided:_ ~view_outputs =
+  t.rounds <- view_round;
+  t.broadcasters <- Array.length view_broadcasters :: t.broadcasters;
+  if Array.length t.seen <> Array.length view_outputs then
+    t.seen <- Array.make (Array.length view_outputs) false;
+  Array.iteri
+    (fun v o ->
+      match o with
+      | Some out ->
+        if not t.seen.(v) then begin
+          t.seen.(v) <- true;
+          t.decisions <- (view_round, v, out) :: t.decisions
+        end
+      | None -> ())
+    view_outputs
+
+let broadcast_counts t = Array.of_list (List.rev t.broadcasters)
+
+let decisions t = List.rev t.decisions
+
+(* Mean broadcasters per round over [buckets] equal windows. *)
+let activity_profile t ~buckets =
+  let counts = broadcast_counts t in
+  let n = Array.length counts in
+  if n = 0 || buckets < 1 then [||]
+  else
+    Array.init buckets (fun b ->
+        let lo = b * n / buckets and hi = max (((b + 1) * n / buckets) - 1) (b * n / buckets) in
+        let slice = Array.sub counts lo (hi - lo + 1) in
+        Stats.mean (Stats.of_ints slice))
+
+(* A one-line unicode sparkline of the activity profile. *)
+let sparkline t ~buckets =
+  let profile = activity_profile t ~buckets in
+  if Array.length profile = 0 then ""
+  else begin
+    let hi = Array.fold_left max 0.0 profile in
+    let glyphs = [| " "; "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |] in
+    let pick v =
+      if hi <= 0.0 then glyphs.(0)
+      else glyphs.(min 8 (int_of_float (ceil (v /. hi *. 8.0))))
+    in
+    String.concat "" (Array.to_list (Array.map pick profile))
+  end
+
+(* Decision latency summary: when did processes decide, relative to the
+   run length. *)
+let decision_summary t =
+  match decisions t with
+  | [] -> None
+  | ds ->
+    let rounds = Array.of_list (List.map (fun (r, _, _) -> float_of_int r) ds) in
+    Some (Stats.summarize rounds)
+
+let pp ppf t =
+  let counts = broadcast_counts t in
+  let total = Array.fold_left ( + ) 0 counts in
+  Fmt.pf ppf "trace: %d rounds, %d sends, activity [%s]" t.rounds total
+    (sparkline t ~buckets:60);
+  match decision_summary t with
+  | Some s -> Fmt.pf ppf ", decisions %a" Stats.pp_summary s
+  | None -> ()

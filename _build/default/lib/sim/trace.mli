@@ -1,0 +1,33 @@
+(** Execution tracing: record per-round activity via the engine observer
+    and render compact summaries (sparklines, decision timelines). *)
+
+type t
+
+val create : unit -> t
+
+(** Feed one observer view; wire as
+    [~observer:(fun v -> Trace.observe t ~view_round:v.view_round ...)]. *)
+val observe :
+  t ->
+  view_round:int ->
+  view_broadcasters:int array ->
+  view_decided:int option array ->
+  view_outputs:int option array ->
+  unit
+
+(** Broadcaster count per round, in round order. *)
+val broadcast_counts : t -> int array
+
+(** First-decision events as [(round, process, output)], in round order. *)
+val decisions : t -> (int * int * int) list
+
+(** Mean broadcasters per round over equal round windows. *)
+val activity_profile : t -> buckets:int -> float array
+
+(** One-line unicode activity sparkline. *)
+val sparkline : t -> buckets:int -> string
+
+(** Summary statistics of first-decision rounds, if any. *)
+val decision_summary : t -> Rn_util.Stats.summary option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+(* Dense fixed-capacity bitsets over [0, capacity).
+
+   Node sets in the simulator (banned lists, detector sets, reach sets) are
+   dense integer sets bounded by the network size, for which an unboxed
+   int-array bitset is both faster and smaller than tree sets. *)
+
+type t = { words : int array; capacity : int }
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit *)
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { words = Array.make (Ilog.cdiv (max capacity 1) bits_per_word) 0; capacity }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of bounds"
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let copy t = { words = Array.copy t.words; capacity = t.capacity }
+
+let popcount_word w =
+  let rec loop acc w = if w = 0 then acc else loop (acc + (w land 1)) (w lsr 1) in
+  loop 0 w
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list capacity l =
+  let t = create capacity in
+  List.iter (add t) l;
+  t
+
+let union_into ~into src =
+  if into.capacity <> src.capacity then invalid_arg "Bitset.union_into";
+  for w = 0 to Array.length into.words - 1 do
+    into.words.(w) <- into.words.(w) lor src.words.(w)
+  done
+
+let inter_into ~into src =
+  if into.capacity <> src.capacity then invalid_arg "Bitset.inter_into";
+  for w = 0 to Array.length into.words - 1 do
+    into.words.(w) <- into.words.(w) land src.words.(w)
+  done
+
+let diff a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.diff";
+  let r = copy a in
+  for w = 0 to Array.length r.words - 1 do
+    r.words.(w) <- r.words.(w) land lnot b.words.(w)
+  done;
+  r
+
+let equal a b = a.capacity = b.capacity && a.words = b.words
+
+let subset a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.subset";
+  let ok = ref true in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) land lnot b.words.(w) <> 0 then ok := false
+  done;
+  !ok
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let pp ppf t = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (to_list t)

@@ -1,0 +1,38 @@
+(** Dense mutable bitsets over [0, capacity). *)
+
+type t
+
+val create : int -> t
+val capacity : t -> int
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val clear : t -> unit
+val copy : t -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** Iterate members in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Members in increasing order. *)
+val to_list : t -> int list
+
+val of_list : int -> int list -> t
+
+(** In-place union/intersection; capacities must match. *)
+val union_into : into:t -> t -> unit
+
+val inter_into : into:t -> t -> unit
+
+(** [diff a b] is a fresh set [a \ b]. *)
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+
+(** [subset a b] iff every member of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(* Integer logarithm helpers used throughout phase-length computations. *)
+
+(* [floor_log2 n] for n >= 1. *)
+let floor_log2 n =
+  if n < 1 then invalid_arg "Ilog.floor_log2";
+  let rec loop acc n = if n <= 1 then acc else loop (acc + 1) (n lsr 1) in
+  loop 0 n
+
+(* [ceil_log2 n] for n >= 1: smallest k with 2^k >= n. *)
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Ilog.ceil_log2";
+  let f = floor_log2 n in
+  if 1 lsl f = n then f else f + 1
+
+(* ⌈log₂ n⌉ but at least 1, the "log n" quantity of the paper's phase
+   lengths (avoids zero-length phases at tiny n). *)
+let log2_up n = max 1 (ceil_log2 n)
+
+let pow2 k =
+  if k < 0 || k > 61 then invalid_arg "Ilog.pow2";
+  1 lsl k
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Round [n] up to the next power of two. *)
+let next_pow2 n = if n <= 1 then 1 else pow2 (ceil_log2 n)
+
+(* Overflow-proof: (a + b - 1) would wrap for huge b (e.g. a capacity of
+   max_int meaning "unbounded"), silently yielding 0 chunks. *)
+let cdiv a b =
+  if b <= 0 then invalid_arg "Ilog.cdiv";
+  if a <= 0 then 0 else 1 + ((a - 1) / b)

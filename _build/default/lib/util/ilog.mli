@@ -1,0 +1,21 @@
+(** Integer logarithm and power-of-two helpers. *)
+
+(** Largest [k] with [2^k <= n]. Raises for [n < 1]. *)
+val floor_log2 : int -> int
+
+(** Smallest [k] with [2^k >= n]. Raises for [n < 1]. *)
+val ceil_log2 : int -> int
+
+(** [max 1 (ceil_log2 n)] — the "log n" of the paper's phase lengths. *)
+val log2_up : int -> int
+
+(** [pow2 k = 2^k] for [0 <= k <= 61]. *)
+val pow2 : int -> int
+
+val is_pow2 : int -> bool
+
+(** Smallest power of two [>= n] ([1] for [n <= 1]). *)
+val next_pow2 : int -> int
+
+(** Ceiling division [⌈a/b⌉] for [b > 0]. *)
+val cdiv : int -> int -> int

@@ -1,0 +1,42 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    All randomness in the simulator flows from a single experiment seed
+    through [create]/[split]/[derive], making every execution reproducible. *)
+
+type t
+
+(** [create seed] returns a fresh generator determined by [seed]. *)
+val create : int -> t
+
+(** [split t] advances [t] and returns an independent generator. *)
+val split : t -> t
+
+(** [derive t label] returns a generator determined by [t]'s current state
+    and [label], without advancing [t].  Used to give process [label] its own
+    stream. *)
+val derive : t -> int -> t
+
+(** [int t bound] is uniform in [\[0, bound)]. Raises on [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t p] is [true] with probability [p]. *)
+val bool : t -> float -> bool
+
+(** Non-negative pseudo-random bits (62 of them). *)
+val bits : t -> int
+
+(** Fisher-Yates shuffle. *)
+val shuffle_in_place : t -> 'a array -> unit
+
+(** [permutation t n] is a uniform permutation of [0..n-1]. *)
+val permutation : t -> int -> int array
+
+(** Uniform element of a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** [geometric t p] is the number of Bernoulli([p]) trials up to and
+    including the first success (support [1, 2, ...]). *)
+val geometric : t -> float -> int

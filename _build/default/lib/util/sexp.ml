@@ -1,0 +1,95 @@
+(* A minimal s-expression reader/printer (atoms and lists, ';' line
+   comments) used for scenario files.  No external dependencies; parse
+   errors carry the offending position. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of { pos : int; message : string }
+
+let error pos message = raise (Parse_error { pos; message })
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+let is_atom_char c = (not (is_space c)) && c <> '(' && c <> ')' && c <> ';'
+
+let parse_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some c when is_space c ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      (* comment to end of line *)
+      while peek () <> None && peek () <> Some '\n' do
+        advance ()
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let atom () =
+    let start = !pos in
+    while match peek () with Some c when is_atom_char c -> true | _ -> false do
+      advance ()
+    done;
+    if !pos = start then error start "expected atom";
+    Atom (String.sub s start (!pos - start))
+  in
+  let rec expr () =
+    skip_ws ();
+    match peek () with
+    | None -> error !pos "unexpected end of input"
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> advance ()
+        | None -> error !pos "unclosed '('"
+        | Some _ ->
+          items := expr () :: !items;
+          loop ()
+      in
+      loop ();
+      List (List.rev !items)
+    | Some ')' -> error !pos "unexpected ')'"
+    | Some _ -> atom ()
+  in
+  let e = expr () in
+  skip_ws ();
+  if !pos <> n then error !pos "trailing input";
+  e
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  parse_string content
+
+let rec to_string = function
+  | Atom a -> a
+  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"
+
+(* --- accessors for keyword-style config lists --- *)
+
+(* In [(key v1 v2 ...)] entries of an association-style list, find [key]. *)
+let assoc key = function
+  | List items ->
+    List.find_map
+      (function
+        | List (Atom k :: rest) when k = key -> Some rest
+        | _ -> None)
+      items
+  | Atom _ -> None
+
+let atom = function Atom a -> Some a | List _ -> None
+
+let as_int = function Atom a -> int_of_string_opt a | List _ -> None
+
+let as_float = function
+  | Atom a -> float_of_string_opt a
+  | List _ -> None

@@ -1,0 +1,21 @@
+(** Minimal s-expressions (atoms, lists, [;] comments) for scenario
+    files. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of { pos : int; message : string }
+
+(** Parse exactly one expression (plus surrounding whitespace/comments).
+    Raises {!Parse_error}. *)
+val parse_string : string -> t
+
+val parse_file : string -> t
+
+val to_string : t -> string
+
+(** [(key a b …)] lookup inside a list of entries: returns [\[a; b; …\]]. *)
+val assoc : string -> t -> t list option
+
+val atom : t -> string option
+val as_int : t -> int option
+val as_float : t -> float option

@@ -1,0 +1,187 @@
+(* A small dependency-free SVG line-chart writer.
+
+   The experiment harness uses it to render the scaling figures referenced
+   from EXPERIMENTS.md (rounds vs n, rounds vs Δ, hitting-game cost vs β)
+   without any plotting dependency.  Linear or logarithmic axes, multiple
+   series with markers, a legend, and automatic "nice" tick placement. *)
+
+type axis = Linear | Log
+
+type series = { label : string; points : (float * float) list; color : string }
+
+type t = {
+  title : string;
+  x_label : string;
+  y_label : string;
+  x_axis : axis;
+  y_axis : axis;
+  series : series list;
+}
+
+let default_colors =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b"; "#17becf" |]
+
+let create ?(x_axis = Linear) ?(y_axis = Linear) ~title ~x_label ~y_label () =
+  { title; x_label; y_label; x_axis; y_axis; series = [] }
+
+let add_series ~label points t =
+  let color = default_colors.(List.length t.series mod Array.length default_colors) in
+  { t with series = t.series @ [ { label; points; color } ] }
+
+(* Geometry of the canvas. *)
+let width = 640.0
+let height = 420.0
+let margin_l = 70.0
+let margin_r = 160.0 (* room for the legend *)
+let margin_t = 40.0
+let margin_b = 55.0
+
+let plot_w = width -. margin_l -. margin_r
+let plot_h = height -. margin_t -. margin_b
+
+let transform axis v = match axis with Linear -> v | Log -> log10 v
+
+let bounds axis values =
+  let values = List.map (transform axis) values in
+  match values with
+  | [] -> (0.0, 1.0)
+  | v :: rest ->
+    let lo = List.fold_left min v rest and hi = List.fold_left max v rest in
+    if hi -. lo < 1e-12 then (lo -. 0.5, hi +. 0.5)
+    else begin
+      let pad = (hi -. lo) *. 0.05 in
+      (lo -. pad, hi +. pad)
+    end
+
+(* "Nice" tick positions in transformed space. *)
+let ticks axis (lo, hi) =
+  match axis with
+  | Log ->
+    (* decade ticks *)
+    let first = int_of_float (ceil lo) and last = int_of_float (floor hi) in
+    if last >= first then List.init (last - first + 1) (fun i -> float_of_int (first + i))
+    else [ lo; hi ]
+  | Linear ->
+    let span = hi -. lo in
+    let raw = span /. 5.0 in
+    let mag = 10.0 ** floor (log10 raw) in
+    let step =
+      let r = raw /. mag in
+      if r < 1.5 then mag else if r < 3.5 then 2.0 *. mag else if r < 7.5 then 5.0 *. mag
+      else 10.0 *. mag
+    in
+    let first = ceil (lo /. step) *. step in
+    let rec loop acc v = if v > hi +. 1e-9 then List.rev acc else loop (v :: acc) (v +. step) in
+    loop [] first
+
+let tick_label axis v =
+  match axis with
+  | Log ->
+    let x = 10.0 ** v in
+    if x >= 1.0 && Float.is_integer x && x < 1e7 then Printf.sprintf "%.0f" x
+    else Printf.sprintf "1e%g" v
+  | Linear ->
+    if Float.is_integer v && abs_float v < 1e7 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%g" v
+
+let esc s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '<' -> "&lt;"
+         | '>' -> "&gt;"
+         | '&' -> "&amp;"
+         | '"' -> "&quot;"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let render t =
+  let all_x = List.concat_map (fun s -> List.map fst s.points) t.series in
+  let all_y = List.concat_map (fun s -> List.map snd s.points) t.series in
+  let bx = bounds t.x_axis all_x and by = bounds t.y_axis all_y in
+  let sx v =
+    let lo, hi = bx in
+    margin_l +. ((transform t.x_axis v -. lo) /. (hi -. lo) *. plot_w)
+  in
+  let sy v =
+    let lo, hi = by in
+    margin_t +. plot_h -. ((transform t.y_axis v -. lo) /. (hi -. lo) *. plot_h)
+  in
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+     viewBox=\"0 0 %.0f %.0f\" font-family=\"sans-serif\" font-size=\"12\">\n"
+    width height width height;
+  pf "<rect width=\"%.0f\" height=\"%.0f\" fill=\"white\"/>\n" width height;
+  pf "<text x=\"%.0f\" y=\"22\" text-anchor=\"middle\" font-size=\"15\">%s</text>\n"
+    (margin_l +. (plot_w /. 2.0))
+    (esc t.title);
+  (* frame *)
+  pf
+    "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"none\" \
+     stroke=\"#444\"/>\n"
+    margin_l margin_t plot_w plot_h;
+  (* ticks and gridlines *)
+  let x_ticks = ticks t.x_axis bx and y_ticks = ticks t.y_axis by in
+  List.iter
+    (fun tv ->
+      let x = margin_l +. ((tv -. fst bx) /. (snd bx -. fst bx) *. plot_w) in
+      pf
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ddd\"/>\n" x margin_t
+        x (margin_t +. plot_h);
+      pf "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\">%s</text>\n" x
+        (margin_t +. plot_h +. 18.0)
+        (tick_label t.x_axis tv))
+    x_ticks;
+  List.iter
+    (fun tv ->
+      let y = margin_t +. plot_h -. ((tv -. fst by) /. (snd by -. fst by) *. plot_h) in
+      pf
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ddd\"/>\n" margin_l y
+        (margin_l +. plot_w) y;
+      pf "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\">%s</text>\n" (margin_l -. 6.0)
+        (y +. 4.0)
+        (tick_label t.y_axis tv))
+    y_ticks;
+  (* axis labels *)
+  pf "<text x=\"%.0f\" y=\"%.0f\" text-anchor=\"middle\">%s</text>\n"
+    (margin_l +. (plot_w /. 2.0))
+    (height -. 14.0) (esc t.x_label);
+  pf
+    "<text x=\"16\" y=\"%.0f\" text-anchor=\"middle\" transform=\"rotate(-90 16 %.0f)\">%s</text>\n"
+    (margin_t +. (plot_h /. 2.0))
+    (margin_t +. (plot_h /. 2.0))
+    (esc t.y_label);
+  (* series *)
+  List.iteri
+    (fun i s ->
+      let pts =
+        String.concat " "
+          (List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (sx x) (sy y)) s.points)
+      in
+      pf "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n" pts
+        s.color;
+      List.iter
+        (fun (x, y) ->
+          pf "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" fill=\"%s\"/>\n" (sx x) (sy y) s.color)
+        s.points;
+      (* legend entry *)
+      let ly = margin_t +. 10.0 +. (float_of_int i *. 18.0) in
+      pf "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" stroke-width=\"2\"/>\n"
+        (width -. margin_r +. 10.0)
+        ly
+        (width -. margin_r +. 34.0)
+        ly s.color;
+      pf "<text x=\"%.1f\" y=\"%.1f\">%s</text>\n"
+        (width -. margin_r +. 40.0)
+        (ly +. 4.0) (esc s.label))
+    t.series;
+  Buffer.add_string b "</svg>\n";
+  Buffer.contents b
+
+let write t path =
+  let oc = open_out path in
+  output_string oc (render t);
+  close_out oc

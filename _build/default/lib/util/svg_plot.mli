@@ -1,0 +1,17 @@
+(** Dependency-free SVG line charts for the experiment figures. *)
+
+type axis = Linear | Log
+
+type t
+
+val create :
+  ?x_axis:axis -> ?y_axis:axis -> title:string -> x_label:string -> y_label:string -> unit -> t
+
+(** Append a series (colour assigned automatically); pipeline-friendly. *)
+val add_series : label:string -> (float * float) list -> t -> t
+
+(** Render to an SVG document string. *)
+val render : t -> string
+
+(** Write the SVG to a file. *)
+val write : t -> string -> unit

@@ -1,0 +1,41 @@
+(* Plain-text table rendering for experiment output.
+
+   Rows are lists of cells; the renderer right-aligns numeric-looking cells
+   and left-aligns the rest, matching the style of the tables printed by the
+   bench harness. *)
+
+type t = { header : string list; mutable rows : string list list }
+
+let create header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let numeric_like s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = '%' || c = 'x') s
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad c s =
+    let w = List.nth widths c in
+    let gap = String.make (w - String.length s) ' ' in
+    if numeric_like s then gap ^ s else s ^ gap
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((line t.header :: sep :: List.map line rows) @ [ "" ])
+
+let print t = print_string (render t)
+
+let cell_int i = string_of_int i
+let cell_float ?(digits = 1) f = Printf.sprintf "%.*f" digits f
+let cell_pct f = Printf.sprintf "%.0f%%" (100.0 *. f)

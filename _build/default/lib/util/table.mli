@@ -1,0 +1,17 @@
+(** Plain-text table rendering for experiment output. *)
+
+type t
+
+val create : string list -> t
+
+(** Append a row; raises if the arity differs from the header. *)
+val add_row : t -> string list -> unit
+
+(** Render with aligned columns and a separator line. *)
+val render : t -> string
+
+val print : t -> unit
+
+val cell_int : int -> string
+val cell_float : ?digits:int -> float -> string
+val cell_pct : float -> string

@@ -1,0 +1,32 @@
+(* Union-find with path compression and union by rank; used by graph
+   generators and the CCDS connectivity verifier. *)
+
+type t = { parent : int array; rank : int array; mutable components : int }
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create";
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; components = n }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    t.components <- t.components - 1;
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+  end
+
+let same t a b = find t a = find t b
+let components t = t.components

@@ -1,0 +1,11 @@
+(** Union-find (disjoint sets) with path compression. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+(** Current number of disjoint components. *)
+val components : t -> int

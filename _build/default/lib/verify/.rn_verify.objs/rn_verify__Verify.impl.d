@@ -1,0 +1,1 @@
+lib/verify/verify.ml: Array Format Fun List Queue Rn_geom Rn_graph Rn_util

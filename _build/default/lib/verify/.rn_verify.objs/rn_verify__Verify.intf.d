@@ -1,0 +1,1 @@
+lib/verify/verify.mli: Rn_geom Rn_graph Rn_util

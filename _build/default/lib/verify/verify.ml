@@ -1,0 +1,328 @@
+(* Checkers for the problem definitions of Section 3.
+
+   Both problems are judged against two graphs: independence/domination
+   constraints refer to the reliable graph G or the detector graph H
+   (mutual detector membership), and the constant-bounded condition of the
+   CCDS refers to G'.  The checkers return structured reports naming every
+   violated condition, so experiment tables can report *which* property
+   failed on the rare unlucky seed. *)
+
+module Graph = Rn_graph.Graph
+module Algo = Rn_graph.Algo
+module Point = Rn_geom.Point
+module Overlay = Rn_geom.Overlay
+
+let ones outputs =
+  let acc = ref [] in
+  Array.iteri (fun v o -> if o = Some 1 then acc := v :: !acc) outputs;
+  List.rev !acc
+
+(* ---------------- MIS (Section 3) ---------------- *)
+
+module Mis_check = struct
+  type report = {
+    termination : bool; (* every process output 0 or 1 *)
+    independence : bool; (* no two MIS members adjacent in G *)
+    maximality : bool; (* every 0-process has an H-neighbour in the MIS *)
+    violations : string list;
+  }
+
+  let ok r = r.termination && r.independence && r.maximality
+
+  let check ~g ~h outputs =
+    let n = Graph.n g in
+    if Array.length outputs <> n then invalid_arg "Mis_check.check: arity";
+    let violations = ref [] in
+    let add fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+    let termination = ref true in
+    Array.iteri
+      (fun v o ->
+        if o = None then begin
+          termination := false;
+          add "process %d undecided" v
+        end)
+      outputs;
+    let members = ones outputs in
+    let independence = ref true in
+    let rec indep = function
+      | [] -> ()
+      | u :: rest ->
+        List.iter
+          (fun v ->
+            if Graph.mem_edge g u v then begin
+              independence := false;
+              add "MIS members %d and %d adjacent in G" u v
+            end)
+          rest;
+        indep rest
+    in
+    indep members;
+    let in_mis = Array.make n false in
+    List.iter (fun v -> in_mis.(v) <- true) members;
+    let maximality = ref true in
+    Array.iteri
+      (fun v o ->
+        if o = Some 0 then
+          if not (Array.exists (fun u -> in_mis.(u)) (Graph.neighbors h v)) then begin
+            maximality := false;
+            add "process %d output 0 without an H-neighbour in the MIS" v
+          end)
+      outputs;
+    {
+      termination = !termination;
+      independence = !independence;
+      maximality = !maximality;
+      violations = List.rev !violations;
+    }
+end
+
+(* ---------------- CCDS (Section 3) ---------------- *)
+
+module Ccds_check = struct
+  type report = {
+    termination : bool;
+    connectivity : bool; (* the 1-set is connected in H *)
+    domination : bool; (* every 0-process has an H-neighbour in the set *)
+    max_neighbors_g' : int; (* max CCDS members among any node's G'-neighbours *)
+    size : int;
+    violations : string list;
+  }
+
+  (* [bound] is the constant δ of the constant-bounded condition the
+     caller wants enforced. *)
+  let ok ?(bound = max_int) r =
+    r.termination && r.connectivity && r.domination && r.max_neighbors_g' <= bound
+
+  let check ~h ~g' outputs =
+    let n = Graph.n h in
+    if Array.length outputs <> n then invalid_arg "Ccds_check.check: arity";
+    let violations = ref [] in
+    let add fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+    let termination = ref true in
+    Array.iteri
+      (fun v o ->
+        if o = None then begin
+          termination := false;
+          add "process %d undecided" v
+        end)
+      outputs;
+    let members = ones outputs in
+    let in_set = Array.make n false in
+    List.iter (fun v -> in_set.(v) <- true) members;
+    let connectivity = Algo.is_connected_subset h members in
+    if not connectivity then add "CCDS not connected in H (|set|=%d)" (List.length members);
+    let domination = ref true in
+    Array.iteri
+      (fun v o ->
+        if o = Some 0 then
+          if not (Array.exists (fun u -> in_set.(u)) (Graph.neighbors h v)) then begin
+            domination := false;
+            add "process %d output 0 without an H-neighbour in the CCDS" v
+          end)
+      outputs;
+    let max_neighbors_g' =
+      Graph.fold_nodes
+        (fun v acc ->
+          let c =
+            Array.fold_left
+              (fun c u -> if in_set.(u) then c + 1 else c)
+              0 (Graph.neighbors g' v)
+          in
+          max acc c)
+        g' 0
+    in
+    {
+      termination = !termination;
+      connectivity;
+      domination = !domination;
+      max_neighbors_g';
+      size = List.length members;
+      violations = List.rev !violations;
+    }
+end
+
+(* ---------------- Backbone routing quality ----------------
+
+   A CCDS is sold as a routing backbone: any two nodes route via their
+   dominators across backbone-internal paths.  [Stretch] quantifies the
+   detour that costs: the ratio of the backbone-constrained distance (all
+   intermediate hops inside the member set) to the true distance in H. *)
+
+module Stretch = struct
+  (* Shortest u→v path where every intermediate node is a member.
+     BFS that only expands member nodes (the source is always expandable,
+     the destination only needs to be reached). *)
+  let backbone_dist h ~is_member src dst =
+    if src = dst then 0
+    else begin
+      let n = Graph.n h in
+      let dist = Array.make n Algo.unreachable in
+      let q = Queue.create () in
+      dist.(src) <- 0;
+      Queue.add src q;
+      let answer = ref Algo.unreachable in
+      while (not (Queue.is_empty q)) && !answer = Algo.unreachable do
+        let u = Queue.pop q in
+        Array.iter
+          (fun v ->
+            if dist.(v) = Algo.unreachable then begin
+              dist.(v) <- dist.(u) + 1;
+              if v = dst then answer := dist.(v)
+              else if is_member v then Queue.add v q
+            end)
+          (Graph.neighbors h u)
+      done;
+      !answer
+    end
+
+  type report = {
+    max_stretch : float;
+    mean_stretch : float;
+    unroutable : int; (* pairs connected in H but not via the backbone *)
+    pairs : int;
+  }
+
+  (* Stretch over all (or [sample]d) connected pairs. *)
+  let measure ?sample ~h ~members () =
+    let n = Graph.n h in
+    let is_member =
+      let a = Array.make n false in
+      List.iter (fun v -> a.(v) <- true) members;
+      fun v -> a.(v)
+    in
+    let pairs =
+      match sample with
+      | None ->
+        List.concat_map
+          (fun u -> List.filter_map (fun v -> if u < v then Some (u, v) else None) (List.init n Fun.id))
+          (List.init n Fun.id)
+      | Some (rng, k) ->
+        List.init k (fun _ ->
+            let u = Rn_util.Rng.int rng n and v = Rn_util.Rng.int rng n in
+            if u <= v then (u, v) else (v, u))
+        |> List.filter (fun (u, v) -> u <> v)
+    in
+    let worst = ref 1.0 and total = ref 0.0 and counted = ref 0 and unroutable = ref 0 in
+    List.iter
+      (fun (u, v) ->
+        let direct = Algo.bfs_dist h u in
+        if direct.(v) <> Algo.unreachable then begin
+          let via = backbone_dist h ~is_member u v in
+          if via = Algo.unreachable then incr unroutable
+          else begin
+            let s = float_of_int via /. float_of_int direct.(v) in
+            if s > !worst then worst := s;
+            total := !total +. s;
+            incr counted
+          end
+        end)
+      pairs;
+    {
+      max_stretch = !worst;
+      mean_stretch = (if !counted = 0 then 1.0 else !total /. float_of_int !counted);
+      unroutable = !unroutable;
+      pairs = !counted;
+    }
+end
+
+(* ---------------- Exact optima on small instances ----------------
+
+   Exhaustive minimum connected dominating set, for judging the CCDS
+   algorithms' approximation quality where the optimum is computable
+   (n ≤ ~20, bitmask enumeration in increasing-size order). *)
+
+module Exact = struct
+  let max_n = 22
+
+  (* Closed neighbourhood masks. *)
+  let masks g =
+    let n = Graph.n g in
+    Array.init n (fun v ->
+        Array.fold_left (fun m u -> m lor (1 lsl u)) (1 lsl v) (Graph.neighbors g v))
+
+  let dominates closed s =
+    let n = Array.length closed in
+    let covered = ref 0 in
+    for v = 0 to n - 1 do
+      if s land (1 lsl v) <> 0 then covered := !covered lor closed.(v)
+    done;
+    !covered = (1 lsl n) - 1
+
+  (* Connectivity of the subgraph induced by mask [s]: flood from its
+     lowest member through open neighbourhoods restricted to [s]. *)
+  let connected_mask open_nbrs s =
+    if s = 0 then false
+    else begin
+      let start = s land -s in
+      let reach = ref start in
+      let frontier = ref start in
+      while !frontier <> 0 do
+        let next = ref 0 in
+        Array.iteri
+          (fun v nb ->
+            if !frontier land (1 lsl v) <> 0 then next := !next lor (nb land s))
+          open_nbrs;
+        frontier := !next land lnot !reach;
+        reach := !reach lor !next
+      done;
+      !reach land s = s
+    end
+
+  (* Size of a minimum connected dominating set of a connected graph.
+     Raises for n > [max_n] (exponential enumeration). *)
+  let min_cds g =
+    let n = Graph.n g in
+    if n > max_n then invalid_arg "Exact.min_cds: instance too large";
+    if n = 1 then 1
+    else begin
+      let closed = masks g in
+      let open_nbrs =
+        Array.init n (fun v ->
+            Array.fold_left (fun m u -> m lor (1 lsl u)) 0 (Graph.neighbors g v))
+      in
+      (* enumerate subsets grouped by cardinality *)
+      let best = ref n in
+      (try
+         for size = 1 to n do
+           (* Gosper's hack over all masks of this popcount *)
+           let limit = 1 lsl n in
+           let s = ref ((1 lsl size) - 1) in
+           while !s < limit do
+             if dominates closed !s && connected_mask open_nbrs !s then begin
+               best := size;
+               raise Exit
+             end;
+             (* next mask with same popcount *)
+             let c = !s land - !s in
+             let r = !s + c in
+             s := (((r lxor !s) lsr 2) / c) lor r
+           done
+         done
+       with Exit -> ());
+      !best
+    end
+end
+
+(* ---------------- Density (Corollary 4.7) ---------------- *)
+
+module Density = struct
+  (* Maximum number of MIS members within plane distance [r] of any node
+     (MIS members count themselves); Corollary 4.7 bounds this by I_r. *)
+  let max_within ~pos ~members r =
+    let worst = ref 0 in
+    Array.iteri
+      (fun v pv ->
+        ignore v;
+        let c =
+          List.fold_left
+            (fun c u -> if Point.dist pv pos.(u) <= r then c + 1 else c)
+            0 members
+        in
+        if c > !worst then worst := c)
+      pos;
+    !worst
+
+  (* Check Corollary 4.7 against the constructive overlay bound. *)
+  let respects_corollary ~pos ~members r =
+    max_within ~pos ~members r <= Overlay.i_r_cached r
+end

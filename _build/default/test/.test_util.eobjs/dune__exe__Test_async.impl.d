@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Array Core Rn_detect Rn_graph Rn_harness Rn_sim Rn_verify String

@@ -1,0 +1,1 @@
+test/test_detect.ml: Alcotest Array Printf QCheck QCheck_alcotest Rn_detect Rn_graph Rn_util

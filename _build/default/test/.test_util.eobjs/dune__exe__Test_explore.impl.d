@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Core List Printf Rn_detect Rn_games Rn_graph Rn_harness Rn_sim Rn_util Rn_verify String

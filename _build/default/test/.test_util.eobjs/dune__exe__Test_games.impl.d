@@ -1,0 +1,1 @@
+test/test_games.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rn_detect Rn_games Rn_graph Rn_util String

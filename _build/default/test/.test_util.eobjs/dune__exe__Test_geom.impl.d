@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Format List Printf QCheck QCheck_alcotest Rn_geom Rn_util

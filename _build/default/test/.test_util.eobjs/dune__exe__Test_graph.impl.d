@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun List QCheck QCheck_alcotest Rn_geom Rn_graph Rn_util

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Rn_graph Rn_harness String

@@ -1,0 +1,1 @@
+test/test_mis.ml: Alcotest Array Core List Printf QCheck QCheck_alcotest Rn_detect Rn_graph Rn_harness Rn_sim Rn_util Rn_verify Seq String

@@ -1,0 +1,1 @@
+test/test_msg.ml: Alcotest Core List QCheck QCheck_alcotest

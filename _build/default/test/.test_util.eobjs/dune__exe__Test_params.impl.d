@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Core List Printf Rn_detect Rn_graph Rn_harness Rn_sim Rn_util Rn_verify

@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Array Core List Printf Rn_detect Rn_graph Rn_harness Rn_sim Rn_verify String

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Filename List Printf Rn_harness Rn_util String Sys

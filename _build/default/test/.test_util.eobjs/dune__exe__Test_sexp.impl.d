@@ -1,0 +1,1 @@
+test/test_sexp.ml: Alcotest List Option QCheck QCheck_alcotest Rn_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dump Fmt Format Fun List QCheck QCheck_alcotest Rn_detect Rn_graph Rn_sim

@@ -1,0 +1,1 @@
+test/test_subroutines.ml: Alcotest Array Core Hashtbl List Printf Rn_detect Rn_graph Rn_util

@@ -1,0 +1,1 @@
+test/test_svg.ml: Alcotest Filename List Rn_harness Rn_util String Sys

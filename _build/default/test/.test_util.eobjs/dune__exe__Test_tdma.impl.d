@@ -1,0 +1,1 @@
+test/test_tdma.ml: Alcotest Array Core List Rn_detect Rn_graph Rn_harness Rn_sim Rn_util Rn_verify String

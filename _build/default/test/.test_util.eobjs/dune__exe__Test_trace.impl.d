@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Core List Rn_detect Rn_graph Rn_sim String

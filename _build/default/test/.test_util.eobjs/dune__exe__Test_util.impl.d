@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Int List QCheck QCheck_alcotest Rn_util Set String

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Core QCheck QCheck_alcotest Rn_detect Rn_geom Rn_graph Rn_harness Rn_sim Rn_verify

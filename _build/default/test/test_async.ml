@@ -1,0 +1,91 @@
+(* Tests for the asynchronous-start MIS (Section 9). *)
+
+module R = Core.Radio
+module Dual = Rn_graph.Dual
+module Gen = Rn_graph.Gen
+module Detector = Rn_detect.Detector
+module Verify = Rn_verify.Verify
+
+let check_async ?(classic = true) ?wake ?(seed = 1) name dual =
+  let det = Detector.perfect (Dual.g dual) in
+  let adversary =
+    if classic then Rn_sim.Adversary.silent else Rn_sim.Adversary.bernoulli 0.5
+  in
+  let res =
+    Core.Async_mis.run ~seed ~classic ?wake ~adversary ~detector:(Detector.static det) dual
+  in
+  let rep = Verify.Mis_check.check ~g:(Dual.g dual) ~h:(Detector.h_graph det) res.R.outputs in
+  Alcotest.(check bool)
+    (name ^ ": " ^ String.concat "; " rep.violations)
+    true (Verify.Mis_check.ok rep);
+  res
+
+let test_sync_start_classic () =
+  ignore (check_async "ring sync" (Dual.classic (Gen.ring 16)));
+  ignore (check_async "clique sync" (Dual.classic (Gen.clique 10)))
+
+let test_staggered_wakes () =
+  let n = 48 in
+  let dual = Rn_harness.Harness.geometric ~seed:2 ~n ~degree:9 () in
+  let classic = Dual.classic (Dual.g dual) in
+  let wake = Array.init n (fun i -> 1 + ((i * 97) mod 600)) in
+  let res = check_async ~wake "staggered" classic in
+  (* everyone decides after waking *)
+  Array.iteri
+    (fun v d ->
+      match d with
+      | Some r -> Alcotest.(check bool) "decided after wake" true (r >= wake.(v))
+      | None -> Alcotest.fail "undecided")
+    res.R.decided_round
+
+let test_dual_with_detector () =
+  let dual = Rn_harness.Harness.geometric ~seed:3 ~n:40 ~degree:8 () in
+  ignore (check_async ~classic:false "dual graph" dual)
+
+let test_very_late_waker () =
+  (* a process waking long after the MIS stabilised must still decide,
+     via the perpetual announcements *)
+  let n = 10 in
+  let dual = Dual.classic (Gen.clique n) in
+  let wake = Array.init n (fun i -> if i = n - 1 then 20_000 else 1) in
+  let res = check_async ~wake "late waker" dual in
+  match res.R.decided_round.(n - 1) with
+  | Some r -> Alcotest.(check bool) "late waker decided after waking" true (r >= 20_000)
+  | None -> Alcotest.fail "late waker undecided"
+
+let test_covered_flag () =
+  let dual = Dual.classic (Gen.star 8) in
+  let res = check_async "star" dual in
+  Array.iteri
+    (fun v outcome ->
+      match outcome with
+      | Some (o : Core.Async_mis.outcome) ->
+        Alcotest.(check bool) "in_mis iff output 1" true
+          (o.in_mis = (res.R.outputs.(v) = Some 1));
+        if o.covered then
+          Alcotest.(check bool) "covered means output 0" true (res.R.outputs.(v) = Some 0)
+      | None ->
+        (* MIS members never return (they announce forever): their output
+           must be 1 *)
+        Alcotest.(check bool) "non-returning processes are announcers" true
+          (res.R.outputs.(v) = Some 1))
+    res.R.returns
+
+let test_two_nodes () =
+  let res = check_async "pair" (Dual.classic (Gen.path 2)) in
+  let members = Array.fold_left (fun c o -> if o = Some 1 then c + 1 else c) 0 res.R.outputs in
+  Alcotest.check Alcotest.int "one winner" 1 members
+
+let () =
+  Alcotest.run "async-mis"
+    [
+      ( "async",
+        [
+          Alcotest.test_case "sync start classic" `Quick test_sync_start_classic;
+          Alcotest.test_case "staggered wakes" `Slow test_staggered_wakes;
+          Alcotest.test_case "dual with detector" `Slow test_dual_with_detector;
+          Alcotest.test_case "very late waker" `Quick test_very_late_waker;
+          Alcotest.test_case "covered flag" `Quick test_covered_flag;
+          Alcotest.test_case "two nodes" `Quick test_two_nodes;
+        ] );
+    ]

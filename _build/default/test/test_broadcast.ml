@@ -1,0 +1,177 @@
+(* Tests for the broadcast library and the backbone-stretch metric. *)
+
+module B = Rn_broadcast.Broadcast
+module Dual = Rn_graph.Dual
+module Gen = Rn_graph.Gen
+module Graph = Rn_graph.Graph
+module Detector = Rn_detect.Detector
+module Verify = Rn_verify.Verify
+
+let geometric seed = Rn_harness.Harness.geometric ~seed ~n:60 ~degree:10 ()
+
+let test_flood_covers () =
+  let dual = geometric 1 in
+  let r = B.run ~seed:1 ~protocol:(B.Flood 0.1) ~source:0 ~rounds:500 dual in
+  Alcotest.(check bool) "full coverage" true (B.full_coverage r);
+  Alcotest.(check bool) "sends counted" true (r.sends > 0)
+
+let test_flood_under_adversary () =
+  let dual = geometric 2 in
+  let r =
+    B.run ~adversary:(Rn_sim.Adversary.bernoulli 0.5) ~seed:2 ~protocol:(B.Flood 0.1)
+      ~source:3 ~rounds:800 dual
+  in
+  Alcotest.(check bool) "full coverage with gray traffic" true (B.full_coverage r)
+
+let test_backbone_covers () =
+  let dual = geometric 3 in
+  let det = Detector.perfect (Dual.g dual) in
+  let ccds =
+    Core.Ccds.run ~seed:3
+      ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+      ~detector:(Detector.static det) dual
+  in
+  let in_bb = Array.map (fun o -> o = Some 1) ccds.Core.Radio.outputs in
+  let r =
+    B.run ~seed:3
+      ~protocol:(B.Backbone { relay = (fun v -> in_bb.(v)); p = 0.1 })
+      ~source:0 ~rounds:800 dual
+  in
+  Alcotest.(check bool) "backbone coverage" true (B.full_coverage r)
+
+let test_backbone_no_relays () =
+  (* only the source relays: coverage is exactly its closed neighbourhood *)
+  let dual = Dual.classic (Gen.star 6) in
+  let r =
+    B.run ~seed:1
+      ~protocol:(B.Backbone { relay = (fun _ -> false); p = 0.5 })
+      ~source:1 (* a leaf: it reaches only the centre *)
+      ~rounds:200 dual
+  in
+  Alcotest.check Alcotest.int "leaf reaches only centre" 2 r.coverage
+
+let test_round_robin_deterministic_budget () =
+  (* covers within n * eccentricity rounds under ANY adversary *)
+  List.iter
+    (fun (name, adversary) ->
+      let dual = Dual.classic (Gen.path 9) in
+      let budget = B.round_robin_budget dual ~source:0 in
+      let r = B.run ~adversary ~seed:7 ~protocol:B.Round_robin ~source:0 ~rounds:budget dual in
+      Alcotest.(check bool) (name ^ ": covered in budget") true (B.full_coverage r))
+    [
+      ("silent", Rn_sim.Adversary.silent);
+      ("all-gray", Rn_sim.Adversary.all_gray);
+      ("spiteful", Rn_sim.Adversary.spiteful);
+    ]
+
+let test_round_robin_gray_network () =
+  (* solo broadcasts survive arbitrary gray activation *)
+  let g = Gen.path 6 in
+  let dual = Rn_graph.Dual.make ~g ~gray:[ (0, 3); (1, 4); (2, 5) ] () in
+  let budget = B.round_robin_budget dual ~source:0 in
+  let r =
+    B.run ~adversary:Rn_sim.Adversary.all_gray ~seed:1 ~protocol:B.Round_robin ~source:0
+      ~rounds:budget dual
+  in
+  Alcotest.(check bool) "covered despite gray" true (B.full_coverage r)
+
+let test_first_hear_consistency () =
+  let dual = geometric 4 in
+  let r = B.run ~seed:4 ~protocol:(B.Flood 0.1) ~source:0 ~rounds:500 dual in
+  Array.iteri
+    (fun v f ->
+      if v <> 0 then
+        Alcotest.(check bool) "reached iff heard" true (r.reached.(v) = (f <> None)))
+    r.first_hear
+
+let test_decay_covers () =
+  let dual = geometric 6 in
+  let k = 2 * Rn_util.Ilog.log2_up 60 in
+  let r =
+    B.run ~adversary:(Rn_sim.Adversary.bernoulli 0.5) ~seed:6 ~protocol:(B.Decay k)
+      ~source:0 ~rounds:600 dual
+  in
+  Alcotest.(check bool) "decay covers" true (B.full_coverage r)
+
+let test_decay_dense () =
+  (* decay's raison d'etre: it beats plain flooding under heavy contention
+     (a clique informs everyone in O(k) rounds without any topology
+     knowledge) *)
+  let dual = Dual.classic (Rn_graph.Gen.clique 32) in
+  let r = B.run ~seed:7 ~protocol:(B.Decay 10) ~source:0 ~rounds:200 dual in
+  Alcotest.(check bool) "clique covered" true (B.full_coverage r)
+
+let test_errors () =
+  let dual = Dual.classic (Gen.path 3) in
+  Alcotest.check_raises "bad source" (Invalid_argument "Broadcast.run: source") (fun () ->
+      ignore (B.run ~protocol:B.Round_robin ~source:9 ~rounds:5 dual));
+  Alcotest.check_raises "bad rounds" (Invalid_argument "Broadcast.run: rounds") (fun () ->
+      ignore (B.run ~protocol:B.Round_robin ~source:0 ~rounds:0 dual))
+
+(* --- stretch metric --- *)
+
+let test_stretch_path_internal () =
+  (* path with all internal nodes as backbone: stretch is exactly 1 *)
+  let h = Gen.path 6 in
+  let r = Verify.Stretch.measure ~h ~members:[ 1; 2; 3; 4 ] () in
+  Alcotest.check (Alcotest.float 1e-9) "max stretch 1" 1.0 r.max_stretch;
+  Alcotest.check Alcotest.int "no unroutable" 0 r.unroutable
+
+let test_stretch_detour () =
+  (* a 4-cycle where only one side is backbone: the pair across the missing
+     side pays a detour *)
+  let h = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  (* route 0→2 via member 1 is length 2 = direct; route 1→3 must go via...
+     members = [0]: 1-0-3 length 2, direct 2 → stretch 1. Use members = [1]:
+     0→2 via 1 fine; 0→3 direct 1; 3→1 direct... craft stronger: members=[1],
+     pair (2,3): direct 1 (edge 2-3); no constraint (adjacent). pair (0,3):
+     direct 1. All pairs adjacent or via 1 → max stretch = 1?  Use a path
+     instead: 0-1-2-3-4 with members {1,2,3} minus 2... *)
+  ignore h;
+  let h = Gen.path 5 in
+  (* backbone misses node 2: pairs crossing it are unroutable *)
+  let r = Verify.Stretch.measure ~h ~members:[ 1; 3 ] () in
+  Alcotest.(check bool) "crossing pairs unroutable" true (r.unroutable > 0)
+
+let test_stretch_sampled () =
+  let dual = geometric 5 in
+  let det = Detector.perfect (Dual.g dual) in
+  let ccds =
+    Core.Ccds.run ~seed:5
+      ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+      ~detector:(Detector.static det) dual
+  in
+  let members = ref [] in
+  Array.iteri (fun v o -> if o = Some 1 then members := v :: !members) ccds.Core.Radio.outputs;
+  let r =
+    Verify.Stretch.measure
+      ~sample:(Rn_util.Rng.create 1, 200)
+      ~h:(Detector.h_graph det) ~members:!members ()
+  in
+  Alcotest.check Alcotest.int "CCDS routes everything" 0 r.unroutable;
+  Alcotest.(check bool) "bounded stretch" true (r.max_stretch <= 3.0);
+  Alcotest.(check bool) "mean >= 1" true (r.mean_stretch >= 1.0)
+
+let () =
+  Alcotest.run "broadcast"
+    [
+      ( "protocols",
+        [
+          Alcotest.test_case "flood covers" `Quick test_flood_covers;
+          Alcotest.test_case "flood under adversary" `Quick test_flood_under_adversary;
+          Alcotest.test_case "backbone covers" `Slow test_backbone_covers;
+          Alcotest.test_case "backbone without relays" `Quick test_backbone_no_relays;
+          Alcotest.test_case "round-robin budget" `Quick test_round_robin_deterministic_budget;
+          Alcotest.test_case "round-robin vs gray" `Quick test_round_robin_gray_network;
+          Alcotest.test_case "decay covers" `Quick test_decay_covers;
+          Alcotest.test_case "decay dense" `Quick test_decay_dense;
+          Alcotest.test_case "first-hear consistency" `Quick test_first_hear_consistency;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "stretch",
+        [
+          Alcotest.test_case "path internal" `Quick test_stretch_path_internal;
+          Alcotest.test_case "missing relay unroutable" `Quick test_stretch_detour;
+          Alcotest.test_case "CCDS stretch sampled" `Slow test_stretch_sampled;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* End-to-end tests of the banned-list CCDS algorithm (Section 5). *)
+
+module R = Core.Radio
+module Graph = Rn_graph.Graph
+module Dual = Rn_graph.Dual
+module Gen = Rn_graph.Gen
+module Detector = Rn_detect.Detector
+module Verify = Rn_verify.Verify
+module Ilog = Rn_util.Ilog
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let run_ccds ?(adversary = Rn_sim.Adversary.bernoulli 0.5) ?(seed = 1) ?b_bits dual =
+  let det = Detector.perfect (Dual.g dual) in
+  let res = Core.Ccds.run ~seed ~adversary ?b_bits ~detector:(Detector.static det) dual in
+  (res, det)
+
+let check_solves ?adversary ?seed ?b_bits name dual =
+  let res, det = run_ccds ?adversary ?seed ?b_bits dual in
+  let rep = Verify.Ccds_check.check ~h:(Detector.h_graph det) ~g':(Dual.g' dual) res.R.outputs in
+  Alcotest.(check bool)
+    (name ^ ": " ^ String.concat "; " rep.violations)
+    true (Verify.Ccds_check.ok rep);
+  (res, det)
+
+let test_clique () =
+  let res, _ = check_solves "clique" (Dual.classic (Gen.clique 12)) in
+  (* one MIS node dominates the clique; CCDS = that node *)
+  let members = Array.fold_left (fun c o -> if o = Some 1 then c + 1 else c) 0 res.R.outputs in
+  Alcotest.check Alcotest.int "singleton CCDS" 1 members
+
+let test_path () =
+  let res, _ = check_solves "path" (Dual.classic (Gen.path 16)) in
+  (* a path's CCDS must span it: at least (n-2)/3 internal nodes *)
+  let members = Array.fold_left (fun c o -> if o = Some 1 then c + 1 else c) 0 res.R.outputs in
+  Alcotest.(check bool) "path CCDS spans" true (members >= 4)
+
+let test_ring () = ignore (check_solves "ring" (Dual.classic (Gen.ring 15)))
+let test_star () = ignore (check_solves "star" (Dual.classic (Gen.star 5)))
+
+let test_geometric_seeds () =
+  for seed = 1 to 4 do
+    let dual = Rn_harness.Harness.geometric ~seed ~n:60 ~degree:10 () in
+    ignore (check_solves ~seed (Printf.sprintf "geometric %d" seed) dual)
+  done
+
+let test_small_b () =
+  let dual = Rn_harness.Harness.geometric ~seed:2 ~n:48 ~degree:10 () in
+  let b = 8 * Ilog.log2_up 48 in
+  ignore (check_solves ~b_bits:b "small b" dual)
+
+let test_b_too_small_rejected () =
+  let dual = Dual.classic (Gen.path 8) in
+  Alcotest.(check bool) "tiny b rejected" true
+    (try
+       ignore (run_ccds ~b_bits:6 dual);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mis_subset_ccds () =
+  let dual = Rn_harness.Harness.geometric ~seed:3 ~n:48 ~degree:9 () in
+  let res, _ = run_ccds dual in
+  Array.iteri
+    (fun v outcome ->
+      match outcome with
+      | Some (o : Core.Ccds.outcome) ->
+        if o.in_mis then begin
+          Alcotest.(check bool) "MIS member in CCDS" true o.in_ccds;
+          Alcotest.(check bool) "MIS member output 1" true (res.R.outputs.(v) = Some 1)
+        end;
+        Alcotest.(check bool) "in_ccds iff output 1" true
+          (o.in_ccds = (res.R.outputs.(v) = Some 1))
+      | None -> Alcotest.fail "no return")
+    res.R.returns
+
+let test_discovered_are_mis () =
+  let dual = Rn_harness.Harness.geometric ~seed:4 ~n:48 ~degree:9 () in
+  let res, _ = run_ccds dual in
+  let in_mis = Array.map (function Some (o : Core.Ccds.outcome) -> o.in_mis | None -> false) res.R.returns in
+  Array.iter
+    (function
+      | Some (o : Core.Ccds.outcome) ->
+        List.iter
+          (fun d ->
+            Alcotest.(check bool) (Printf.sprintf "discovered %d is MIS" d) true in_mis.(d))
+          o.discovered
+      | None -> ())
+    res.R.returns
+
+let test_discoveries_within_3_hops () =
+  (* Claim 2 of Theorem 5.3: discovered MIS processes are within 3 hops *)
+  let dual = Rn_harness.Harness.geometric ~seed:5 ~n:48 ~degree:9 () in
+  let res, _ = run_ccds dual in
+  let g = Dual.g dual in
+  Array.iteri
+    (fun v outcome ->
+      match outcome with
+      | Some (o : Core.Ccds.outcome) when o.in_mis ->
+        let dist = Rn_graph.Algo.bfs_dist g v in
+        List.iter
+          (fun d ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%d discovered %d within 3 hops" v d)
+              true
+              (dist.(d) <= 3))
+          o.discovered
+      | _ -> ())
+    res.R.returns
+
+let test_fixed_schedule () =
+  let dual = Rn_harness.Harness.geometric ~seed:6 ~n:40 ~degree:8 () in
+  let a, _ = run_ccds ~seed:11 dual in
+  let b, _ = run_ccds ~seed:12 dual in
+  Alcotest.check Alcotest.int "schedule independent of coin flips" a.R.rounds b.R.rounds
+
+let test_more_chunks_with_smaller_b () =
+  let dual = Rn_harness.Harness.geometric ~seed:7 ~n:48 ~degree:12 () in
+  let small, _ = run_ccds ~b_bits:(8 * Ilog.log2_up 48) dual in
+  let large, _ = run_ccds dual in
+  Alcotest.(check bool) "small b is slower" true (small.R.rounds > large.R.rounds)
+
+let test_adversaries () =
+  let dual = Rn_harness.Harness.geometric ~seed:8 ~n:48 ~degree:9 () in
+  List.iter
+    (fun (name, adversary) -> ignore (check_solves ~adversary name dual))
+    [
+      ("silent", Rn_sim.Adversary.silent);
+      ("bernoulli 0.5", Rn_sim.Adversary.bernoulli 0.5);
+      ("harassing 0.5", Rn_sim.Adversary.harassing 0.5);
+    ]
+
+let test_grid () =
+  let dual = Gen.grid_jitter ~rng:(Rn_util.Rng.create 9) ~rows:6 ~cols:6 () in
+  ignore (check_solves "grid" dual)
+
+let prop_random_geometric_solves =
+  QCheck.Test.make ~name:"CCDS solves on random geometric instances" ~count:5
+    (QCheck.int_range 10 200) (fun seed ->
+      let dual = Rn_harness.Harness.geometric ~seed ~n:40 ~degree:8 () in
+      let res, det = run_ccds ~seed dual in
+      Verify.Ccds_check.ok
+        (Verify.Ccds_check.check ~h:(Detector.h_graph det) ~g':(Dual.g' dual) res.R.outputs))
+
+let () =
+  Alcotest.run "ccds"
+    [
+      ( "topologies",
+        [
+          Alcotest.test_case "clique" `Quick test_clique;
+          Alcotest.test_case "path" `Quick test_path;
+          Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "grid" `Slow test_grid;
+          Alcotest.test_case "geometric seeds" `Slow test_geometric_seeds;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "small b solves" `Slow test_small_b;
+          Alcotest.test_case "tiny b rejected" `Quick test_b_too_small_rejected;
+          Alcotest.test_case "MIS subset of CCDS" `Quick test_mis_subset_ccds;
+          Alcotest.test_case "discovered are MIS" `Quick test_discovered_are_mis;
+          Alcotest.test_case "discoveries within 3 hops" `Quick
+            test_discoveries_within_3_hops;
+          Alcotest.test_case "fixed schedule" `Quick test_fixed_schedule;
+          Alcotest.test_case "smaller b costs rounds" `Quick test_more_chunks_with_smaller_b;
+          Alcotest.test_case "adversaries" `Slow test_adversaries;
+          qtest prop_random_geometric_solves;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+(* Tests for the continuous CCDS (Section 8). *)
+
+module R = Core.Radio
+module Dual = Rn_graph.Dual
+module Gen = Rn_graph.Gen
+module Detector = Rn_detect.Detector
+module Verify = Rn_verify.Verify
+
+let dual () = Rn_harness.Harness.geometric ~seed:1 ~n:40 ~degree:8 ()
+
+let valid_against det dual outputs =
+  Verify.Ccds_check.ok
+    (Verify.Ccds_check.check ~h:(Detector.h_graph det) ~g':(Dual.g' dual) outputs)
+
+let test_static_detector_all_valid () =
+  let dual = dual () in
+  let det = Detector.perfect (Dual.g dual) in
+  let result =
+    Core.Continuous.run ~seed:2
+      ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+      ~detector:(Detector.static det) ~iterations:3 dual
+  in
+  Alcotest.check Alcotest.int "three iterations" 3 (List.length result.iterations);
+  List.iter
+    (fun (it : Core.Continuous.iteration) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "iteration %d valid" it.index)
+        true
+        (valid_against det dual it.outputs))
+    result.iterations
+
+let test_windows_contiguous () =
+  let dual = dual () in
+  let det = Detector.perfect (Dual.g dual) in
+  let result =
+    Core.Continuous.run ~seed:3 ~detector:(Detector.static det) ~iterations:3 dual
+  in
+  let rec check_chain prev = function
+    | [] -> ()
+    | (it : Core.Continuous.iteration) :: rest ->
+      Alcotest.check Alcotest.int "contiguous" (prev + 1) it.start_round;
+      Alcotest.(check bool) "non-empty window" true (it.end_round >= it.start_round);
+      Alcotest.check Alcotest.int "period length" result.period
+        (it.end_round - it.start_round + 1);
+      check_chain it.end_round rest
+  in
+  check_chain 0 result.iterations
+
+let test_structure_at () =
+  let dual = dual () in
+  let det = Detector.perfect (Dual.g dual) in
+  let result =
+    Core.Continuous.run ~seed:4 ~detector:(Detector.static det) ~iterations:2 dual
+  in
+  Alcotest.(check bool) "nothing installed during first period" true
+    (Core.Continuous.structure_at result 1 = None);
+  (match Core.Continuous.structure_at result (result.period + 1) with
+  | Some it -> Alcotest.check Alcotest.int "first structure installed" 1 it.index
+  | None -> Alcotest.fail "expected structure after first period");
+  match Core.Continuous.structure_at result ((2 * result.period) + 1) with
+  | Some it -> Alcotest.check Alcotest.int "second structure installed" 2 it.index
+  | None -> Alcotest.fail "expected second structure"
+
+let test_theorem_8_1 () =
+  (* detector stabilises during iteration 2; iterations starting after
+     stabilisation must be valid against the stable topology *)
+  let dual = dual () in
+  let good = Detector.perfect (Dual.g dual) in
+  let noisy = Detector.tau_complete ~rng:(Rn_util.Rng.create 9) ~tau:2 dual in
+  let probe = Core.Continuous.run ~seed:5 ~detector:(Detector.static good) ~iterations:1 dual in
+  let period = probe.period in
+  let stab = period + (period / 2) in
+  let dyn = Detector.switching ~before:noisy ~after:good ~round:stab in
+  let result =
+    Core.Continuous.run ~seed:6
+      ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+      ~detector:dyn ~iterations:4 dual
+  in
+  List.iter
+    (fun (it : Core.Continuous.iteration) ->
+      if it.start_round >= stab then
+        Alcotest.(check bool)
+          (Printf.sprintf "post-stabilisation iteration %d valid" it.index)
+          true
+          (valid_against good dual it.outputs))
+    result.iterations;
+  (* Theorem 8.1's deadline: some valid structure installed by stab + 2 period *)
+  let deadline = stab + (2 * period) in
+  match Core.Continuous.structure_at result deadline with
+  | Some it ->
+    Alcotest.(check bool) "deadline structure valid" true (valid_against good dual it.outputs)
+  | None -> Alcotest.fail "no structure installed by the deadline"
+
+let test_iterations_validated () =
+  Alcotest.(check bool) "zero iterations rejected" true
+    (try
+       let dual = dual () in
+       let det = Detector.perfect (Dual.g dual) in
+       ignore (Core.Continuous.run ~detector:(Detector.static det) ~iterations:0 dual);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "continuous"
+    [
+      ( "continuous",
+        [
+          Alcotest.test_case "static detector valid" `Slow test_static_detector_all_valid;
+          Alcotest.test_case "windows contiguous" `Quick test_windows_contiguous;
+          Alcotest.test_case "structure_at" `Quick test_structure_at;
+          Alcotest.test_case "Theorem 8.1" `Slow test_theorem_8_1;
+          Alcotest.test_case "iterations validated" `Quick test_iterations_validated;
+        ] );
+    ]

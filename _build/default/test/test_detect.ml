@@ -1,0 +1,183 @@
+(* Tests for link detectors: τ-completeness, the H graph, dynamics. *)
+
+module Graph = Rn_graph.Graph
+module Dual = Rn_graph.Dual
+module Gen = Rn_graph.Gen
+module Detector = Rn_detect.Detector
+module Bitset = Rn_util.Bitset
+module Rng = Rn_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let small_dual seed =
+  let rng = Rng.create seed in
+  Gen.geometric ~rng (Gen.default_spec ~n:40 ~side:4.0 ~gray_p:0.8 ())
+
+let test_perfect () =
+  let g = Gen.ring 6 in
+  let det = Detector.perfect g in
+  Alcotest.check Alcotest.int "n" 6 (Detector.n det);
+  for u = 0 to 5 do
+    Alcotest.(check (list Alcotest.int))
+      (Printf.sprintf "set %d" u)
+      (Array.to_list (Graph.neighbors g u))
+      (Bitset.to_list (Detector.set det u))
+  done;
+  Alcotest.(check bool) "is 0-complete" true (Detector.is_tau_complete det ~tau:0 g)
+
+let test_h_equals_g_when_perfect () =
+  let dual = small_dual 1 in
+  let det = Detector.perfect (Dual.g dual) in
+  let h = Detector.h_graph det in
+  Alcotest.(check bool) "H = G" true (Graph.edges h = Graph.edges (Dual.g dual))
+
+let prop_tau_complete_valid =
+  QCheck.Test.make ~name:"tau_complete is tau-complete" ~count:50
+    QCheck.(pair (int_range 0 100) (int_range 0 3))
+    (fun (seed, tau) ->
+      let dual = small_dual seed in
+      let det = Detector.tau_complete ~rng:(Rng.create seed) ~tau dual in
+      Detector.is_tau_complete det ~tau (Dual.g dual))
+
+let prop_tau_mistakes_are_gray =
+  QCheck.Test.make ~name:"Gray_only mistakes are gray neighbours" ~count:30
+    (QCheck.int_range 0 100) (fun seed ->
+      let dual = small_dual seed in
+      let det = Detector.tau_complete ~rng:(Rng.create seed) ~tau:2 ~pool:Gray_only dual in
+      let g = Dual.g dual and g' = Dual.g' dual in
+      let ok = ref true in
+      for u = 0 to Dual.n dual - 1 do
+        Bitset.iter
+          (fun v ->
+            if not (Graph.mem_edge g u v) then
+              if not (Graph.mem_edge g' u v) then ok := false)
+          (Detector.set det u)
+      done;
+      !ok)
+
+let prop_g_subset_h =
+  QCheck.Test.make ~name:"G subset of H for tau-complete" ~count:30
+    QCheck.(pair (int_range 0 100) (int_range 0 3))
+    (fun (seed, tau) ->
+      let dual = small_dual seed in
+      let det = Detector.tau_complete ~rng:(Rng.create seed) ~tau dual in
+      Graph.is_subgraph (Dual.g dual) (Detector.h_graph det))
+
+let test_planted () =
+  let dual = Gen.bridge_cliques ~beta:3 () in
+  (* plant: node 1 believes node 4 (non-neighbour) is reliable *)
+  let det =
+    Detector.tau_complete ~rng:(Rng.create 0) ~tau:1
+      ~pool:(Detector.Planted (fun u -> if u = 1 then [ 4 ] else []))
+      dual
+  in
+  Alcotest.(check bool) "planted present" true (Detector.mem det 1 4);
+  Alcotest.(check bool) "planted one-sided" false (Detector.mem det 4 1);
+  (* asymmetric mistakes create no H edge *)
+  let h = Detector.h_graph det in
+  Alcotest.(check bool) "no H edge from one-sided mistake" false (Graph.mem_edge h 1 4);
+  Alcotest.(check bool) "is 1-complete" true (Detector.is_tau_complete det ~tau:1 (Dual.g dual))
+
+let test_planted_invalid () =
+  let dual = Gen.bridge_cliques ~beta:3 () in
+  Alcotest.(check bool) "planted neighbour rejected" true
+    (try
+       ignore
+         (Detector.tau_complete ~rng:(Rng.create 0) ~tau:1
+            ~pool:(Detector.Planted (fun u -> if u = 0 then [ 1 ] else []))
+            dual);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "too many mistakes rejected" true
+    (try
+       ignore
+         (Detector.tau_complete ~rng:(Rng.create 0) ~tau:1
+            ~pool:(Detector.Planted (fun u -> if u = 1 then [ 4; 5 ] else []))
+            dual);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mutual_h_edges () =
+  let dual = Gen.bridge_cliques ~beta:3 () in
+  (* symmetric planted mistakes DO create an H edge *)
+  let det =
+    Detector.tau_complete ~rng:(Rng.create 0) ~tau:1
+      ~pool:
+        (Detector.Planted (fun u -> if u = 1 then [ 4 ] else if u = 4 then [ 1 ] else []))
+      dual
+  in
+  Alcotest.(check bool) "mutual mistake = H edge" true
+    (Graph.mem_edge (Detector.h_graph det) 1 4)
+
+let test_is_tau_complete_detects_missing () =
+  let g = Gen.ring 6 in
+  let sets = Array.init 6 (fun _ -> Bitset.create 6) in
+  (* node 0's set misses its neighbours entirely *)
+  Alcotest.(check bool) "missing neighbours detected" false
+    (Detector.is_tau_complete (Detector.of_sets sets) ~tau:0 g)
+
+let test_is_tau_complete_detects_self () =
+  let g = Gen.ring 6 in
+  let det = Detector.perfect g in
+  Bitset.add (Detector.set det 0) 0;
+  Alcotest.(check bool) "self-membership rejected" false
+    (Detector.is_tau_complete det ~tau:1 g)
+
+let test_dynamic_static () =
+  let g = Gen.ring 6 in
+  let det = Detector.perfect g in
+  let dyn = Detector.static det in
+  Alcotest.(check bool) "same at all rounds" true
+    (Detector.at dyn 1 == det && Detector.at dyn 9999 == det);
+  Alcotest.(check (option Alcotest.int)) "stabilises at 0" (Some 0) (Detector.stabilizes_at dyn)
+
+let test_dynamic_switching () =
+  let g = Gen.ring 6 in
+  let a = Detector.perfect g in
+  let b = Detector.perfect g in
+  let dyn = Detector.switching ~before:a ~after:b ~round:10 in
+  Alcotest.(check bool) "before" true (Detector.at dyn 9 == a);
+  Alcotest.(check bool) "at switch" true (Detector.at dyn 10 == b);
+  Alcotest.(check bool) "after" true (Detector.at dyn 11 == b);
+  Alcotest.(check (option Alcotest.int)) "stabilises" (Some 10) (Detector.stabilizes_at dyn)
+
+let test_tau_zero_no_mistakes () =
+  let dual = small_dual 3 in
+  let det = Detector.tau_complete ~rng:(Rng.create 3) ~tau:0 dual in
+  Alcotest.(check bool) "tau=0 equals perfect" true
+    (Graph.edges (Detector.h_graph det) = Graph.edges (Dual.g dual))
+
+let test_any_non_neighbor_pool () =
+  let dual = small_dual 4 in
+  let det =
+    Detector.tau_complete ~rng:(Rng.create 4) ~tau:2 ~pool:Detector.Any_non_neighbor dual
+  in
+  Alcotest.(check bool) "still tau-complete" true
+    (Detector.is_tau_complete det ~tau:2 (Dual.g dual))
+
+let () =
+  Alcotest.run "rn_detect"
+    [
+      ( "static",
+        [
+          Alcotest.test_case "perfect" `Quick test_perfect;
+          Alcotest.test_case "H = G when perfect" `Quick test_h_equals_g_when_perfect;
+          Alcotest.test_case "planted mistakes" `Quick test_planted;
+          Alcotest.test_case "planted validation" `Quick test_planted_invalid;
+          Alcotest.test_case "mutual mistakes make H edges" `Quick test_mutual_h_edges;
+          Alcotest.test_case "missing neighbours detected" `Quick
+            test_is_tau_complete_detects_missing;
+          Alcotest.test_case "self-membership rejected" `Quick
+            test_is_tau_complete_detects_self;
+          Alcotest.test_case "tau=0 equals perfect" `Quick test_tau_zero_no_mistakes;
+          Alcotest.test_case "any-non-neighbour pool" `Quick test_any_non_neighbor_pool;
+          qtest prop_tau_complete_valid;
+          qtest prop_tau_mistakes_are_gray;
+          qtest prop_g_subset_h;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "static wrapper" `Quick test_dynamic_static;
+          Alcotest.test_case "switching" `Quick test_dynamic_switching;
+        ] );
+    ]

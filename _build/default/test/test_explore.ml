@@ -1,0 +1,207 @@
+(* Tests for the Section 6 algorithms: iterated MIS and the exploration
+   CCDS (also the tau = 0 naive baseline). *)
+
+module R = Core.Radio
+module Graph = Rn_graph.Graph
+module Dual = Rn_graph.Dual
+module Gen = Rn_graph.Gen
+module Detector = Rn_detect.Detector
+module Verify = Rn_verify.Verify
+module Rng = Rn_util.Rng
+
+let detector_for ?(seed = 0) ~tau dual =
+  if tau = 0 then Detector.perfect (Dual.g dual)
+  else Detector.tau_complete ~rng:(Rng.create (seed + 300)) ~tau dual
+
+(* --- iterated MIS (Lemma 6.1) --- *)
+
+let run_iterated ?(seed = 1) ~tau dual =
+  let det = detector_for ~seed ~tau dual in
+  let res =
+    Core.Iterated_mis.run ~seed
+      ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+      ~tau ~detector:(Detector.static det) dual
+  in
+  (res, det)
+
+let test_iterated_properties () =
+  List.iter
+    (fun tau ->
+      let dual = Rn_harness.Harness.geometric ~seed:tau ~n:48 ~degree:9 () in
+      let res, _det = run_iterated ~tau dual in
+      let g = Dual.g dual in
+      let dominator = Array.map (fun o -> o = Some 1) res.R.outputs in
+      (* Lemma 6.1(a): every process is a dominator or has a G-neighbour
+         dominator *)
+      Array.iteri
+        (fun v is_dom ->
+          if not is_dom then
+            Alcotest.(check bool)
+              (Printf.sprintf "tau=%d: process %d dominated in G" tau v)
+              true
+              (Array.exists (fun u -> dominator.(u)) (Graph.neighbors g v)))
+        dominator;
+      (* Lemma 6.1(b): constant winners within G' range — bound by a
+         generous constant times (tau+1) *)
+      let worst = ref 0 in
+      Graph.fold_nodes
+        (fun v () ->
+          let c =
+            Array.fold_left
+              (fun c u -> if dominator.(u) then c + 1 else c)
+              0
+              (Graph.neighbors (Dual.g' dual) v)
+          in
+          if c > !worst then worst := c)
+        (Dual.g' dual) ();
+      Alcotest.(check bool)
+        (Printf.sprintf "tau=%d: density bounded (got %d)" tau !worst)
+        true
+        (!worst <= 12 * (tau + 1)))
+    [ 0; 1; 2 ]
+
+let test_iterated_schedule () =
+  let dual = Dual.classic (Gen.ring 16) in
+  let res, _ = run_iterated ~tau:2 dual in
+  Alcotest.check Alcotest.int "3x MIS schedule"
+    (Core.Iterated_mis.schedule_rounds Core.Params.default ~n:16 ~tau:2)
+    res.R.rounds
+
+let test_iterated_joined_once () =
+  let dual = Rn_harness.Harness.geometric ~seed:5 ~n:40 ~degree:8 () in
+  let res, _ = run_iterated ~tau:2 dual in
+  Array.iteri
+    (fun v outcome ->
+      match outcome with
+      | Some (o : Core.Iterated_mis.outcome) ->
+        Alcotest.(check bool) "dominator iff output 1" true
+          (o.dominator = (res.R.outputs.(v) = Some 1));
+        (match o.iteration_joined with
+        | Some it -> Alcotest.(check bool) "iteration in range" true (it >= 1 && it <= 3)
+        | None -> Alcotest.(check bool) "non-dominator" false o.dominator)
+      | None -> Alcotest.fail "no return")
+    res.R.returns
+
+let test_iterated_negative_tau () =
+  let dual = Dual.classic (Gen.path 4) in
+  let det = Detector.perfect (Dual.g dual) in
+  Alcotest.(check bool) "negative tau rejected" true
+    (try
+       ignore (Core.Iterated_mis.run ~tau:(-1) ~detector:(Detector.static det) dual);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- exploration CCDS --- *)
+
+let run_explore ?(adversary = Rn_sim.Adversary.bernoulli 0.5) ?(seed = 1) ?b_bits ~tau dual =
+  let det = detector_for ~seed ~tau dual in
+  let res =
+    Core.Explore_ccds.run ~seed ~adversary ?b_bits ~tau ~detector:(Detector.static det) dual
+  in
+  (res, det)
+
+let check_solves ?seed ?b_bits ~tau name dual =
+  let res, det = run_explore ?seed ?b_bits ~tau dual in
+  let rep = Verify.Ccds_check.check ~h:(Detector.h_graph det) ~g':(Dual.g' dual) res.R.outputs in
+  Alcotest.(check bool)
+    (name ^ ": " ^ String.concat "; " rep.violations)
+    true (Verify.Ccds_check.ok rep);
+  (res, det)
+
+let test_explore_taus () =
+  List.iter
+    (fun tau ->
+      let dual = Rn_harness.Harness.geometric ~seed:(20 + tau) ~n:48 ~degree:9 () in
+      ignore (check_solves ~tau (Printf.sprintf "tau=%d" tau) dual))
+    [ 0; 1; 2; 3 ]
+
+let test_explore_topologies () =
+  List.iter
+    (fun (name, g) -> ignore (check_solves ~tau:0 name (Dual.classic g)))
+    [ ("path", Gen.path 12); ("ring", Gen.ring 12); ("star", Gen.star 9); ("clique", Gen.clique 8) ]
+
+let test_explore_small_b () =
+  (* tau = 0 (no detector labels) with a bound big enough for gossip *)
+  let dual = Rn_harness.Harness.geometric ~seed:30 ~n:40 ~degree:8 () in
+  let id = Rn_util.Ilog.log2_up 40 in
+  ignore (check_solves ~tau:0 ~b_bits:(10 * id) "explore small b" dual)
+
+let test_explore_b_too_small () =
+  let dual = Dual.classic (Gen.path 6) in
+  Alcotest.(check bool) "gossip-impossible b rejected" true
+    (try
+       ignore (run_explore ~tau:0 ~b_bits:8 dual);
+       false
+     with Invalid_argument _ -> true)
+
+let test_explore_targets_are_dominators () =
+  let dual = Rn_harness.Harness.geometric ~seed:31 ~n:48 ~degree:9 () in
+  let res, _ = run_explore ~tau:1 dual in
+  let dominator =
+    Array.map
+      (function Some (o : Core.Explore_ccds.outcome) -> o.dominator | None -> false)
+      res.R.returns
+  in
+  Array.iter
+    (function
+      | Some (o : Core.Explore_ccds.outcome) when o.dominator ->
+        List.iter
+          (fun (t, _) ->
+            Alcotest.(check bool) (Printf.sprintf "target %d is dominator" t) true
+              dominator.(t))
+          o.targets
+      | _ -> ())
+    res.R.returns
+
+let test_explore_dominators_in_ccds () =
+  let dual = Rn_harness.Harness.geometric ~seed:32 ~n:40 ~degree:8 () in
+  let res, _ = run_explore ~tau:1 dual in
+  Array.iteri
+    (fun v o ->
+      match o with
+      | Some (o : Core.Explore_ccds.outcome) ->
+        if o.dominator then
+          Alcotest.(check bool) "dominator joined" true (res.R.outputs.(v) = Some 1);
+        Alcotest.(check bool) "in_ccds iff output 1" true
+          (o.in_ccds = (res.R.outputs.(v) = Some 1))
+      | None -> Alcotest.fail "no return")
+    res.R.returns
+
+let test_explore_grows_with_tau () =
+  let dual = Rn_harness.Harness.geometric ~seed:33 ~n:40 ~degree:8 () in
+  let r0, _ = run_explore ~tau:0 dual in
+  let r2, _ = run_explore ~tau:2 dual in
+  Alcotest.(check bool) "more iterations, more rounds" true (r2.R.rounds > r0.R.rounds)
+
+let test_bridge_solved () =
+  (* the Lemma 7.2 setting end-to-end *)
+  let r = Rn_games.Reduction.bridge_run ~beta:6 ~seed:2 () in
+  Alcotest.(check bool)
+    ("bridge: " ^ String.concat "; " r.report.violations)
+    true r.solved;
+  (* both bridge endpoints must be in the CCDS (they are the H-cut) *)
+  Alcotest.(check bool) "rounds recorded" true (r.rounds > 0)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "iterated-mis",
+        [
+          Alcotest.test_case "Lemma 6.1 properties" `Slow test_iterated_properties;
+          Alcotest.test_case "schedule length" `Quick test_iterated_schedule;
+          Alcotest.test_case "join bookkeeping" `Quick test_iterated_joined_once;
+          Alcotest.test_case "negative tau" `Quick test_iterated_negative_tau;
+        ] );
+      ( "explore-ccds",
+        [
+          Alcotest.test_case "tau sweep" `Slow test_explore_taus;
+          Alcotest.test_case "topologies" `Slow test_explore_topologies;
+          Alcotest.test_case "small b" `Slow test_explore_small_b;
+          Alcotest.test_case "b too small rejected" `Quick test_explore_b_too_small;
+          Alcotest.test_case "targets are dominators" `Quick
+            test_explore_targets_are_dominators;
+          Alcotest.test_case "dominators join" `Quick test_explore_dominators_in_ccds;
+          Alcotest.test_case "rounds grow with tau" `Quick test_explore_grows_with_tau;
+          Alcotest.test_case "bridge solved" `Quick test_bridge_solved;
+        ] );
+    ]

@@ -1,0 +1,158 @@
+(* Tests for the Section 7 games and reductions. *)
+
+module Rng = Rn_util.Rng
+module Single = Rn_games.Single_game
+module Double = Rn_games.Double_game
+module Reduction = Rn_games.Reduction
+module Graph = Rn_graph.Graph
+module Dual = Rn_graph.Dual
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- single hitting game --- *)
+
+let test_permutation_hits_within_beta () =
+  let rng = Rng.create 1 in
+  for target = 1 to 16 do
+    match Single.play rng Permutation ~beta:16 ~target ~max_rounds:16 with
+    | Some r -> Alcotest.(check bool) "within beta" true (r >= 1 && r <= 16)
+    | None -> Alcotest.fail "permutation must hit within beta"
+  done
+
+let test_memoryless_eventually_hits () =
+  let rng = Rng.create 2 in
+  match Single.play rng Memoryless ~beta:8 ~target:5 ~max_rounds:10_000 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "memoryless should hit in 10k rounds"
+
+let test_target_out_of_range () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "bad target" (Invalid_argument "Single_game.play: target")
+    (fun () -> ignore (Single.play rng Permutation ~beta:4 ~target:5 ~max_rounds:10))
+
+let test_mean_rounds_linear () =
+  let rng = Rng.create 4 in
+  let m8 = Single.mean_rounds rng Permutation ~beta:8 ~samples:500 in
+  let m64 = Single.mean_rounds rng Permutation ~beta:64 ~samples:500 in
+  (* optimal means are about (beta+1)/2 *)
+  Alcotest.(check bool) "mean beta=8 near 4.5" true (abs_float (m8 -. 4.5) < 1.0);
+  Alcotest.(check bool) "mean beta=64 near 32.5" true (abs_float (m64 -. 32.5) < 5.0);
+  Alcotest.(check bool) "linear growth" true (m64 /. m8 > 4.0)
+
+let test_custom_strategy () =
+  let rng = Rng.create 5 in
+  (* a sweep strategy as Custom *)
+  let sweep = Single.Custom (fun _rng ~beta ~round -> 1 + ((round - 1) mod beta)) in
+  Alcotest.(check (option Alcotest.int))
+    "sweep hits target 3 at round 3" (Some 3)
+    (Single.play rng sweep ~beta:8 ~target:3 ~max_rounds:8)
+
+let prop_quantile_at_least_mean_target =
+  QCheck.Test.make ~name:"p90 worst target >= beta/2 (no free lunch)" ~count:5
+    (QCheck.int_range 4 32) (fun beta ->
+      let rng = Rng.create beta in
+      Single.quantile_rounds rng Permutation ~beta ~samples:50 ~q:0.9
+      >= float_of_int beta /. 2.0)
+
+(* --- double hitting game --- *)
+
+let test_sweep_players_solve () =
+  let beta = 12 in
+  let pa, pb = Double.sweep_players ~beta in
+  let worst, unsolved = Double.worst_case ~pa ~pb ~beta ~seed:1 in
+  Alcotest.check Alcotest.int "all pairs solved" 0 unsolved;
+  Alcotest.(check bool) "within beta rounds" true (worst <= beta)
+
+let test_trace_hits () =
+  let trace = [| [ 3 ]; []; [ 1; 2 ]; [ 5 ] |] in
+  Alcotest.(check (option Alcotest.int)) "hit at 1" (Some 1) (Double.trace_hits trace 3);
+  Alcotest.(check (option Alcotest.int)) "hit at 3" (Some 3) (Double.trace_hits trace 2);
+  Alcotest.(check (option Alcotest.int)) "miss" None (Double.trace_hits trace 9)
+
+let test_double_to_single () =
+  let beta2 = 8 in
+  let pa, pb = Double.sweep_players ~beta:beta2 in
+  let automaton = Double.double_to_single ~pa ~pb ~beta2 ~rounds:beta2 ~samples:3 ~seed:2 in
+  for target = 1 to beta2 / 2 do
+    match Double.play_single automaton ~target ~seed:3 with
+    | Some r -> Alcotest.(check bool) "hit within 2*beta" true (r <= beta2)
+    | None -> Alcotest.fail (Printf.sprintf "target %d never hit" target)
+  done
+
+(* --- the CCDS reduction (Lemma 7.2) --- *)
+
+let test_clique_trace_shape () =
+  let beta = 4 in
+  let trace = Reduction.ccds_clique_trace ~beta ~seed:1 () in
+  Alcotest.(check bool) "trace non-trivial" true (Array.length trace > 100);
+  Array.iter
+    (List.iter (fun g ->
+         Alcotest.(check bool) "guesses in [1,beta]" true (g >= 1 && g <= beta)))
+    trace;
+  (* the CCDS of a clique contains at least one process: termination
+     guesses exist *)
+  Alcotest.(check bool) "some guess emitted" true
+    (Array.exists (fun gs -> gs <> []) trace)
+
+let test_ccds_players_solve_all_pairs () =
+  let beta = 4 in
+  let pa, pb = Reduction.ccds_players ~beta () in
+  let worst, unsolved = Double.worst_case ~pa ~pb ~beta ~seed:5 in
+  Alcotest.check Alcotest.int "all pairs solved" 0 unsolved;
+  Alcotest.(check bool) "positive solve time" true (worst > 0)
+
+let test_planted_detector_is_1_complete () =
+  let beta = 5 in
+  let dual = Reduction.clique_with_phantom ~beta in
+  let det = Reduction.planted_detector ~beta in
+  Alcotest.(check bool) "1-complete" true
+    (Rn_detect.Detector.is_tau_complete det ~tau:1 (Dual.g dual))
+
+let test_bridge_detector_is_1_complete () =
+  let beta = 5 in
+  let dual = Rn_graph.Gen.bridge_cliques ~beta () in
+  let det = Reduction.bridge_detector ~beta in
+  Alcotest.(check bool) "1-complete" true
+    (Rn_detect.Detector.is_tau_complete det ~tau:1 (Dual.g dual));
+  (* H of the planted detector is exactly G: cliques plus the bridge *)
+  let h = Rn_detect.Detector.h_graph det in
+  Alcotest.(check bool) "H = G" true (Graph.edges h = Graph.edges (Dual.g dual))
+
+let test_bridge_run_solves () =
+  let r = Reduction.bridge_run ~beta:4 ~seed:1 () in
+  Alcotest.(check bool) ("solved: " ^ String.concat ";" r.report.violations) true r.solved
+
+let test_bridge_rounds_grow () =
+  let r4 = Reduction.bridge_run ~beta:4 ~seed:1 () in
+  let r16 = Reduction.bridge_run ~beta:16 ~seed:1 () in
+  Alcotest.(check bool) "rounds grow with beta" true
+    (float_of_int r16.rounds /. float_of_int r4.rounds > 2.0)
+
+let () =
+  Alcotest.run "games"
+    [
+      ( "single",
+        [
+          Alcotest.test_case "permutation within beta" `Quick test_permutation_hits_within_beta;
+          Alcotest.test_case "memoryless hits" `Quick test_memoryless_eventually_hits;
+          Alcotest.test_case "target range" `Quick test_target_out_of_range;
+          Alcotest.test_case "means linear" `Quick test_mean_rounds_linear;
+          Alcotest.test_case "custom strategy" `Quick test_custom_strategy;
+          qtest prop_quantile_at_least_mean_target;
+        ] );
+      ( "double",
+        [
+          Alcotest.test_case "sweep players" `Quick test_sweep_players_solve;
+          Alcotest.test_case "trace hits" `Quick test_trace_hits;
+          Alcotest.test_case "double-to-single" `Quick test_double_to_single;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "clique trace" `Quick test_clique_trace_shape;
+          Alcotest.test_case "ccds players solve" `Slow test_ccds_players_solve_all_pairs;
+          Alcotest.test_case "planted detector" `Quick test_planted_detector_is_1_complete;
+          Alcotest.test_case "bridge detector" `Quick test_bridge_detector_is_1_complete;
+          Alcotest.test_case "bridge run solves" `Quick test_bridge_run_solves;
+          Alcotest.test_case "bridge rounds grow" `Slow test_bridge_rounds_grow;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for rn_geom: points and the Section 4 disk overlay. *)
+
+module Point = Rn_geom.Point
+module Overlay = Rn_geom.Overlay
+module Rng = Rn_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let point_gen =
+  QCheck.Gen.map2 (fun x y -> Point.make x y)
+    (QCheck.Gen.float_range (-50.0) 50.0)
+    (QCheck.Gen.float_range (-50.0) 50.0)
+
+let arb_point = QCheck.make ~print:(Format.asprintf "%a" Point.pp) point_gen
+
+let test_point_basic () =
+  let a = Point.make 0.0 0.0 and b = Point.make 3.0 4.0 in
+  Alcotest.check (Alcotest.float 1e-9) "dist 3-4-5" 5.0 (Point.dist a b);
+  Alcotest.check (Alcotest.float 1e-9) "dist2" 25.0 (Point.dist2 a b);
+  Alcotest.(check bool) "add" true (Point.equal (Point.add a b) b);
+  Alcotest.(check bool) "sub" true (Point.equal (Point.sub b b) Point.origin);
+  Alcotest.(check bool) "scale" true
+    (Point.equal (Point.scale 2.0 b) (Point.make 6.0 8.0))
+
+let prop_dist_symmetric =
+  QCheck.Test.make ~name:"dist symmetric" ~count:300 (QCheck.pair arb_point arb_point)
+    (fun (a, b) -> abs_float (Point.dist a b -. Point.dist b a) < 1e-9)
+
+let prop_dist_triangle =
+  QCheck.Test.make ~name:"triangle inequality" ~count:300
+    (QCheck.triple arb_point arb_point arb_point)
+    (fun (a, b, c) -> Point.dist a c <= Point.dist a b +. Point.dist b c +. 1e-9)
+
+let prop_dist2_consistent =
+  QCheck.Test.make ~name:"dist2 = dist^2" ~count:300 (QCheck.pair arb_point arb_point)
+    (fun (a, b) -> abs_float (Point.dist2 a b -. (Point.dist a b ** 2.0)) < 1e-6)
+
+let test_point_random_in_box () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 100 do
+    let p = Point.random rng ~w:3.0 ~h:2.0 in
+    Alcotest.(check bool) "in box" true (p.x >= 0.0 && p.x < 3.0 && p.y >= 0.0 && p.y < 2.0)
+  done
+
+(* --- Overlay --- *)
+
+let prop_overlay_covers =
+  QCheck.Test.make ~name:"every point covered by its disk" ~count:500 arb_point
+    Overlay.covered
+
+let prop_overlay_nearest =
+  QCheck.Test.make ~name:"disk_of_point is the nearest lattice centre" ~count:300
+    arb_point (fun p ->
+      let i, j = Overlay.disk_of_point p in
+      let d0 = Point.dist (Overlay.center i j) p in
+      (* brute force over a window of lattice points around the answer *)
+      let ok = ref true in
+      for di = -3 to 3 do
+        for dj = -3 to 3 do
+          if Point.dist (Overlay.center (i + di) (j + dj)) p < d0 -. 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+let test_overlay_pitch () =
+  (* nearest-neighbour spacing is sqrt(3) * radius: disks cover exactly *)
+  Alcotest.check (Alcotest.float 1e-9) "pitch" (sqrt 3.0 *. 0.5) Overlay.pitch;
+  let d = Point.dist (Overlay.center 0 0) (Overlay.center 1 0) in
+  Alcotest.check (Alcotest.float 1e-9) "basis v1 length" Overlay.pitch d;
+  let d2 = Point.dist (Overlay.center 0 0) (Overlay.center 0 1) in
+  Alcotest.check (Alcotest.float 1e-9) "basis v2 length" Overlay.pitch d2
+
+let test_i_r_monotone () =
+  let last = ref 0 in
+  List.iter
+    (fun r ->
+      let v = Overlay.i_r r in
+      Alcotest.(check bool) (Printf.sprintf "I_%.1f >= previous" r) true (v >= !last);
+      last := v)
+    [ 0.0; 0.5; 1.0; 2.0; 3.0; 4.0 ]
+
+let test_i_r_small () =
+  (* A degenerate disk (r = 0) still intersects every overlay disk whose
+     centre is within 1/2: at least 1, at most a few. *)
+  let v = Overlay.i_r 0.0 in
+  Alcotest.(check bool) "I_0 in [1,4]" true (v >= 1 && v <= 4)
+
+let test_i_r_growth () =
+  (* I_r grows like the area ratio: approx (r + 1/2)^2 / (pitch Voronoi
+     cell area).  Check the r=2 value against a generous envelope. *)
+  let v = Overlay.i_r 2.0 in
+  Alcotest.(check bool) "I_2 plausible" true (v >= 20 && v <= 50)
+
+let test_i_r_cached () =
+  Alcotest.check Alcotest.int "cache consistent" (Overlay.i_r 1.5) (Overlay.i_r_cached 1.5);
+  Alcotest.check Alcotest.int "cache stable" (Overlay.i_r_cached 1.5) (Overlay.i_r_cached 1.5)
+
+let test_i_r_negative () =
+  Alcotest.check_raises "negative radius" (Invalid_argument "Overlay.i_r: negative radius")
+    (fun () -> ignore (Overlay.i_r (-1.0)))
+
+let test_centers_within () =
+  let p = Overlay.center 0 0 in
+  let cs = Overlay.centers_within p 0.1 in
+  Alcotest.(check bool) "own centre included" true (List.mem (0, 0) cs);
+  Alcotest.check Alcotest.int "only own centre at tiny range" 1 (List.length cs);
+  let cs2 = Overlay.centers_within p (Overlay.pitch +. 0.01) in
+  (* 6 neighbours on the triangular lattice plus itself *)
+  Alcotest.check Alcotest.int "hex neighbourhood" 7 (List.length cs2)
+
+let prop_centers_within_sound =
+  QCheck.Test.make ~name:"centers_within returns centres in range" ~count:200
+    (QCheck.pair arb_point (QCheck.float_range 0.2 5.0))
+    (fun (p, range) ->
+      List.for_all
+        (fun (i, j) -> Point.dist (Overlay.center i j) p <= range +. 1e-9)
+        (Overlay.centers_within p range))
+
+let () =
+  Alcotest.run "rn_geom"
+    [
+      ( "point",
+        [
+          Alcotest.test_case "basic" `Quick test_point_basic;
+          Alcotest.test_case "random in box" `Quick test_point_random_in_box;
+          qtest prop_dist_symmetric;
+          qtest prop_dist_triangle;
+          qtest prop_dist2_consistent;
+        ] );
+      ( "overlay",
+        [
+          Alcotest.test_case "pitch and basis" `Quick test_overlay_pitch;
+          Alcotest.test_case "I_r monotone" `Quick test_i_r_monotone;
+          Alcotest.test_case "I_0 small" `Quick test_i_r_small;
+          Alcotest.test_case "I_2 plausible" `Quick test_i_r_growth;
+          Alcotest.test_case "I_r cached" `Quick test_i_r_cached;
+          Alcotest.test_case "negative radius" `Quick test_i_r_negative;
+          Alcotest.test_case "centers_within" `Quick test_centers_within;
+          qtest prop_overlay_covers;
+          qtest prop_overlay_nearest;
+          qtest prop_centers_within_sound;
+        ] );
+    ]

@@ -1,0 +1,276 @@
+(* Tests for rn_graph: graphs, algorithms, dual graphs and generators. *)
+
+module Graph = Rn_graph.Graph
+module Algo = Rn_graph.Algo
+module Dual = Rn_graph.Dual
+module Gen = Rn_graph.Gen
+module Rng = Rn_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Random edge lists over a small node range. *)
+let arb_edges n =
+  QCheck.(
+    list_of_size (Gen.int_range 0 60)
+      (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    |> map (List.filter (fun (u, v) -> u <> v)))
+
+(* ---------------- Graph ---------------- *)
+
+let test_graph_dedup () =
+  let g = Graph.of_edges 4 [ (0, 1); (1, 0); (0, 1); (2, 3) ] in
+  Alcotest.check Alcotest.int "edge count" 2 (Graph.edge_count g);
+  Alcotest.(check bool) "mem" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "symmetric" true (Graph.mem_edge g 1 0)
+
+let test_graph_errors () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self loop")
+    (fun () -> ignore (Graph.of_edges 3 [ (1, 1) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph.of_edges: endpoint out of range") (fun () ->
+      ignore (Graph.of_edges 3 [ (0, 3) ]))
+
+let test_graph_neighbors_sorted () =
+  let g = Graph.of_edges 5 [ (2, 4); (2, 0); (2, 3); (2, 1) ] in
+  Alcotest.(check (array Alcotest.int)) "sorted" [| 0; 1; 3; 4 |] (Graph.neighbors g 2);
+  Alcotest.check Alcotest.int "degree" 4 (Graph.degree g 2);
+  Alcotest.check Alcotest.int "max degree" 4 (Graph.max_degree g)
+
+let prop_mem_edge_consistent =
+  QCheck.Test.make ~name:"mem_edge matches edge list" ~count:200 (arb_edges 12)
+    (fun edges ->
+      let g = Graph.of_edges 12 edges in
+      let canon (u, v) = if u < v then (u, v) else (v, u) in
+      let set = List.sort_uniq compare (List.map canon edges) in
+      List.for_all (fun (u, v) -> Graph.mem_edge g u v) set
+      && List.length (Graph.edges g) = List.length set)
+
+let prop_degree_sum =
+  QCheck.Test.make ~name:"sum of degrees = 2m" ~count:200 (arb_edges 12) (fun edges ->
+      let g = Graph.of_edges 12 edges in
+      Graph.fold_nodes (fun v acc -> acc + Graph.degree g v) g 0
+      = 2 * Graph.edge_count g)
+
+let test_graph_union () =
+  let a = Graph.of_edges 4 [ (0, 1) ] and b = Graph.of_edges 4 [ (1, 2) ] in
+  let u = Graph.union a b in
+  Alcotest.check Alcotest.int "union edges" 2 (Graph.edge_count u);
+  Alcotest.(check bool) "subgraph a" true (Graph.is_subgraph a u);
+  Alcotest.(check bool) "subgraph b" true (Graph.is_subgraph b u);
+  Alcotest.(check bool) "not subgraph u of a" false (Graph.is_subgraph u a)
+
+let test_graph_induced () =
+  let g = Gen.clique 5 in
+  let sub = Graph.induced g (fun v -> v < 3) in
+  Alcotest.check Alcotest.int "induced K3" 3 (Graph.edge_count sub)
+
+(* ---------------- Algo ---------------- *)
+
+let test_bfs_path () =
+  let g = Gen.path 5 in
+  let d = Algo.bfs_dist g 0 in
+  Alcotest.(check (array Alcotest.int)) "distances" [| 0; 1; 2; 3; 4 |] d;
+  Alcotest.check Alcotest.int "diameter" 4 (Algo.diameter g);
+  Alcotest.check Alcotest.int "eccentricity mid" 2 (Algo.eccentricity g 2)
+
+let test_bfs_disconnected () =
+  let g = Graph.of_edges 4 [ (0, 1) ] in
+  let d = Algo.bfs_dist g 0 in
+  Alcotest.(check bool) "unreachable" true (d.(3) = Algo.unreachable);
+  Alcotest.(check bool) "not connected" true (not (Algo.is_connected g));
+  Alcotest.check Alcotest.int "components" 3 (Algo.connected_components g)
+
+let test_ring_diameter () =
+  Alcotest.check Alcotest.int "ring 8 diameter" 4 (Algo.diameter (Gen.ring 8));
+  Alcotest.check Alcotest.int "ring 9 diameter" 4 (Algo.diameter (Gen.ring 9))
+
+let test_within_hops () =
+  let g = Gen.path 6 in
+  Alcotest.(check (list Alcotest.int)) "2 hops of node 0" [ 1; 2 ] (Algo.within_hops g 0 2);
+  Alcotest.(check (list Alcotest.int)) "1 hop of node 3" [ 2; 4 ] (Algo.within_hops g 3 1)
+
+let test_connected_subset () =
+  let g = Gen.path 5 in
+  Alcotest.(check bool) "contiguous" true (Algo.is_connected_subset g [ 1; 2; 3 ]);
+  Alcotest.(check bool) "gap" false (Algo.is_connected_subset g [ 0; 2 ]);
+  Alcotest.(check bool) "empty" true (Algo.is_connected_subset g []);
+  Alcotest.(check bool) "singleton" true (Algo.is_connected_subset g [ 4 ])
+
+let prop_shortest_path_valid =
+  QCheck.Test.make ~name:"shortest_path is a valid shortest path" ~count:200
+    (arb_edges 10) (fun edges ->
+      let g = Graph.of_edges 10 edges in
+      let d = Algo.bfs_dist g 0 in
+      List.for_all
+        (fun dst ->
+          match Algo.shortest_path g 0 dst with
+          | None -> d.(dst) = Algo.unreachable
+          | Some path ->
+            let rec ok = function
+              | a :: (b :: _ as rest) -> Graph.mem_edge g a b && ok rest
+              | [ last ] -> last = dst
+              | [] -> false
+            in
+            List.hd path = 0 && ok path && List.length path = d.(dst) + 1)
+        (List.init 10 Fun.id))
+
+let test_independent_set () =
+  let g = Gen.path 5 in
+  Alcotest.(check bool) "alternating" true (Algo.is_independent_set g [ 0; 2; 4 ]);
+  Alcotest.(check bool) "adjacent" false (Algo.is_independent_set g [ 0; 1 ])
+
+(* ---------------- Gen ---------------- *)
+
+let test_shapes () =
+  Alcotest.check Alcotest.int "clique edges" 10 (Graph.edge_count (Gen.clique 5));
+  Alcotest.check Alcotest.int "path edges" 4 (Graph.edge_count (Gen.path 5));
+  Alcotest.check Alcotest.int "ring edges" 5 (Graph.edge_count (Gen.ring 5));
+  Alcotest.check Alcotest.int "star edges" 4 (Graph.edge_count (Gen.star 5));
+  Alcotest.check Alcotest.int "star centre degree" 4 (Graph.degree (Gen.star 5) 0)
+
+let test_geometric_instance () =
+  let rng = Rng.create 8 in
+  let spec = Gen.default_spec ~n:60 ~side:(Gen.side_for_degree ~n:60 ~target_degree:10) () in
+  let dual = Gen.geometric ~rng spec in
+  Alcotest.(check bool) "G connected" true (Algo.is_connected (Dual.g dual));
+  Alcotest.(check bool) "E subset E'" true (Graph.is_subgraph (Dual.g dual) (Dual.g' dual));
+  let pos = match Dual.positions dual with Some p -> p | None -> Alcotest.fail "no positions" in
+  (* spot-check the geometric constraints *)
+  let n = Dual.n dual in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Rn_geom.Point.dist pos.(u) pos.(v) in
+      if d <= 1.0 then
+        Alcotest.(check bool) "unit pair reliable" true (Graph.mem_edge (Dual.g dual) u v);
+      if Graph.mem_edge (Dual.g' dual) u v then
+        Alcotest.(check bool) "G' edge within d" true (d <= spec.d +. 1e-9)
+    done
+  done
+
+let test_geometric_deterministic () =
+  let mk seed =
+    let rng = Rng.create seed in
+    Gen.geometric ~rng (Gen.default_spec ~n:40 ~side:4.0 ())
+  in
+  let a = mk 5 and b = mk 5 in
+  Alcotest.(check bool) "same seed same graph" true
+    (Graph.edges (Dual.g a) = Graph.edges (Dual.g b))
+
+let test_grid_jitter_connected () =
+  let rng = Rng.create 2 in
+  let dual = Gen.grid_jitter ~rng ~rows:6 ~cols:7 () in
+  Alcotest.check Alcotest.int "node count" 42 (Dual.n dual);
+  Alcotest.(check bool) "connected" true (Algo.is_connected (Dual.g dual))
+
+let test_bridge_cliques () =
+  let beta = 5 in
+  let dual = Gen.bridge_cliques ~beta () in
+  let g = Dual.g dual in
+  Alcotest.check Alcotest.int "n" 10 (Dual.n dual);
+  (* two K5 plus the bridge *)
+  Alcotest.check Alcotest.int "edges" ((2 * 10) + 1) (Graph.edge_count g);
+  Alcotest.(check bool) "bridge edge" true (Graph.mem_edge g 0 beta);
+  Alcotest.(check bool) "no other cross edge" false (Graph.mem_edge g 1 (beta + 1));
+  Alcotest.check Alcotest.int "gray count" ((beta * beta) - 1) (Dual.gray_count dual);
+  Alcotest.(check bool) "G' complete" true
+    (Graph.edge_count (Dual.g' dual) = 10 * 9 / 2);
+  Alcotest.(check bool) "connected" true (Algo.is_connected g)
+
+let test_bridge_custom_endpoints () =
+  let dual = Gen.bridge_cliques ~beta:4 ~bridge_a:2 ~bridge_b:6 () in
+  Alcotest.(check bool) "custom bridge" true (Graph.mem_edge (Dual.g dual) 2 6);
+  Alcotest.(check bool) "default bridge absent" false (Graph.mem_edge (Dual.g dual) 0 4)
+
+let test_clusters_generator () =
+  let rng = Rng.create 3 in
+  let dual = Gen.clusters ~rng ~clusters:4 ~per_cluster:10 () in
+  Alcotest.(check bool) "connected" true (Algo.is_connected (Dual.g dual));
+  Alcotest.(check bool) "E subset E'" true (Graph.is_subgraph (Dual.g dual) (Dual.g' dual));
+  Alcotest.(check bool) "has positions" true (Dual.positions dual <> None);
+  Alcotest.(check bool) "at least the cluster members" true (Dual.n dual >= 40)
+
+let test_side_for_degree () =
+  Alcotest.(check bool) "larger degree smaller box" true
+    (Gen.side_for_degree ~n:100 ~target_degree:20
+    < Gen.side_for_degree ~n:100 ~target_degree:10)
+
+(* ---------------- Dual ---------------- *)
+
+let test_dual_classic () =
+  let d = Dual.classic (Gen.ring 6) in
+  Alcotest.check Alcotest.int "no gray" 0 (Dual.gray_count d);
+  Alcotest.(check bool) "G = G'" true
+    (Graph.edges (Dual.g d) = Graph.edges (Dual.g' d))
+
+let test_dual_gray_adj () =
+  let g = Gen.path 4 in
+  let dual = Dual.make ~g ~gray:[ (0, 2); (1, 3) ] () in
+  Alcotest.check Alcotest.int "gray count" 2 (Dual.gray_count dual);
+  (* each gray edge indexed consistently from both endpoints *)
+  Array.iteri
+    (fun e (u, v) ->
+      let has node other =
+        Array.exists (fun (w, i) -> w = other && i = e) (Dual.gray_adj dual node)
+      in
+      Alcotest.(check bool) "endpoint u sees e" true (has u v);
+      Alcotest.(check bool) "endpoint v sees e" true (has v u))
+    (Dual.gray_edges dual)
+
+let test_dual_gray_dedup () =
+  let g = Gen.path 4 in
+  (* gray edges already in G are dropped; duplicates collapse *)
+  let dual = Dual.make ~g ~gray:[ (0, 1); (0, 2); (2, 0) ] () in
+  Alcotest.check Alcotest.int "gray deduped" 1 (Dual.gray_count dual)
+
+let test_dual_geometry_validation () =
+  let pos = [| Rn_geom.Point.make 0.0 0.0; Rn_geom.Point.make 0.5 0.0 |] in
+  (* unit-distance pair must be a reliable edge *)
+  Alcotest.check_raises "missing unit edge"
+    (Invalid_argument "Dual.make: unit-distance pair missing from E") (fun () ->
+      ignore (Dual.make ~pos ~g:(Graph.of_edges 2 []) ~gray:[] ()));
+  let pos2 = [| Rn_geom.Point.make 0.0 0.0; Rn_geom.Point.make 5.0 0.0 |] in
+  Alcotest.check_raises "edge too long" (Invalid_argument "Dual.make: G' edge longer than d")
+    (fun () -> ignore (Dual.make ~pos:pos2 ~g:(Graph.of_edges 2 [ (0, 1) ]) ~gray:[] ()))
+
+let () =
+  Alcotest.run "rn_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "dedup" `Quick test_graph_dedup;
+          Alcotest.test_case "errors" `Quick test_graph_errors;
+          Alcotest.test_case "neighbors sorted" `Quick test_graph_neighbors_sorted;
+          Alcotest.test_case "union/subgraph" `Quick test_graph_union;
+          Alcotest.test_case "induced" `Quick test_graph_induced;
+          qtest prop_mem_edge_consistent;
+          qtest prop_degree_sum;
+        ] );
+      ( "algo",
+        [
+          Alcotest.test_case "bfs on path" `Quick test_bfs_path;
+          Alcotest.test_case "disconnected" `Quick test_bfs_disconnected;
+          Alcotest.test_case "ring diameter" `Quick test_ring_diameter;
+          Alcotest.test_case "within hops" `Quick test_within_hops;
+          Alcotest.test_case "connected subset" `Quick test_connected_subset;
+          Alcotest.test_case "independent set" `Quick test_independent_set;
+          qtest prop_shortest_path_valid;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "basic shapes" `Quick test_shapes;
+          Alcotest.test_case "geometric constraints" `Quick test_geometric_instance;
+          Alcotest.test_case "geometric deterministic" `Quick test_geometric_deterministic;
+          Alcotest.test_case "grid jitter connected" `Quick test_grid_jitter_connected;
+          Alcotest.test_case "bridge cliques" `Quick test_bridge_cliques;
+          Alcotest.test_case "bridge custom endpoints" `Quick test_bridge_custom_endpoints;
+          Alcotest.test_case "clusters generator" `Quick test_clusters_generator;
+          Alcotest.test_case "side for degree" `Quick test_side_for_degree;
+        ] );
+      ( "dual",
+        [
+          Alcotest.test_case "classic" `Quick test_dual_classic;
+          Alcotest.test_case "gray adjacency" `Quick test_dual_gray_adj;
+          Alcotest.test_case "gray dedup" `Quick test_dual_gray_dedup;
+          Alcotest.test_case "geometry validation" `Quick test_dual_geometry_validation;
+        ] );
+    ]

@@ -1,0 +1,66 @@
+(* Tests for the experiment harness plumbing. *)
+
+module Harness = Rn_harness.Harness
+module All = Rn_harness.All
+
+let test_ids_unique () =
+  let ids = All.ids in
+  Alcotest.check Alcotest.int "no duplicates"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_find () =
+  Alcotest.(check bool) "finds E1" true (All.find "E1" <> None);
+  Alcotest.(check bool) "case-insensitive" true (All.find "e4A" <> None);
+  Alcotest.(check bool) "unknown" true (All.find "nope" = None)
+
+let test_geometric_deterministic () =
+  let a = Harness.geometric ~seed:3 ~n:30 ~degree:6 () in
+  let b = Harness.geometric ~seed:3 ~n:30 ~degree:6 () in
+  Alcotest.(check bool) "same instance" true
+    (Rn_graph.Graph.edges (Rn_graph.Dual.g a) = Rn_graph.Graph.edges (Rn_graph.Dual.g b))
+
+let test_success_rate () =
+  Alcotest.check (Alcotest.float 1e-9) "empty" 0.0 (Harness.success_rate []);
+  Alcotest.check (Alcotest.float 1e-9) "half" 0.5 (Harness.success_rate [ true; false ]);
+  Alcotest.check (Alcotest.float 1e-9) "all" 1.0 (Harness.success_rate [ true; true ])
+
+let test_render () =
+  let r =
+    {
+      Harness.id = "X";
+      title = "t";
+      body = "body\n";
+      notes = [ "note1"; "note2" ];
+    }
+  in
+  let s = Harness.render r in
+  Alcotest.(check bool) "has id" true (String.length s > 0);
+  Alcotest.(check bool) "has notes" true
+    (List.exists (fun l -> l = "  . note1") (String.split_on_char '\n' s))
+
+(* Smoke-run two cheap experiments end to end (the full sweep is the
+   bench's job). *)
+let test_experiment_smoke () =
+  List.iter
+    (fun id ->
+      match All.find id with
+      | Some f ->
+        let r = f Harness.Quick in
+        Alcotest.(check bool) (id ^ " rendered") true (String.length r.body > 0)
+      | None -> Alcotest.fail ("missing " ^ id))
+    [ "E4a"; "E8b" ]
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "ids unique" `Quick test_ids_unique;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "geometric deterministic" `Quick test_geometric_deterministic;
+          Alcotest.test_case "success rate" `Quick test_success_rate;
+          Alcotest.test_case "render" `Quick test_render;
+          Alcotest.test_case "experiment smoke" `Slow test_experiment_smoke;
+        ] );
+    ]

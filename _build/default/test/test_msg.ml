@@ -1,0 +1,106 @@
+(* Tests of the message vocabulary's bit-size accounting. *)
+
+module Msg = Core.Msg
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let n = 256
+let id = Msg.id_bits ~n
+
+let test_id_bits () =
+  Alcotest.check Alcotest.int "id bits 256" 8 (Msg.id_bits ~n:256);
+  Alcotest.check Alcotest.int "id bits 2" 1 (Msg.id_bits ~n:2);
+  Alcotest.check Alcotest.int "id bits 1000" 10 (Msg.id_bits ~n:1000)
+
+let test_fixed_sizes () =
+  Alcotest.check Alcotest.int "stop order" (Msg.tag_bits + id)
+    (Msg.size_bits ~n (Msg.Stop_order { src = 1 }));
+  Alcotest.check Alcotest.int "selected" (Msg.tag_bits + (3 * id))
+    (Msg.size_bits ~n (Msg.Selected { src = 1; relay = 2; target = 3 }));
+  Alcotest.check Alcotest.int "explore req" (Msg.tag_bits + (3 * id))
+    (Msg.size_bits ~n (Msg.Explore_req { src = 1; target = 2; origin = 3 }));
+  Alcotest.check Alcotest.int "poll" (Msg.tag_bits + (2 * id))
+    (Msg.size_bits ~n (Msg.Poll { src = 1; who = 2 }))
+
+let test_unlabelled_contender () =
+  Alcotest.check Alcotest.int "contender" (Msg.tag_bits + id + 1)
+    (Msg.size_bits ~n (Msg.Contender { src = 1; lds = None }))
+
+let prop_banned_chunk_linear =
+  QCheck.Test.make ~name:"banned chunk grows by id_bits per id" ~count:100
+    (QCheck.int_range 0 50) (fun k ->
+      let ids = List.init k (fun i -> i) in
+      Msg.size_bits ~n (Msg.Banned_chunk { src = 0; ids })
+      = Msg.tag_bits + id + (k * id))
+
+let prop_lds_label_cost =
+  QCheck.Test.make ~name:"detector label costs length+ids" ~count:100
+    (QCheck.int_range 0 50) (fun k ->
+      let lds = Some (List.init k (fun i -> i)) in
+      let with_label = Msg.size_bits ~n (Msg.Mis_announce { src = 0; lds }) in
+      let without = Msg.size_bits ~n (Msg.Mis_announce { src = 0; lds = None }) in
+      with_label - without = id + (k * id))
+
+let prop_nominations_linear =
+  QCheck.Test.make ~name:"nominations cost 2 ids each" ~count:100 (QCheck.int_range 0 20)
+    (fun k ->
+      let noms = List.init k (fun i -> (i, i + 1)) in
+      Msg.size_bits ~n (Msg.Nominations { src = 0; noms })
+      = Msg.tag_bits + id + (2 * id * k))
+
+let prop_gossip_entries =
+  QCheck.Test.make ~name:"gossip entries cost id + master option" ~count:100
+    (QCheck.int_range 0 20) (fun k ->
+      let entries = List.init k (fun i -> { Msg.pid = i; master = (if i mod 2 = 0 then Some i else None) }) in
+      let base = Msg.tag_bits + id + 1 in
+      let expect =
+        List.fold_left
+          (fun acc (e : Msg.entry) ->
+            acc + id + (match e.master with Some _ -> 1 + id | None -> 1))
+          base entries
+      in
+      Msg.size_bits ~n (Msg.Gossip { src = 0; entries; lds = None }) = expect)
+
+let test_src_extraction () =
+  List.iter
+    (fun (m, expect) -> Alcotest.check Alcotest.int "src" expect (Msg.src m))
+    [
+      (Msg.Contender { src = 7; lds = None }, 7);
+      (Msg.Mis_announce { src = 8; lds = Some [ 1 ] }, 8);
+      (Msg.Banned_chunk { src = 9; ids = [ 1; 2 ] }, 9);
+      (Msg.Nominations { src = 10; noms = [] }, 10);
+      (Msg.Stop_order { src = 11 }, 11);
+      (Msg.Selected { src = 12; relay = 0; target = 0 }, 12);
+      (Msg.Explore_req { src = 13; target = 0; origin = 0 }, 13);
+      (Msg.Reply_chunk { src = 14; about = 0; ids = [] }, 14);
+      (Msg.Forward_chunk { src = 15; dest = 0; about = 0; ids = [] }, 15);
+      (Msg.Poll { src = 16; who = 0 }, 16);
+      (Msg.Announce { src = 17; master = None; lds = None }, 17);
+      (Msg.Gossip { src = 18; entries = []; lds = None }, 18);
+      (Msg.Path_select { src = 19; picks = [] }, 19);
+      (Msg.Relay_select { src = 20; xs = [] }, 20);
+    ]
+
+let test_chunk_helper () =
+  Alcotest.(check (list (list Alcotest.int)))
+    "chunks of 2"
+    [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (Core.Radio.chunks ~cap:2 [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check (list (list Alcotest.int))) "empty" [] (Core.Radio.chunks ~cap:3 [])
+
+let () =
+  Alcotest.run "msg"
+    [
+      ( "sizes",
+        [
+          Alcotest.test_case "id bits" `Quick test_id_bits;
+          Alcotest.test_case "fixed sizes" `Quick test_fixed_sizes;
+          Alcotest.test_case "unlabelled contender" `Quick test_unlabelled_contender;
+          Alcotest.test_case "src extraction" `Quick test_src_extraction;
+          Alcotest.test_case "chunk helper" `Quick test_chunk_helper;
+          qtest prop_banned_chunk_linear;
+          qtest prop_lds_label_cost;
+          qtest prop_nominations_linear;
+          qtest prop_gossip_entries;
+        ] );
+    ]

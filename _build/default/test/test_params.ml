@@ -1,0 +1,78 @@
+(* Params validation and the documented defaults. *)
+
+let test_default_valid () = Core.Params.validate Core.Params.default
+let test_fast_valid () = Core.Params.validate Core.Params.fast
+
+let test_invalid () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           Core.Params.validate p;
+           false
+         with Invalid_argument _ -> true))
+    [
+      { Core.Params.default with c_phase = 0 };
+      { Core.Params.default with c_epochs = -1 };
+      { Core.Params.default with c_bb = 0 };
+      { Core.Params.default with bb_cap = -1 };
+      { Core.Params.default with c_dd = 0 };
+      { Core.Params.default with delta_bb = -1 };
+      { Core.Params.default with search_epochs = 0 };
+      { Core.Params.default with c_listen = 0 };
+      { Core.Params.default with max_async_epochs = 0 };
+    ]
+
+(* The documented tuning claim: the defaults solve MIS and CCDS across a
+   seed sweep on a moderate instance (this is the pinning test DESIGN.md
+   points at). *)
+let test_defaults_solve () =
+  for seed = 1 to 3 do
+    let dual = Rn_harness.Harness.geometric ~seed ~n:64 ~degree:10 () in
+    let det = Rn_detect.Detector.perfect (Rn_graph.Dual.g dual) in
+    let res =
+      Core.Ccds.run ~seed
+        ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+        ~detector:(Rn_detect.Detector.static det) dual
+    in
+    let rep =
+      Rn_verify.Verify.Ccds_check.check
+        ~h:(Rn_detect.Detector.h_graph det)
+        ~g':(Rn_graph.Dual.g' dual) res.Core.Radio.outputs
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d solves" seed)
+      true
+      (Rn_verify.Verify.Ccds_check.ok rep)
+  done
+
+let test_schedule_scaling () =
+  (* phase lengths follow the documented formulas *)
+  let p = Core.Params.default in
+  let n = 256 in
+  let logn = Rn_util.Ilog.log2_up n in
+  Alcotest.(check Alcotest.int)
+    "mis schedule"
+    (p.c_epochs * logn * (logn + 1) * (p.c_phase * logn))
+    (Core.Mis.schedule_rounds p ~n);
+  Alcotest.(check Alcotest.int)
+    "bb rounds"
+    (p.c_bb * (1 lsl p.bb_cap) * logn)
+    (Core.Subroutines.bb_rounds p ~n ~delta:99);
+  Alcotest.(check Alcotest.int)
+    "dd rounds"
+    (logn * ((p.c_dd * logn) + Core.Subroutines.bb_rounds p ~n ~delta:p.delta_bb))
+    (Core.Subroutines.directed_decay_rounds p ~n)
+
+let () =
+  Alcotest.run "params"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "default valid" `Quick test_default_valid;
+          Alcotest.test_case "fast valid" `Quick test_fast_valid;
+          Alcotest.test_case "invalid rejected" `Quick test_invalid;
+          Alcotest.test_case "schedule formulas" `Quick test_schedule_scaling;
+          Alcotest.test_case "defaults solve (pinned seeds)" `Slow test_defaults_solve;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* Tests for the localized repair protocol (Section 8 extension). *)
+
+module Dual = Rn_graph.Dual
+module Graph = Rn_graph.Graph
+module Detector = Rn_detect.Detector
+module R = Core.Radio
+module Verify = Rn_verify.Verify
+
+let adv = Rn_sim.Adversary.bernoulli 0.5
+
+(* Build a CCDS, orphan one well-connected covered process, repair. *)
+let build_and_damage ~seed =
+  let dual = Rn_harness.Harness.geometric ~seed ~n:64 ~degree:10 () in
+  let det0 = Detector.perfect (Dual.g dual) in
+  let build = Core.Ccds.run ~seed ~adversary:adv ~detector:(Detector.static det0) dual in
+  let old_outputs = build.R.outputs in
+  let old_masters =
+    Array.map
+      (function Some (o : Core.Ccds.outcome) -> o.mis_neighbors | None -> [])
+      build.R.returns
+  in
+  let old_dominators =
+    Array.map
+      (function Some (o : Core.Ccds.outcome) -> o.in_mis | None -> false)
+      build.R.returns
+  in
+  let victim = ref (-1) in
+  Array.iteri
+    (fun v o ->
+      if !victim < 0 && o = Some 0 && old_masters.(v) <> []
+         && Graph.degree (Dual.g dual) v > List.length old_masters.(v) + 1 then
+        victim := v)
+    old_outputs;
+  let v = !victim in
+  let dual1 = Dual.demote_edges dual (List.map (fun m -> (v, m)) old_masters.(v)) in
+  (dual, dual1, v, old_outputs, old_dominators, old_masters)
+
+let test_repair_restores_validity () =
+  let _, dual1, _, old_outputs, old_dominators, old_masters = build_and_damage ~seed:1 in
+  let det1 = Detector.perfect (Dual.g dual1) in
+  let rep =
+    Core.Repair.run ~seed:9 ~adversary:adv ~detector:(Detector.static det1) ~old_outputs
+      ~old_dominators ~old_masters dual1
+  in
+  let check =
+    Verify.Ccds_check.check ~h:(Detector.h_graph det1) ~g':(Dual.g' dual1) rep.R.outputs
+  in
+  Alcotest.(check bool)
+    ("valid after repair: " ^ String.concat ";" check.violations)
+    true
+    (Verify.Ccds_check.ok check)
+
+let test_victim_is_orphan () =
+  let _, dual1, v, old_outputs, old_dominators, old_masters = build_and_damage ~seed:2 in
+  let det1 = Detector.perfect (Dual.g dual1) in
+  let rep =
+    Core.Repair.run ~seed:9 ~adversary:adv ~detector:(Detector.static det1) ~old_outputs
+      ~old_dominators ~old_masters dual1
+  in
+  (match rep.R.returns.(v) with
+  | Some (o : Core.Repair.outcome) -> Alcotest.(check bool) "victim orphaned" true o.orphan
+  | None -> Alcotest.fail "no return");
+  (* the victim ends up dominated or in the structure *)
+  match rep.R.outputs.(v) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "victim undecided"
+
+let test_members_stay () =
+  (* previous members never leave the structure under repair *)
+  let _, dual1, _, old_outputs, old_dominators, old_masters = build_and_damage ~seed:3 in
+  let det1 = Detector.perfect (Dual.g dual1) in
+  let rep =
+    Core.Repair.run ~seed:9 ~adversary:adv ~detector:(Detector.static det1) ~old_outputs
+      ~old_dominators ~old_masters dual1
+  in
+  Array.iteri
+    (fun i o -> if o = Some 1 then Alcotest.(check bool) "member kept" true (rep.R.outputs.(i) = Some 1))
+    old_outputs
+
+let test_low_churn () =
+  let _, dual1, _, old_outputs, old_dominators, old_masters = build_and_damage ~seed:4 in
+  let det1 = Detector.perfect (Dual.g dual1) in
+  let rep =
+    Core.Repair.run ~seed:9 ~adversary:adv ~detector:(Detector.static det1) ~old_outputs
+      ~old_dominators ~old_masters dual1
+  in
+  let rebuild =
+    Core.Ccds.run ~seed:9 ~adversary:adv ~detector:(Detector.static det1) dual1
+  in
+  let c_repair = Core.Repair.churn ~before:old_outputs ~after:rep.R.outputs in
+  let c_rebuild = Core.Repair.churn ~before:old_outputs ~after:rebuild.R.outputs in
+  Alcotest.(check bool)
+    (Printf.sprintf "repair churn (%.2f) below rebuild churn (%.2f)" c_repair c_rebuild)
+    true (c_repair < c_rebuild)
+
+let test_no_damage_noop_valid () =
+  (* repairing an undamaged network keeps a valid structure with zero
+     member churn *)
+  let dual = Rn_harness.Harness.geometric ~seed:5 ~n:48 ~degree:9 () in
+  let det = Detector.perfect (Dual.g dual) in
+  let build = Core.Ccds.run ~seed:5 ~adversary:adv ~detector:(Detector.static det) dual in
+  let old_masters =
+    Array.map
+      (function Some (o : Core.Ccds.outcome) -> o.mis_neighbors | None -> [])
+      build.R.returns
+  in
+  let old_dominators =
+    Array.map
+      (function Some (o : Core.Ccds.outcome) -> o.in_mis | None -> false)
+      build.R.returns
+  in
+  let rep =
+    Core.Repair.run ~seed:6 ~adversary:adv ~detector:(Detector.static det)
+      ~old_outputs:build.R.outputs ~old_dominators ~old_masters dual
+  in
+  let check =
+    Verify.Ccds_check.check ~h:(Detector.h_graph det) ~g':(Dual.g' dual) rep.R.outputs
+  in
+  Alcotest.(check bool) "still valid" true (Verify.Ccds_check.ok check);
+  (* no orphans, so no new MIS members: membership can only stay or grow
+     through reconnection relays *)
+  let orphans =
+    Array.fold_left
+      (fun c o ->
+        match o with Some (oc : Core.Repair.outcome) -> if oc.orphan then c + 1 else c | None -> c)
+      0 rep.R.returns
+  in
+  Alcotest.check Alcotest.int "no orphans" 0 orphans
+
+let test_churn_metric () =
+  Alcotest.check (Alcotest.float 1e-9) "zero churn" 0.0
+    (Core.Repair.churn ~before:[| Some 1; Some 0 |] ~after:[| Some 1; Some 0 |]);
+  Alcotest.check (Alcotest.float 1e-9) "half churn" 0.5
+    (Core.Repair.churn ~before:[| Some 1; Some 0 |] ~after:[| Some 1; Some 1 |]);
+  Alcotest.check_raises "arity" (Invalid_argument "Repair.churn") (fun () ->
+      ignore (Core.Repair.churn ~before:[| Some 1 |] ~after:[||]))
+
+let test_state_arity () =
+  let dual = Rn_graph.Dual.classic (Rn_graph.Gen.path 4) in
+  let det = Detector.perfect (Dual.g dual) in
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (try
+       ignore
+         (Core.Repair.run ~detector:(Detector.static det) ~old_outputs:[| Some 1 |]
+            ~old_dominators:[| true |] ~old_masters:[| [] |] dual);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "repair"
+    [
+      ( "repair",
+        [
+          Alcotest.test_case "restores validity" `Slow test_repair_restores_validity;
+          Alcotest.test_case "victim orphaned" `Slow test_victim_is_orphan;
+          Alcotest.test_case "members stay" `Slow test_members_stay;
+          Alcotest.test_case "low churn" `Slow test_low_churn;
+          Alcotest.test_case "no-damage repair valid" `Slow test_no_damage_noop_valid;
+          Alcotest.test_case "churn metric" `Quick test_churn_metric;
+          Alcotest.test_case "state arity" `Quick test_state_arity;
+        ] );
+    ]

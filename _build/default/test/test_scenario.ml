@@ -1,0 +1,130 @@
+(* Tests for the declarative scenario runner. *)
+
+module Scenario = Rn_harness.Scenario
+module Sexp = Rn_util.Sexp
+
+let parse s = Scenario.parse (Sexp.parse_string s)
+
+let test_defaults () =
+  let t = parse "(scenario (network (ring (n 8))) (algorithm mis))" in
+  Alcotest.check Alcotest.int "default tau" 0 t.tau;
+  Alcotest.check Alcotest.int "default seed" 1 t.seed;
+  Alcotest.(check bool) "default b" true (t.b_bits = None)
+
+let test_fields () =
+  let t =
+    parse
+      "(scenario (network (geometric (n 64) (degree 9))) (detector (tau 2)) \
+       (adversary spiteful) (algorithm ccds-explore) (b 128) (seed 9))"
+  in
+  Alcotest.check Alcotest.int "tau" 2 t.tau;
+  Alcotest.check Alcotest.int "seed" 9 t.seed;
+  Alcotest.(check (option Alcotest.int)) "b" (Some 128) t.b_bits
+
+let expect_error s =
+  Alcotest.(check bool)
+    ("rejects " ^ s)
+    true
+    (try
+       ignore (parse s);
+       false
+     with Scenario.Scenario_error _ -> true)
+
+let test_parse_errors () =
+  expect_error "(not-a-scenario)";
+  expect_error "(scenario (algorithm mis))" (* missing network *);
+  expect_error "(scenario (network (ring (n 8))))" (* missing algorithm *);
+  expect_error "(scenario (network (ring (n 8))) (algorithm nope))";
+  expect_error
+    "(scenario (network (ring (n 8))) (algorithm mis) (adversary (bernoulli two)))"
+
+let test_unknown_network_rejected_at_run () =
+  (* network shapes are validated when the network is built *)
+  let t = parse "(scenario (network (warp (n 8))) (algorithm mis))" in
+  Alcotest.(check bool) "run rejects" true
+    (try
+       ignore (Scenario.run t);
+       false
+     with Scenario.Scenario_error _ -> true)
+
+let test_banned_requires_tau0 () =
+  (* parsing succeeds; the mismatch is rejected at run time *)
+  let t =
+    parse "(scenario (network (ring (n 8))) (detector (tau 1)) (algorithm ccds-banned))"
+  in
+  Alcotest.(check bool) "run rejects" true
+    (try
+       ignore (Scenario.run t);
+       false
+     with Scenario.Scenario_error _ -> true)
+
+let run_str s = Scenario.run (parse s)
+
+let test_run_mis () =
+  let r = run_str "(scenario (network (ring (n 16))) (algorithm mis) (seed 2))" in
+  Alcotest.(check bool) "valid" true r.valid;
+  Alcotest.(check bool) "rounds recorded" true (r.rounds > 0)
+
+let test_run_every_network_shape () =
+  List.iter
+    (fun net ->
+      let r =
+        run_str (Printf.sprintf "(scenario (network %s) (algorithm ccds-tdma) (seed 2))" net)
+      in
+      Alcotest.(check bool) (net ^ " valid") true r.valid)
+    [
+      "(ring (n 12))";
+      "(path (n 12))";
+      "(clique (n 8))";
+      "(star (n 6))";
+      "(grid (rows 4) (cols 5))";
+      "(geometric (n 40) (degree 8))";
+      "(bridge (beta 6))";
+    ]
+
+let test_run_algorithms () =
+  List.iter
+    (fun algo ->
+      let r =
+        run_str
+          (Printf.sprintf
+             "(scenario (network (geometric (n 40) (degree 8))) (algorithm %s) (seed 3))"
+             algo)
+      in
+      Alcotest.(check bool) (algo ^ " valid") true r.valid)
+    [ "mis"; "ccds-banned"; "ccds-explore"; "ccds-tdma"; "async-mis" ]
+
+let test_repo_scenarios () =
+  (* the checked-in scenario files must run and validate *)
+  List.iter
+    (fun f ->
+      let path = Filename.concat "../../../scenarios" f in
+      if Sys.file_exists path then begin
+        let r = Scenario.run_file path in
+        Alcotest.(check bool) (f ^ " valid") true r.valid
+      end)
+    [ "quickstart.sexp"; "bridge_tdma.sexp" ]
+
+let test_render () =
+  let r = run_str "(scenario (network (ring (n 12))) (algorithm mis) (seed 2))" in
+  let s = Scenario.render r in
+  Alcotest.(check bool) "mentions rounds" true
+    (String.length s > 0 && String.sub s 0 7 = "rounds=")
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "defaults" `Quick test_defaults;
+          Alcotest.test_case "fields" `Quick test_fields;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "unknown network" `Quick test_unknown_network_rejected_at_run;
+          Alcotest.test_case "banned requires tau0" `Quick test_banned_requires_tau0;
+          Alcotest.test_case "run mis" `Quick test_run_mis;
+          Alcotest.test_case "network shapes" `Slow test_run_every_network_shape;
+          Alcotest.test_case "algorithms" `Slow test_run_algorithms;
+          Alcotest.test_case "repo scenarios" `Slow test_repo_scenarios;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+    ]

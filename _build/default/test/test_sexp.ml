@@ -1,0 +1,89 @@
+(* Tests for the s-expression reader used by scenario files. *)
+
+module Sexp = Rn_util.Sexp
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let rec sexp_testable_eq (a : Sexp.t) (b : Sexp.t) =
+  match (a, b) with
+  | Sexp.Atom x, Sexp.Atom y -> x = y
+  | Sexp.List xs, Sexp.List ys ->
+    List.length xs = List.length ys && List.for_all2 sexp_testable_eq xs ys
+  | _ -> false
+
+let check_parse name input expected =
+  Alcotest.(check bool) name true (sexp_testable_eq (Sexp.parse_string input) expected)
+
+let test_atoms () =
+  check_parse "bare atom" "hello" (Atom "hello");
+  check_parse "number" "42" (Atom "42");
+  check_parse "padded" "  x  " (Atom "x")
+
+let test_lists () =
+  check_parse "empty" "()" (List []);
+  check_parse "flat" "(a b c)" (List [ Atom "a"; Atom "b"; Atom "c" ]);
+  check_parse "nested" "(a (b c) d)" (List [ Atom "a"; List [ Atom "b"; Atom "c" ]; Atom "d" ]);
+  check_parse "deep" "(((x)))" (List [ List [ List [ Atom "x" ] ] ])
+
+let test_comments () =
+  check_parse "line comment" "; hi\n(a b) ; tail\n" (List [ Atom "a"; Atom "b" ]);
+  check_parse "inside list" "(a ; note\n b)" (List [ Atom "a"; Atom "b" ])
+
+let test_errors () =
+  let expect_error input =
+    Alcotest.(check bool)
+      ("rejects " ^ input)
+      true
+      (try
+         ignore (Sexp.parse_string input);
+         false
+       with Sexp.Parse_error _ -> true)
+  in
+  expect_error "";
+  expect_error "(a";
+  expect_error ")";
+  expect_error "a b" (* trailing input *)
+
+let test_accessors () =
+  let s = Sexp.parse_string "(scenario (n 12) (p 0.5) (name x))" in
+  Alcotest.(check (option Alcotest.int)) "int" (Some 12)
+    (Option.bind (Sexp.assoc "n" s) (function [ v ] -> Sexp.as_int v | _ -> None));
+  Alcotest.(check (option (Alcotest.float 1e-9))) "float" (Some 0.5)
+    (Option.bind (Sexp.assoc "p" s) (function [ v ] -> Sexp.as_float v | _ -> None));
+  Alcotest.(check (option Alcotest.string)) "atom" (Some "x")
+    (Option.bind (Sexp.assoc "name" s) (function [ v ] -> Sexp.atom v | _ -> None));
+  Alcotest.(check bool) "missing" true (Sexp.assoc "zzz" s = None)
+
+(* Round trip: printing and reparsing a random sexp is the identity. *)
+let gen_sexp =
+  QCheck.Gen.(
+    sized (fun size ->
+        fix
+          (fun self size ->
+            if size <= 1 then map (fun s -> Sexp.Atom s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 6))
+            else
+              frequency
+                [
+                  (1, map (fun s -> Sexp.Atom s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)));
+                  (2, map (fun l -> Sexp.List l) (list_size (int_range 0 4) (self (size / 2))));
+                ])
+          (min size 16)))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300
+    (QCheck.make ~print:Sexp.to_string gen_sexp) (fun s ->
+      sexp_testable_eq (Sexp.parse_string (Sexp.to_string s)) s)
+
+let () =
+  Alcotest.run "sexp"
+    [
+      ( "sexp",
+        [
+          Alcotest.test_case "atoms" `Quick test_atoms;
+          Alcotest.test_case "lists" `Quick test_lists;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          qtest prop_roundtrip;
+        ] );
+    ]

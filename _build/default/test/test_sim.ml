@@ -1,0 +1,442 @@
+(* Engine semantics tests: the Section 2 receive rule, adversaries, wake
+   schedules, message-size enforcement, stop conditions, determinism —
+   including a property test against an independent delivery oracle. *)
+
+module Graph = Rn_graph.Graph
+module Dual = Rn_graph.Dual
+module Gen = Rn_graph.Gen
+module Detector = Rn_detect.Detector
+module Adversary = Rn_sim.Adversary
+
+let qtest = QCheck_alcotest.to_alcotest
+
+module M = struct
+  type t = int (* sender id *)
+
+  let size_bits ~n:_ _ = 16
+  let pp = Fmt.int
+end
+
+module E = Rn_sim.Engine.Make (M)
+
+type event = Got of int | Mine
+
+(* Run scripted senders: [sends v] lists the (global, = local here) rounds
+   in which v broadcasts.  Returns per-process (round, event) logs. *)
+let scripted ?(adversary = Adversary.silent) ?(seed = 0) ?wake ?b_bits ~rounds ~sends dual =
+  let det = Detector.perfect (Dual.g dual) in
+  let cfg =
+    E.config ~adversary ~seed ?wake ?b_bits ~stop:(Rn_sim.Engine.At_round rounds)
+      ~detector:(Detector.static det) dual
+  in
+  E.run cfg (fun ctx ->
+      let me = E.me ctx in
+      let log = ref [] in
+      for r = 1 to rounds do
+        let send = if List.mem r (sends me) then Some me else None in
+        (match E.sync ctx send with
+        | E.Recv m -> log := (r, Got m) :: !log
+        | E.Own -> log := (r, Mine) :: !log
+        | E.Silence -> ())
+      done;
+      List.rev !log)
+
+let log_of res v = match res.E.returns.(v) with Some l -> l | None -> []
+
+let path3 = Dual.classic (Gen.path 3)
+
+let test_solo_delivery () =
+  let res = scripted ~rounds:1 ~sends:(fun v -> if v = 1 then [ 1 ] else []) path3 in
+  Alcotest.(check bool) "0 received" true (log_of res 0 = [ (1, Got 1) ]);
+  Alcotest.(check bool) "2 received" true (log_of res 2 = [ (1, Got 1) ]);
+  Alcotest.(check bool) "1 got Own" true (log_of res 1 = [ (1, Mine) ])
+
+let test_collision () =
+  (* 0 and 2 both send: node 1 sees two broadcasters, receives nothing *)
+  let res = scripted ~rounds:1 ~sends:(fun v -> if v = 0 || v = 2 then [ 1 ] else []) path3 in
+  Alcotest.(check bool) "1 silent" true (log_of res 1 = []);
+  Alcotest.check Alcotest.int "collision counted" 1 res.E.stats.collisions
+
+let test_non_neighbor () =
+  (* 0 sends; 2 is two hops away and must hear nothing *)
+  let res = scripted ~rounds:1 ~sends:(fun v -> if v = 0 then [ 1 ] else []) path3 in
+  Alcotest.(check bool) "2 silent" true (log_of res 2 = []);
+  Alcotest.(check bool) "1 received" true (log_of res 1 = [ (1, Got 0) ])
+
+(* G: 0-1, gray: 0-2 *)
+let gray_net = Dual.make ~g:(Graph.of_edges 3 [ (0, 1) ]) ~gray:[ (0, 2) ] ()
+
+let test_gray_silent () =
+  let res = scripted ~rounds:1 ~sends:(fun v -> if v = 0 then [ 1 ] else []) gray_net in
+  Alcotest.(check bool) "gray inactive" true (log_of res 2 = []);
+  Alcotest.(check bool) "reliable delivered" true (log_of res 1 = [ (1, Got 0) ])
+
+let test_gray_all () =
+  let res =
+    scripted ~adversary:Adversary.all_gray ~rounds:1
+      ~sends:(fun v -> if v = 0 then [ 1 ] else [])
+      gray_net
+  in
+  Alcotest.(check bool) "gray active" true (log_of res 2 = [ (1, Got 0) ])
+
+let test_bernoulli_extremes () =
+  let run adversary =
+    let res =
+      scripted ~adversary ~rounds:1 ~sends:(fun v -> if v = 0 then [ 1 ] else []) gray_net
+    in
+    log_of res 2 <> []
+  in
+  Alcotest.(check bool) "bernoulli 1.0 = all" true (run (Adversary.bernoulli 1.0));
+  Alcotest.(check bool) "bernoulli 0.0 = silent" false (run (Adversary.bernoulli 0.0))
+
+let test_spiteful () =
+  (* G: 0-1 and 2-3; gray (1,2).  Two broadcasters => all gray active =>
+     node 1 sees {0,2} and collides; solo broadcaster is left alone. *)
+  let net = Dual.make ~g:(Graph.of_edges 4 [ (0, 1); (2, 3) ]) ~gray:[ (1, 2) ] () in
+  let both =
+    scripted ~adversary:Adversary.spiteful ~rounds:1
+      ~sends:(fun v -> if v = 0 || v = 2 then [ 1 ] else [])
+      net
+  in
+  Alcotest.(check bool) "collision at 1" true (log_of both 1 = []);
+  (* node 3 has no gray incidence: it still hears its sole G-neighbour *)
+  Alcotest.(check bool) "3 hears 2" true (log_of both 3 = [ (1, Got 2) ]);
+  let solo =
+    scripted ~adversary:Adversary.spiteful ~rounds:1
+      ~sends:(fun v -> if v = 2 then [ 1 ] else [])
+      net
+  in
+  Alcotest.(check bool) "solo delivered on E" true (log_of solo 3 = [ (1, Got 2) ]);
+  Alcotest.(check bool) "solo not extended to gray" true (log_of solo 1 = [])
+
+let test_jamming () =
+  (* G: 0-1, gray (1,2).  Broadcasters 0 and 2: node 1 would hear 0 solo,
+     so the jammer activates (1,2) and collides it. *)
+  let net = Dual.make ~g:(Graph.of_edges 3 [ (0, 1) ]) ~gray:[ (1, 2) ] () in
+  let res =
+    scripted ~adversary:Adversary.jamming ~rounds:1
+      ~sends:(fun v -> if v = 0 || v = 2 then [ 1 ] else [])
+      net
+  in
+  Alcotest.(check bool) "node 1 jammed" true (log_of res 1 = []);
+  (* without the second broadcaster there is nothing to jam with *)
+  let solo =
+    scripted ~adversary:Adversary.jamming ~rounds:1
+      ~sends:(fun v -> if v = 0 then [ 1 ] else [])
+      net
+  in
+  Alcotest.(check bool) "solo delivered" true (log_of solo 1 = [ (1, Got 0) ])
+
+let test_jamming_never_helps () =
+  (* gray (0,2): a solo broadcaster's gray edge is never switched on *)
+  let res =
+    scripted ~adversary:Adversary.jamming ~rounds:1
+      ~sends:(fun v -> if v = 0 then [ 1 ] else [])
+      gray_net
+  in
+  Alcotest.(check bool) "gray stays dark" true (log_of res 2 = [])
+
+let test_wake_schedule () =
+  (* node 1 wakes at round 3: it must miss earlier broadcasts *)
+  let dual = Dual.classic (Gen.path 2) in
+  let det = Detector.perfect (Dual.g dual) in
+  let wake = [| 1; 3 |] in
+  let cfg =
+    E.config ~wake ~stop:(Rn_sim.Engine.At_round 5) ~detector:(Detector.static det) dual
+  in
+  let res =
+    E.run cfg (fun ctx ->
+        let me = E.me ctx in
+        if me = 0 then begin
+          (* broadcast every round *)
+          let heard = ref [] in
+          for _ = 1 to 5 do
+            ignore (E.sync ctx (Some 0));
+            heard := E.round ctx :: !heard
+          done;
+          List.length !heard
+        end
+        else begin
+          let got = ref 0 in
+          for _ = 1 to 3 do
+            match E.sync ctx None with E.Recv _ -> incr got | _ -> ()
+          done;
+          !got
+        end)
+  in
+  (* woken at 3, node 1 syncs rounds 3,4,5: hears exactly 3 broadcasts *)
+  Alcotest.check Alcotest.int "heard post-wake only" 3
+    (match res.E.returns.(1) with Some g -> g | None -> -1)
+
+let test_wake_invalid () =
+  let dual = Dual.classic (Gen.path 2) in
+  let det = Detector.perfect (Dual.g dual) in
+  let cfg = E.config ~wake:[| 0; 1 |] ~detector:(Detector.static det) dual in
+  Alcotest.check_raises "wake < 1" (Invalid_argument "Engine.run: wake.(0) < 1") (fun () ->
+      ignore (E.run cfg (fun _ -> ())))
+
+let test_b_bits_enforced () =
+  Alcotest.(check bool) "oversized message rejected" true
+    (try
+       ignore (scripted ~b_bits:8 ~rounds:1 ~sends:(fun v -> if v = 0 then [ 1 ] else []) path3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_output_semantics () =
+  let dual = Dual.classic (Gen.path 2) in
+  let det = Detector.perfect (Dual.g dual) in
+  let cfg = E.config ~detector:(Detector.static det) dual in
+  let res =
+    E.run cfg (fun ctx ->
+        E.output ctx 1;
+        E.output ctx 1 (* idempotent *))
+  in
+  Alcotest.(check bool) "outputs recorded" true (res.E.outputs = [| Some 1; Some 1 |]);
+  let cfg2 = E.config ~detector:(Detector.static det) dual in
+  Alcotest.(check bool) "conflicting output raises" true
+    (try
+       ignore
+         (E.run cfg2 (fun ctx ->
+              E.output ctx 1;
+              E.output ctx 0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_stop_all_decided () =
+  (* one process loops forever; stop must fire once outputs are set *)
+  let dual = Dual.classic (Gen.path 2) in
+  let det = Detector.perfect (Dual.g dual) in
+  let cfg =
+    E.config ~stop:Rn_sim.Engine.All_decided ~max_rounds:10_000
+      ~detector:(Detector.static det) dual
+  in
+  let res =
+    E.run cfg (fun ctx ->
+        if E.me ctx = 0 then begin
+          E.idle ctx 3;
+          E.output ctx 1;
+          while true do
+            E.idle ctx 1
+          done
+        end
+        else E.output ctx 0)
+  in
+  Alcotest.(check bool) "stopped promptly" true (res.E.rounds <= 5 && not res.E.timed_out)
+
+let test_timeout () =
+  let dual = Dual.classic (Gen.path 2) in
+  let det = Detector.perfect (Dual.g dual) in
+  let cfg =
+    E.config ~stop:Rn_sim.Engine.All_decided ~max_rounds:50 ~detector:(Detector.static det)
+      dual
+  in
+  let res =
+    E.run cfg (fun ctx ->
+        while true do
+          E.idle ctx 1
+        done)
+  in
+  Alcotest.(check bool) "timed out" true res.E.timed_out;
+  Alcotest.check Alcotest.int "at cap" 50 res.E.rounds
+
+let test_at_round_exact () =
+  let res = scripted ~rounds:7 ~sends:(fun _ -> []) path3 in
+  Alcotest.check Alcotest.int "exact rounds" 7 res.E.rounds
+
+let test_local_round_counts () =
+  let dual = Dual.classic (Gen.path 2) in
+  let det = Detector.perfect (Dual.g dual) in
+  let cfg = E.config ~detector:(Detector.static det) dual in
+  let res =
+    E.run cfg (fun ctx ->
+        Alcotest.check Alcotest.int "starts at 0" 0 (E.round ctx);
+        E.idle ctx 4;
+        E.round ctx)
+  in
+  Alcotest.(check bool) "counts syncs" true (res.E.returns = [| Some 4; Some 4 |])
+
+exception Boom
+
+let test_body_exception_propagates () =
+  let dual = Dual.classic (Gen.path 2) in
+  let det = Detector.perfect (Dual.g dual) in
+  let cfg = E.config ~detector:(Detector.static det) dual in
+  Alcotest.(check bool) "exception surfaces" true
+    (try
+       ignore
+         (E.run cfg (fun ctx ->
+              if E.me ctx = 1 then begin
+                E.idle ctx 2;
+                raise Boom
+              end
+              else E.idle ctx 5));
+       false
+     with Boom -> true)
+
+let test_determinism () =
+  let dual = gray_net in
+  let run seed =
+    let res =
+      scripted ~adversary:(Adversary.bernoulli 0.5) ~seed ~rounds:50
+        ~sends:(fun v -> if v = 0 then List.init 25 (fun i -> (2 * i) + 1) else [])
+        dual
+    in
+    (res.E.stats, log_of res 2)
+  in
+  Alcotest.(check bool) "same seed same run" true (run 3 = run 3);
+  Alcotest.(check bool) "different seed differs" true (run 3 <> run 4)
+
+let test_stats_counts () =
+  let res = scripted ~rounds:2 ~sends:(fun v -> if v = 1 then [ 1; 2 ] else []) path3 in
+  Alcotest.check Alcotest.int "sends" 2 res.E.stats.sends;
+  Alcotest.check Alcotest.int "deliveries" 4 res.E.stats.deliveries;
+  Alcotest.check Alcotest.int "bits" 32 res.E.stats.bits_sent
+
+let test_observer () =
+  let seen = ref [] in
+  let dual = path3 in
+  let det = Detector.perfect (Dual.g dual) in
+  let cfg =
+    E.config
+      ~observer:(fun v -> seen := (v.E.view_round, Array.to_list v.E.view_broadcasters) :: !seen)
+      ~stop:(Rn_sim.Engine.At_round 2) ~detector:(Detector.static det) dual
+  in
+  ignore
+    (E.run cfg (fun ctx ->
+         let me = E.me ctx in
+         ignore (E.sync ctx (if me = 1 then Some 1 else None));
+         ignore (E.sync ctx None)));
+  Alcotest.(check bool) "observer saw broadcaster" true
+    (List.rev !seen = [ (1, [ 1 ]); (2, []) ])
+
+(* Property: the engine's delivery matches an independent oracle on random
+   graphs and random deterministic send schedules (silent adversary). *)
+let prop_delivery_oracle =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 8 in
+      let* edges =
+        list_size (int_range 0 12) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      let* schedule = list_size (int_range 0 10) (pair (int_range 0 (n - 1)) (int_range 1 5)) in
+      return (n, List.filter (fun (u, v) -> u <> v) edges, schedule))
+  in
+  let print (n, edges, schedule) =
+    Format.asprintf "n=%d edges=%a sched=%a" n
+      Fmt.(Dump.list (Dump.pair int int))
+      edges
+      Fmt.(Dump.list (Dump.pair int int))
+      schedule
+  in
+  QCheck.Test.make ~name:"delivery matches oracle" ~count:300 (QCheck.make ~print gen)
+    (fun (n, edges, schedule) ->
+      let g = Graph.of_edges n edges in
+      let dual = Dual.classic g in
+      let rounds = 5 in
+      let sends v = List.filter_map (fun (u, r) -> if u = v then Some r else None) schedule in
+      let res = scripted ~rounds ~sends dual in
+      (* oracle *)
+      let expected v =
+        List.concat_map
+          (fun r ->
+            let broadcasters =
+              List.init n Fun.id |> List.filter (fun u -> List.mem r (sends u))
+            in
+            if List.mem v broadcasters then [ (r, Mine) ]
+            else begin
+              match List.filter (fun u -> Graph.mem_edge g u v) broadcasters with
+              | [ u ] -> [ (r, Got u) ]
+              | _ -> []
+            end)
+          (List.init rounds (fun i -> i + 1))
+      in
+      List.for_all (fun v -> log_of res v = expected v) (List.init n Fun.id))
+
+(* Same oracle over dual graphs with every gray edge forced active:
+   delivery iff exactly one broadcaster among G'-neighbours. *)
+let prop_delivery_oracle_gray =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 7 in
+      let* edges =
+        list_size (int_range 0 8) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      let* gray =
+        list_size (int_range 0 8) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      let* schedule = list_size (int_range 0 8) (pair (int_range 0 (n - 1)) (int_range 1 4)) in
+      let clean = List.filter (fun (u, v) -> u <> v) in
+      return (n, clean edges, clean gray, schedule))
+  in
+  let print (n, edges, gray, schedule) =
+    Format.asprintf "n=%d edges=%a gray=%a sched=%a" n
+      Fmt.(Dump.list (Dump.pair int int))
+      edges
+      Fmt.(Dump.list (Dump.pair int int))
+      gray
+      Fmt.(Dump.list (Dump.pair int int))
+      schedule
+  in
+  QCheck.Test.make ~name:"delivery matches oracle (all-gray duals)" ~count:300
+    (QCheck.make ~print gen) (fun (n, edges, gray, schedule) ->
+      let g = Graph.of_edges n edges in
+      let dual = Dual.make ~g ~gray () in
+      let g' = Dual.g' dual in
+      let rounds = 4 in
+      let sends v = List.filter_map (fun (u, r) -> if u = v then Some r else None) schedule in
+      let res = scripted ~adversary:Adversary.all_gray ~rounds ~sends dual in
+      let expected v =
+        List.concat_map
+          (fun r ->
+            let broadcasters =
+              List.init n Fun.id |> List.filter (fun u -> List.mem r (sends u))
+            in
+            if List.mem v broadcasters then [ (r, Mine) ]
+            else begin
+              match List.filter (fun u -> Graph.mem_edge g' u v) broadcasters with
+              | [ u ] -> [ (r, Got u) ]
+              | _ -> []
+            end)
+          (List.init rounds (fun i -> i + 1))
+      in
+      List.for_all (fun v -> log_of res v = expected v) (List.init n Fun.id))
+
+let () =
+  Alcotest.run "rn_sim"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "solo delivery" `Quick test_solo_delivery;
+          Alcotest.test_case "collision" `Quick test_collision;
+          Alcotest.test_case "non-neighbour" `Quick test_non_neighbor;
+          qtest prop_delivery_oracle;
+          qtest prop_delivery_oracle_gray;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "gray silent" `Quick test_gray_silent;
+          Alcotest.test_case "gray all" `Quick test_gray_all;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "spiteful" `Quick test_spiteful;
+          Alcotest.test_case "jamming" `Quick test_jamming;
+          Alcotest.test_case "jamming never helps" `Quick test_jamming_never_helps;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "wake schedule" `Quick test_wake_schedule;
+          Alcotest.test_case "wake invalid" `Quick test_wake_invalid;
+          Alcotest.test_case "b bits enforced" `Quick test_b_bits_enforced;
+          Alcotest.test_case "output semantics" `Quick test_output_semantics;
+          Alcotest.test_case "stop all-decided" `Quick test_stop_all_decided;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "at-round exact" `Quick test_at_round_exact;
+          Alcotest.test_case "local round counts" `Quick test_local_round_counts;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "body exception propagates" `Quick test_body_exception_propagates;
+          Alcotest.test_case "stats counts" `Quick test_stats_counts;
+          Alcotest.test_case "observer" `Quick test_observer;
+        ] );
+    ]

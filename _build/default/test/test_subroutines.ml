@@ -1,0 +1,165 @@
+(* Tests for the Section 5 subroutines: bounded-broadcast and
+   directed-decay (Lemmas 5.1 and 5.2 made executable). *)
+
+module R = Core.Radio
+module Graph = Rn_graph.Graph
+module Dual = Rn_graph.Dual
+module Gen = Rn_graph.Gen
+module Detector = Rn_detect.Detector
+
+let params = Core.Params.default
+let honest = { Core.Params.default with bb_cap = 8 }
+
+let run_network dual body =
+  let det = Detector.perfect (Dual.g dual) in
+  let cfg = R.config ~seed:1 ~detector:(Detector.static det) dual in
+  R.run cfg body
+
+(* --- bounded-broadcast --- *)
+
+let test_bb_solo_delivers () =
+  (* a single caller on a star reaches every neighbour *)
+  let dual = Dual.classic (Gen.star 9) in
+  let res =
+    run_network dual (fun ctx ->
+        let me = R.me ctx in
+        let got = ref false in
+        let msg = if me = 0 then Some (Core.Msg.Stop_order { src = 0 }) else None in
+        Core.Subroutines.bounded_broadcast params ctx ~delta:0 msg ~on_recv:(fun _ ->
+            got := true);
+        !got)
+  in
+  for v = 1 to 8 do
+    Alcotest.(check bool) (Printf.sprintf "leaf %d heard" v) true
+      (res.R.returns.(v) = Some true)
+  done
+
+let test_bb_length_formula () =
+  let dual = Dual.classic (Gen.path 2) in
+  let res =
+    run_network dual (fun ctx ->
+        Core.Subroutines.bounded_broadcast params ctx ~delta:2 None ~on_recv:ignore)
+  in
+  Alcotest.check Alcotest.int "length = ell_BB(2)"
+    (Core.Subroutines.bb_rounds params ~n:2 ~delta:2)
+    res.R.rounds
+
+let test_bb_cap_applies () =
+  Alcotest.check Alcotest.int "delta capped"
+    (Core.Subroutines.bb_rounds params ~n:64 ~delta:params.bb_cap)
+    (Core.Subroutines.bb_rounds params ~n:64 ~delta:50)
+
+let test_bb_concurrent_clique () =
+  (* k callers in a clique with honest ell_BB(k): everyone hears everyone *)
+  let k = 4 in
+  let dual = Dual.classic (Gen.clique (k + 1)) in
+  let res =
+    run_network dual (fun ctx ->
+        let me = R.me ctx in
+        let heard : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+        let msg = if me > 0 then Some (Core.Msg.Stop_order { src = me }) else None in
+        Core.Subroutines.bounded_broadcast honest ctx ~delta:k msg ~on_recv:(fun m ->
+            Hashtbl.replace heard (Core.Msg.src m) ());
+        Hashtbl.length heard)
+  in
+  Alcotest.check Alcotest.int "listener heard all senders" k
+    (match res.R.returns.(0) with Some h -> h | None -> -1)
+
+(* --- directed-decay --- *)
+
+let test_dd_star_delivery () =
+  List.iter
+    (fun m ->
+      let dual = Dual.classic (Gen.star (m + 1)) in
+      let res =
+        run_network dual (fun ctx ->
+            let me = R.me ctx in
+            let noms = if me = 0 then [] else [ (0, me) ] in
+            Core.Subroutines.directed_decay params ctx ~is_mis:(me = 0) ~noms)
+      in
+      let received = match res.R.returns.(0) with Some l -> l | None -> [] in
+      Alcotest.(check bool) (Printf.sprintf "centre heard (m=%d)" m) true (received <> []);
+      (* received payloads are genuine nominations *)
+      List.iter
+        (fun (src, w) ->
+          Alcotest.(check bool) "src is a leaf" true (src >= 1 && src <= m);
+          Alcotest.check Alcotest.int "nominee as sent" src w)
+        received)
+    [ 1; 5; 33 ]
+
+let test_dd_length_formula () =
+  let dual = Dual.classic (Gen.path 2) in
+  let res =
+    run_network dual (fun ctx ->
+        Core.Subroutines.directed_decay params ctx ~is_mis:false ~noms:[])
+  in
+  Alcotest.check Alcotest.int "length formula"
+    (Core.Subroutines.directed_decay_rounds params ~n:2)
+    res.R.rounds
+
+let test_dd_two_destinations () =
+  (* path c1 - v - c2: the middle process nominates to both MIS ends *)
+  let dual = Dual.classic (Gen.path 3) in
+  let res =
+    run_network dual (fun ctx ->
+        let me = R.me ctx in
+        let noms = if me = 1 then [ (0, 42 mod 3); (2, 1) ] else [] in
+        Core.Subroutines.directed_decay params ctx ~is_mis:(me <> 1) ~noms)
+  in
+  let got v = match res.R.returns.(v) with Some l -> l | None -> [] in
+  Alcotest.(check bool) "c1 heard" true (List.exists (fun (s, _) -> s = 1) (got 0));
+  Alcotest.(check bool) "c2 heard" true (List.exists (fun (s, _) -> s = 1) (got 2));
+  (* each destination only sees nominations addressed to it *)
+  Alcotest.(check bool) "c1 sees only its nomination" true
+    (List.for_all (fun (_, w) -> w = 0) (got 0));
+  Alcotest.(check bool) "c2 sees only its nomination" true
+    (List.for_all (fun (_, w) -> w = 1) (got 2))
+
+let test_dd_covered_returns_nothing () =
+  let dual = Dual.classic (Gen.star 4) in
+  let res =
+    run_network dual (fun ctx ->
+        let me = R.me ctx in
+        let noms = if me = 0 then [] else [ (0, me) ] in
+        Core.Subroutines.directed_decay params ctx ~is_mis:(me = 0) ~noms)
+  in
+  for v = 1 to 3 do
+    Alcotest.(check bool) "covered gets no deliveries" true (res.R.returns.(v) = Some [])
+  done
+
+let test_dd_respects_small_b () =
+  (* nomination combining must respect the message bound *)
+  let dual = Dual.classic (Gen.star 5) in
+  let det = Detector.perfect (Dual.g dual) in
+  let b = Core.Msg.tag_bits + (3 * Rn_util.Ilog.log2_up 5) + 1 in
+  let cfg = R.config ~seed:1 ~b_bits:b ~detector:(Detector.static det) dual in
+  let res =
+    R.run cfg (fun ctx ->
+        let me = R.me ctx in
+        (* two nominations per leaf: with b this small, only one fits per
+           message; the engine would raise if combining overflowed *)
+        let noms = if me = 0 then [] else [ (0, me); (0, (me + 1) mod 5) ] in
+        Core.Subroutines.directed_decay params ctx ~is_mis:(me = 0) ~noms)
+  in
+  Alcotest.(check bool) "ran within bound" false res.R.timed_out;
+  Alcotest.(check bool) "still delivered" true (res.R.returns.(0) <> Some [])
+
+let () =
+  Alcotest.run "subroutines"
+    [
+      ( "bounded-broadcast",
+        [
+          Alcotest.test_case "solo delivers to all" `Quick test_bb_solo_delivers;
+          Alcotest.test_case "length formula" `Quick test_bb_length_formula;
+          Alcotest.test_case "exponent cap" `Quick test_bb_cap_applies;
+          Alcotest.test_case "concurrent clique" `Quick test_bb_concurrent_clique;
+        ] );
+      ( "directed-decay",
+        [
+          Alcotest.test_case "star delivery" `Quick test_dd_star_delivery;
+          Alcotest.test_case "length formula" `Quick test_dd_length_formula;
+          Alcotest.test_case "two destinations" `Quick test_dd_two_destinations;
+          Alcotest.test_case "covered return nothing" `Quick test_dd_covered_returns_nothing;
+          Alcotest.test_case "respects small b" `Quick test_dd_respects_small_b;
+        ] );
+    ]

@@ -1,0 +1,84 @@
+(* Tests for the SVG chart writer and the figure registry. *)
+
+module Svg = Rn_util.Svg_plot
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec loop i = i + nl <= hl && (String.sub hay i nl = needle || loop (i + 1)) in
+  nl = 0 || loop 0
+
+let count ~needle hay =
+  let nl = String.length needle in
+  let rec loop i acc =
+    if i + nl > String.length hay then acc
+    else if String.sub hay i nl = needle then loop (i + 1) (acc + 1)
+    else loop (i + 1) acc
+  in
+  loop 0 0
+
+let sample () =
+  Svg.create ~title:"t" ~x_label:"x" ~y_label:"y" ()
+  |> Svg.add_series ~label:"a" [ (1.0, 1.0); (2.0, 4.0); (3.0, 9.0) ]
+  |> Svg.add_series ~label:"b" [ (1.0, 2.0); (2.0, 3.0) ]
+
+let test_render_structure () =
+  let s = Svg.render (sample ()) in
+  Alcotest.(check bool) "opens svg" true (contains ~needle:"<svg" s);
+  Alcotest.(check bool) "closes svg" true (contains ~needle:"</svg>" s);
+  Alcotest.check Alcotest.int "one polyline per series" 2 (count ~needle:"<polyline" s);
+  Alcotest.check Alcotest.int "one marker per point" 5 (count ~needle:"<circle" s);
+  Alcotest.(check bool) "legend labels present" true
+    (contains ~needle:">a</text>" s && contains ~needle:">b</text>" s);
+  Alcotest.(check bool) "title present" true (contains ~needle:">t</text>" s)
+
+let test_escaping () =
+  let s =
+    Svg.render
+      (Svg.create ~title:"a<b & c" ~x_label:"x" ~y_label:"y" ()
+      |> Svg.add_series ~label:"s" [ (1.0, 1.0); (2.0, 2.0) ])
+  in
+  Alcotest.(check bool) "escaped" true (contains ~needle:"a&lt;b &amp; c" s);
+  Alcotest.(check bool) "no raw title" false (contains ~needle:"a<b" s)
+
+let test_log_axes () =
+  let s =
+    Svg.render
+      (Svg.create ~x_axis:Svg.Log ~y_axis:Svg.Log ~title:"log" ~x_label:"x" ~y_label:"y" ()
+      |> Svg.add_series ~label:"s" [ (10.0, 100.0); (100.0, 1000.0); (1000.0, 10000.0) ])
+  in
+  (* decade ticks appear as labels *)
+  Alcotest.(check bool) "decade tick" true (contains ~needle:">100</text>" s)
+
+let test_points_in_canvas () =
+  (* markers never land at negative coordinates for positive data *)
+  let s = Svg.render (sample ()) in
+  Alcotest.(check bool) "no negative coordinates" true
+    (not (contains ~needle:"cx=\"-" s || contains ~needle:"cy=\"-" s))
+
+let test_write_file () =
+  let path = Filename.temp_file "rn_svg" ".svg" in
+  Svg.write (sample ()) path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "non-empty file" true (len > 500)
+
+let test_figure_registry () =
+  Alcotest.(check (list Alcotest.string))
+    "figure names" [ "F1"; "F2"; "F3"; "F4" ]
+    (List.map fst Rn_harness.Figures.all)
+
+let () =
+  Alcotest.run "svg"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "render structure" `Quick test_render_structure;
+          Alcotest.test_case "escaping" `Quick test_escaping;
+          Alcotest.test_case "log axes" `Quick test_log_axes;
+          Alcotest.test_case "points in canvas" `Quick test_points_in_canvas;
+          Alcotest.test_case "write file" `Quick test_write_file;
+          Alcotest.test_case "figure registry" `Quick test_figure_registry;
+        ] );
+    ]

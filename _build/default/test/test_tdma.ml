@@ -1,0 +1,116 @@
+(* Tests for the deterministic TDMA CCDS baseline. *)
+
+module R = Core.Radio
+module Dual = Rn_graph.Dual
+module Gen = Rn_graph.Gen
+module Detector = Rn_detect.Detector
+module Verify = Rn_verify.Verify
+
+let check_solves ?(adversary = Rn_sim.Adversary.silent) ?(seed = 1) ?b_bits name dual =
+  let det = Detector.perfect (Dual.g dual) in
+  let res = Core.Tdma_ccds.run ~seed ~adversary ?b_bits ~detector:(Detector.static det) dual in
+  let rep = Verify.Ccds_check.check ~h:(Detector.h_graph det) ~g':(Dual.g' dual) res.R.outputs in
+  Alcotest.(check bool)
+    (name ^ ": " ^ String.concat "; " rep.violations)
+    true (Verify.Ccds_check.ok rep);
+  (res, det)
+
+let test_topologies () =
+  List.iter
+    (fun (name, g) -> ignore (check_solves name (Dual.classic g)))
+    [
+      ("path", Gen.path 12);
+      ("ring", Gen.ring 11);
+      ("clique", Gen.clique 9);
+      ("star", Gen.star 7);
+      ("two", Gen.path 2);
+    ]
+
+let test_geometric () =
+  for seed = 1 to 3 do
+    let dual = Rn_harness.Harness.geometric ~seed ~n:48 ~degree:9 () in
+    ignore (check_solves ~seed "geometric" dual)
+  done
+
+let test_all_gray_robustness () =
+  (* one speaker per round: collision-free under any adversary *)
+  let dual = Rn_harness.Harness.geometric ~seed:4 ~n:48 ~degree:9 () in
+  ignore (check_solves ~adversary:Rn_sim.Adversary.all_gray "all-gray" dual);
+  ignore (check_solves ~adversary:Rn_sim.Adversary.spiteful "spiteful" dual)
+
+let test_deterministic () =
+  (* seeds are irrelevant: the construction is deterministic *)
+  let dual = Rn_harness.Harness.geometric ~seed:5 ~n:40 ~degree:8 () in
+  let a, _ = check_solves ~seed:1 "det a" dual in
+  let b, _ = check_solves ~seed:999 "det b" dual in
+  Alcotest.(check bool) "same outputs regardless of seed" true (a.R.outputs = b.R.outputs)
+
+let test_greedy_mis_by_id () =
+  (* on a clique, the smallest id wins and is the whole CCDS *)
+  let res, _ = check_solves "clique greedy" (Dual.classic (Gen.clique 8)) in
+  Alcotest.(check bool) "node 0 is the dominator" true (res.R.outputs.(0) = Some 1);
+  let members = Array.fold_left (fun c o -> if o = Some 1 then c + 1 else c) 0 res.R.outputs in
+  Alcotest.check Alcotest.int "singleton" 1 members
+
+let test_linear_rounds () =
+  let rounds n =
+    let dual = Dual.classic (Gen.ring n) in
+    let res, _ = check_solves "ring" dual in
+    res.R.rounds
+  in
+  let r16 = rounds 16 and r64 = rounds 64 in
+  Alcotest.check Alcotest.int "5 frames at b=inf (n=16)" (5 * 16) r16;
+  Alcotest.check Alcotest.int "exactly linear" (4 * r16) r64
+
+let test_small_b_chunks () =
+  let dual = Rn_harness.Harness.geometric ~seed:6 ~n:40 ~degree:8 () in
+  let id = Rn_util.Ilog.log2_up 40 in
+  let res, _ = check_solves ~b_bits:(8 * id) "small b" dual in
+  Alcotest.(check bool) "more frames under small b" true (res.R.rounds > 5 * 40)
+
+let test_b_too_small () =
+  let dual = Dual.classic (Gen.path 6) in
+  Alcotest.(check bool) "rejects tiny b" true
+    (try
+       ignore (check_solves ~b_bits:8 "tiny" dual);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dominators_in_ccds () =
+  let dual = Rn_harness.Harness.geometric ~seed:7 ~n:40 ~degree:8 () in
+  let res, _ = check_solves "roles" dual in
+  Array.iteri
+    (fun v o ->
+      match o with
+      | Some (oc : Core.Tdma_ccds.outcome) ->
+        if oc.dominator then
+          Alcotest.(check bool) "dominator joined" true (res.R.outputs.(v) = Some 1);
+        Alcotest.(check bool) "in_ccds iff output 1" true
+          (oc.in_ccds = (res.R.outputs.(v) = Some 1))
+      | None -> Alcotest.fail "no return")
+    res.R.returns
+
+let test_clusters_topology () =
+  (* the clustered generator composes with the deterministic baseline *)
+  let rng = Rn_util.Rng.create 11 in
+  let dual = Gen.clusters ~rng ~clusters:3 ~per_cluster:12 () in
+  Alcotest.(check bool) "connected" true (Rn_graph.Algo.is_connected (Dual.g dual));
+  ignore (check_solves "clusters" dual)
+
+let () =
+  Alcotest.run "tdma"
+    [
+      ( "tdma",
+        [
+          Alcotest.test_case "topologies" `Quick test_topologies;
+          Alcotest.test_case "geometric" `Slow test_geometric;
+          Alcotest.test_case "all-gray robustness" `Quick test_all_gray_robustness;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "greedy MIS by id" `Quick test_greedy_mis_by_id;
+          Alcotest.test_case "linear rounds" `Quick test_linear_rounds;
+          Alcotest.test_case "small b chunks" `Quick test_small_b_chunks;
+          Alcotest.test_case "b too small" `Quick test_b_too_small;
+          Alcotest.test_case "roles consistent" `Quick test_dominators_in_ccds;
+          Alcotest.test_case "clusters topology" `Slow test_clusters_topology;
+        ] );
+    ]

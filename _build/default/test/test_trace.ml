@@ -1,0 +1,89 @@
+(* Tests for the engine trace recorder. *)
+
+module Trace = Rn_sim.Trace
+
+let feed t ~round ~bcast ~outputs =
+  Trace.observe t ~view_round:round ~view_broadcasters:bcast
+    ~view_decided:(Array.map (fun _ -> None) outputs)
+    ~view_outputs:outputs
+
+let test_counts () =
+  let t = Trace.create () in
+  feed t ~round:1 ~bcast:[| 0; 1 |] ~outputs:[| None; None |];
+  feed t ~round:2 ~bcast:[||] ~outputs:[| None; None |];
+  feed t ~round:3 ~bcast:[| 1 |] ~outputs:[| None; None |];
+  Alcotest.(check (array Alcotest.int)) "counts" [| 2; 0; 1 |] (Trace.broadcast_counts t)
+
+let test_first_decisions_only () =
+  let t = Trace.create () in
+  feed t ~round:1 ~bcast:[||] ~outputs:[| Some 1; None |];
+  feed t ~round:2 ~bcast:[||] ~outputs:[| Some 1; Some 0 |];
+  feed t ~round:3 ~bcast:[||] ~outputs:[| Some 1; Some 0 |];
+  Alcotest.(check (list (triple Alcotest.int Alcotest.int Alcotest.int)))
+    "decisions"
+    [ (1, 0, 1); (2, 1, 0) ]
+    (Trace.decisions t)
+
+let test_activity_profile () =
+  let t = Trace.create () in
+  for r = 1 to 8 do
+    feed t ~round:r ~bcast:(Array.make (if r <= 4 then 4 else 0) 0)
+      ~outputs:[| None |]
+  done;
+  let p = Trace.activity_profile t ~buckets:2 in
+  Alcotest.check (Alcotest.float 1e-9) "busy half" 4.0 p.(0);
+  Alcotest.check (Alcotest.float 1e-9) "quiet half" 0.0 p.(1)
+
+let test_sparkline () =
+  let t = Trace.create () in
+  for r = 1 to 10 do
+    feed t ~round:r ~bcast:(Array.make r 0) ~outputs:[| None |]
+  done;
+  let s = Trace.sparkline t ~buckets:5 in
+  Alcotest.(check bool) "non-empty" true (String.length s > 0);
+  (* monotone activity gives a full final bucket *)
+  Alcotest.(check bool) "ends full" true
+    (String.length s >= 3
+    && String.sub s (String.length s - 3) 3 = "\xe2\x96\x88" (* █ *))
+
+let test_empty () =
+  let t = Trace.create () in
+  Alcotest.(check string) "empty sparkline" "" (Trace.sparkline t ~buckets:10);
+  Alcotest.(check bool) "no summary" true (Trace.decision_summary t = None)
+
+let test_with_engine () =
+  (* end-to-end: trace an actual MIS run *)
+  let dual = Rn_graph.Dual.classic (Rn_graph.Gen.ring 16) in
+  let det = Rn_detect.Detector.perfect (Rn_graph.Dual.g dual) in
+  let t = Trace.create () in
+  let module R = Core.Radio in
+  let observer (v : R.view) =
+    Trace.observe t ~view_round:v.R.view_round ~view_broadcasters:v.R.view_broadcasters
+      ~view_decided:v.R.view_decided ~view_outputs:v.R.view_outputs
+  in
+  let cfg = R.config ~seed:1 ~observer ~detector:(Rn_detect.Detector.static det) dual in
+  let res =
+    R.run cfg (fun ctx ->
+        Core.Mis.body ~on_decide:(fun o -> R.output ctx o) Core.Params.default ctx)
+  in
+  Alcotest.check Alcotest.int "rounds observed" res.R.rounds
+    (Array.length (Trace.broadcast_counts t));
+  Alcotest.check Alcotest.int "all decisions observed" 16
+    (List.length (Trace.decisions t));
+  match Trace.decision_summary t with
+  | Some s -> Alcotest.(check bool) "summary sane" true (s.count = 16 && s.min >= 1.0)
+  | None -> Alcotest.fail "expected summary"
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "first decisions only" `Quick test_first_decisions_only;
+          Alcotest.test_case "activity profile" `Quick test_activity_profile;
+          Alcotest.test_case "sparkline" `Quick test_sparkline;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "with engine" `Quick test_with_engine;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Tests of the problem-definition checkers themselves, on handcrafted
+   structures where ground truth is known. *)
+
+module Graph = Rn_graph.Graph
+module Gen = Rn_graph.Gen
+module Verify = Rn_verify.Verify
+module Point = Rn_geom.Point
+
+let path5 = Gen.path 5
+
+(* --- MIS checker --- *)
+
+let test_mis_valid () =
+  (* 0-1-2-3-4: {0, 2, 4} is a valid MIS *)
+  let outputs = [| Some 1; Some 0; Some 1; Some 0; Some 1 |] in
+  let r = Verify.Mis_check.check ~g:path5 ~h:path5 outputs in
+  Alcotest.(check bool) "valid" true (Verify.Mis_check.ok r);
+  Alcotest.(check bool) "no violations" true (r.violations = [])
+
+let test_mis_termination_violation () =
+  let outputs = [| Some 1; Some 0; None; Some 0; Some 1 |] in
+  let r = Verify.Mis_check.check ~g:path5 ~h:path5 outputs in
+  Alcotest.(check bool) "termination fails" false r.termination;
+  Alcotest.(check bool) "not ok" false (Verify.Mis_check.ok r)
+
+let test_mis_independence_violation () =
+  let outputs = [| Some 1; Some 1; Some 0; Some 0; Some 1 |] in
+  let r = Verify.Mis_check.check ~g:path5 ~h:path5 outputs in
+  Alcotest.(check bool) "independence fails" false r.independence;
+  Alcotest.(check bool) "others hold" true (r.termination && r.maximality)
+
+let test_mis_maximality_violation () =
+  (* node 2 outputs 0 but no neighbour is in the MIS *)
+  let outputs = [| Some 1; Some 0; Some 0; Some 0; Some 1 |] in
+  let r = Verify.Mis_check.check ~g:path5 ~h:path5 outputs in
+  Alcotest.(check bool) "maximality fails" false r.maximality;
+  Alcotest.(check bool) "independence holds" true r.independence
+
+let test_mis_maximality_in_h () =
+  (* maximality is judged in H, independence in G: node 2 output 0 and is
+     H-adjacent (but not G-adjacent) to MIS node 0 *)
+  let g = Graph.of_edges 3 [ (1, 2) ] in
+  let h = Graph.of_edges 3 [ (0, 2); (1, 2) ] in
+  let outputs = [| Some 1; Some 1; Some 0 |] in
+  let r = Verify.Mis_check.check ~g ~h outputs in
+  Alcotest.(check bool) "valid with H-maximality" true (Verify.Mis_check.ok r)
+
+let test_mis_arity () =
+  Alcotest.check_raises "arity" (Invalid_argument "Mis_check.check: arity") (fun () ->
+      ignore (Verify.Mis_check.check ~g:path5 ~h:path5 [| Some 1 |]))
+
+(* --- CCDS checker --- *)
+
+let test_ccds_valid () =
+  (* path CCDS: internal nodes 1,2,3 *)
+  let outputs = [| Some 0; Some 1; Some 1; Some 1; Some 0 |] in
+  let r = Verify.Ccds_check.check ~h:path5 ~g':path5 outputs in
+  Alcotest.(check bool) "valid" true (Verify.Ccds_check.ok r);
+  Alcotest.check Alcotest.int "size" 3 r.size;
+  Alcotest.check Alcotest.int "max neighbours" 2 r.max_neighbors_g'
+
+let test_ccds_disconnected () =
+  let outputs = [| Some 1; Some 0; Some 0; Some 0; Some 1 |] in
+  let r = Verify.Ccds_check.check ~h:path5 ~g':path5 outputs in
+  Alcotest.(check bool) "connectivity fails" false r.connectivity
+
+let test_ccds_domination_violation () =
+  (* {1} dominates 0 and 2, but not 3, 4 *)
+  let outputs = [| Some 0; Some 1; Some 0; Some 0; Some 0 |] in
+  let r = Verify.Ccds_check.check ~h:path5 ~g':path5 outputs in
+  Alcotest.(check bool) "domination fails" false r.domination;
+  Alcotest.(check bool) "connectivity holds (singleton)" true r.connectivity
+
+let test_ccds_bound () =
+  let star = Gen.star 6 in
+  (* all leaves in the set: centre has 5 CCDS neighbours *)
+  let outputs = [| Some 0; Some 1; Some 1; Some 1; Some 1; Some 1 |] in
+  let r = Verify.Ccds_check.check ~h:star ~g':star outputs in
+  Alcotest.check Alcotest.int "max neighbours" 5 r.max_neighbors_g';
+  Alcotest.(check bool) "bound 4 fails" false (Verify.Ccds_check.ok ~bound:4 r);
+  (* a star's leaves are pairwise non-adjacent: connectivity fails too *)
+  Alcotest.(check bool) "leaves disconnected" false r.connectivity
+
+let test_ccds_connectivity_in_h_only () =
+  (* the member set is connected in H but not in G': H decides *)
+  let h = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let g' = Graph.of_edges 3 [ (0, 2) ] in
+  let outputs = [| Some 1; Some 1; Some 1 |] in
+  let r = Verify.Ccds_check.check ~h ~g' outputs in
+  Alcotest.(check bool) "connectivity judged in H" true r.connectivity
+
+let test_ccds_all_members_trivially_dominates () =
+  let outputs = Array.make 5 (Some 1) in
+  let r = Verify.Ccds_check.check ~h:path5 ~g':path5 outputs in
+  Alcotest.(check bool) "valid" true (Verify.Ccds_check.ok r)
+
+(* --- exact minimum CDS --- *)
+
+let test_exact_known () =
+  (* path P5: the 3 internal nodes are the unique minimum CDS *)
+  Alcotest.check Alcotest.int "path 5" 3 (Verify.Exact.min_cds (Gen.path 5));
+  Alcotest.check Alcotest.int "path 2" 1 (Verify.Exact.min_cds (Gen.path 2));
+  Alcotest.check Alcotest.int "clique" 1 (Verify.Exact.min_cds (Gen.clique 6));
+  Alcotest.check Alcotest.int "star" 1 (Verify.Exact.min_cds (Gen.star 7));
+  (* C6: two antipodal-ish … a cycle of n needs n-2 *)
+  Alcotest.check Alcotest.int "ring 6" 4 (Verify.Exact.min_cds (Gen.ring 6));
+  Alcotest.check Alcotest.int "singleton" 1 (Verify.Exact.min_cds (Gen.path 1))
+
+let test_exact_too_large () =
+  Alcotest.(check bool) "rejects big n" true
+    (try
+       ignore (Verify.Exact.min_cds (Gen.path 30));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_exact_lower_bounds_ccds =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"algorithmic CCDS >= exact optimum" ~count:4
+       (QCheck.int_range 1 50) (fun seed ->
+         let dual = Rn_harness.Harness.geometric ~seed ~n:14 ~degree:5 () in
+         let det = Rn_detect.Detector.perfect (Rn_graph.Dual.g dual) in
+         let res =
+           Core.Ccds.run ~seed
+             ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+             ~detector:(Rn_detect.Detector.static det) dual
+         in
+         let size =
+           Array.fold_left
+             (fun c o -> if o = Some 1 then c + 1 else c)
+             0 res.Core.Radio.outputs
+         in
+         size >= Verify.Exact.min_cds (Rn_graph.Dual.g dual)))
+
+(* --- density --- *)
+
+let test_density () =
+  let pos = [| Point.make 0.0 0.0; Point.make 0.5 0.0; Point.make 5.0 0.0 |] in
+  Alcotest.check Alcotest.int "two members within 1" 2
+    (Verify.Density.max_within ~pos ~members:[ 0; 1 ] 1.0);
+  Alcotest.check Alcotest.int "far member excluded" 2
+    (Verify.Density.max_within ~pos ~members:[ 0; 1; 2 ] 1.0);
+  Alcotest.check Alcotest.int "all within 10" 3
+    (Verify.Density.max_within ~pos ~members:[ 0; 1; 2 ] 10.0)
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "mis-check",
+        [
+          Alcotest.test_case "valid" `Quick test_mis_valid;
+          Alcotest.test_case "termination violation" `Quick test_mis_termination_violation;
+          Alcotest.test_case "independence violation" `Quick test_mis_independence_violation;
+          Alcotest.test_case "maximality violation" `Quick test_mis_maximality_violation;
+          Alcotest.test_case "maximality in H" `Quick test_mis_maximality_in_h;
+          Alcotest.test_case "arity" `Quick test_mis_arity;
+        ] );
+      ( "ccds-check",
+        [
+          Alcotest.test_case "valid" `Quick test_ccds_valid;
+          Alcotest.test_case "disconnected" `Quick test_ccds_disconnected;
+          Alcotest.test_case "domination violation" `Quick test_ccds_domination_violation;
+          Alcotest.test_case "constant bound" `Quick test_ccds_bound;
+          Alcotest.test_case "connectivity in H" `Quick test_ccds_connectivity_in_h_only;
+          Alcotest.test_case "all members" `Quick test_ccds_all_members_trivially_dominates;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "known optima" `Quick test_exact_known;
+          Alcotest.test_case "size guard" `Quick test_exact_too_large;
+          prop_exact_lower_bounds_ccds;
+        ] );
+      ("density", [ Alcotest.test_case "max within" `Quick test_density ]);
+    ]
