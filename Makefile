@@ -1,6 +1,11 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full examples figures fuzz clean
+.PHONY: all build test fmt bench bench-full examples figures fuzz clean
+
+# Worker domains for the experiment sweeps (see "Parallel execution" in
+# README.md); tables are identical for every JOBS value.
+JOBS ?= 0
+JOBS_FLAG = $(if $(filter-out 0,$(JOBS)),--jobs $(JOBS),)
 
 all: build
 
@@ -10,11 +15,15 @@ build:
 test:
 	dune runtest --force
 
+# Requires ocamlformat (pinned in .ocamlformat); CI enforces this.
+fmt:
+	dune build @fmt --auto-promote
+
 bench:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- $(JOBS_FLAG)
 
 bench-full:
-	dune exec bench/main.exe -- --full
+	dune exec bench/main.exe -- --full $(JOBS_FLAG)
 
 examples:
 	dune build @examples

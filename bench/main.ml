@@ -119,16 +119,62 @@ let run_microbenches () =
   Rn_util.Table.print t;
   print_newline ()
 
+(* --jobs N: worker domains for the experiment sweeps (default: cores - 1,
+   capped).  With jobs > 1 every experiment is run twice — once parallel,
+   once sequential — and the wall-clock speedup is reported per
+   experiment, along with a check that both runs rendered the identical
+   table (the harness's determinism guarantee). *)
+let parse_jobs () =
+  let rec find = function
+    | "--jobs" :: v :: _ -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 -> j
+      | _ -> failwith "usage: --jobs N (N >= 1)")
+    | _ :: rest -> find rest
+    | [] -> Rn_util.Pool.recommended_jobs ()
+  in
+  find (Array.to_list Sys.argv)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
 let () =
   let full = Array.exists (fun a -> a = "--full") Sys.argv in
+  let jobs = parse_jobs () in
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
   run_microbenches ();
-  Printf.printf "--- experiment suite (%s scale; see DESIGN.md / EXPERIMENTS.md) ---\n\n"
-    (if full then "full" else "quick");
+  Printf.printf
+    "--- experiment suite (%s scale, %d jobs; see DESIGN.md / EXPERIMENTS.md) ---\n\n"
+    (if full then "full" else "quick")
+    jobs;
+  let speedups = Rn_util.Table.create [ "experiment"; "seq (s)"; "par (s)"; "speedup"; "identical" ] in
   List.iter
     (fun id ->
       Printf.printf "[running %s...]\n%!" id;
       match Rn_harness.All.find id with
-      | Some f -> Rn_harness.Harness.print (f scale)
-      | None -> ())
-    Rn_harness.All.ids
+      | None -> ()
+      | Some f ->
+        Rn_harness.Harness.set_jobs jobs;
+        let par, t_par = timed (fun () -> f scale) in
+        Rn_harness.Harness.print par;
+        if jobs > 1 then begin
+          Rn_harness.Harness.set_jobs 1;
+          let seq, t_seq = timed (fun () -> f scale) in
+          Rn_util.Table.add_row speedups
+            [
+              id;
+              Printf.sprintf "%.2f" t_seq;
+              Printf.sprintf "%.2f" t_par;
+              Printf.sprintf "%.2fx" (t_seq /. t_par);
+              (if Rn_harness.Harness.render seq = Rn_harness.Harness.render par then "yes"
+               else "NO");
+            ]
+        end)
+    Rn_harness.All.ids;
+  if jobs > 1 then begin
+    Printf.printf "--- wall-clock speedup at %d jobs (tables must be identical) ---\n" jobs;
+    Rn_util.Table.print speedups;
+    print_newline ()
+  end

@@ -157,7 +157,8 @@ let bridge_cmd =
 
 (* --- experiment command --- *)
 
-let run_experiments ids full =
+let run_experiments ids full jobs =
+  Rn_harness.Harness.set_jobs jobs;
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
   let ids = if ids = [] then Rn_harness.All.ids else ids in
   List.iter
@@ -174,10 +175,19 @@ let ids_arg =
 
 let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Full scale (slower, more sizes/reps).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Rn_util.Pool.recommended_jobs ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for experiment cells (default: cores - 1, capped). Tables are \
+           identical for every value; 1 runs strictly sequentially.")
+
 let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's experiment tables (see DESIGN.md).")
-    Term.(const run_experiments $ ids_arg $ full_arg)
+    Term.(const run_experiments $ ids_arg $ full_arg $ jobs_arg)
 
 let list_cmd =
   Cmd.v

@@ -94,13 +94,19 @@ let i_r ?(samples = 24) r =
   done;
   !best
 
-(* Memoised I_r for the handful of constants the algorithms use. *)
+(* Memoised I_r for the handful of constants the algorithms use.  The
+   cache is shared across the harness's worker domains, so reads and
+   writes are serialised; a duplicated computation between the lookup and
+   the insert is harmless (I_r is a pure function of r). *)
 let i_r_cache : (float, int) Hashtbl.t = Hashtbl.create 16
+let i_r_cache_lock = Mutex.create ()
 
 let i_r_cached r =
-  match Hashtbl.find_opt i_r_cache r with
+  let cached = Mutex.protect i_r_cache_lock (fun () -> Hashtbl.find_opt i_r_cache r) in
+  match cached with
   | Some v -> v
   | None ->
     let v = i_r r in
-    Hashtbl.add i_r_cache r v;
+    Mutex.protect i_r_cache_lock (fun () ->
+        if not (Hashtbl.mem i_r_cache r) then Hashtbl.add i_r_cache r v);
     v

@@ -27,35 +27,45 @@ let a7 scale =
   let k = 2 * Rn_util.Ilog.log2_up n in
   let budget = 40 * k in
   let t = Table.create [ "protocol"; "adversary"; "coverage"; "last reached" ] in
-  let row name protocol adv_name adversary rounds =
-    let r =
-      Rn_broadcast.Broadcast.run ~adversary ~seed:31 ~protocol ~source:0 ~rounds dual
-    in
-    let last =
-      Array.fold_left (fun acc f -> match f with Some x -> max acc x | None -> acc) 0
-        r.first_hear
-    in
-    Table.add_row t
+  let rr_budget = Rn_broadcast.Broadcast.round_robin_budget dual ~source:0 in
+  let specs =
+    List.map
+      (fun (adv_name, adversary) ->
+        ("decay [BGI]", Rn_broadcast.Broadcast.Decay k, adv_name, adversary, budget))
       [
-        name;
-        adv_name;
-        Printf.sprintf "%d/%d" r.coverage n;
-        Table.cell_int last;
+        ("silent", Rn_sim.Adversary.silent);
+        ("bernoulli 0.3", Rn_sim.Adversary.bernoulli 0.3);
+        ("bernoulli 0.7", Rn_sim.Adversary.bernoulli 0.7);
+        ("spiteful", Rn_sim.Adversary.spiteful);
+        ("jamming", Rn_sim.Adversary.jamming);
+      ]
+    @ [
+        ( "round-robin [5]",
+          Rn_broadcast.Broadcast.Round_robin,
+          "jamming",
+          Rn_sim.Adversary.jamming,
+          rr_budget );
       ]
   in
+  let rows =
+    run_cells
+      (fun (name, protocol, adv_name, adversary, rounds) ->
+        let r =
+          Rn_broadcast.Broadcast.run ~adversary ~seed:31 ~protocol ~source:0 ~rounds dual
+        in
+        let last =
+          Array.fold_left
+            (fun acc f -> match f with Some x -> max acc x | None -> acc)
+            0 r.first_hear
+        in
+        (name, adv_name, r.coverage, last))
+      specs
+  in
   List.iter
-    (fun (adv_name, adversary) ->
-      row "decay [BGI]" (Rn_broadcast.Broadcast.Decay k) adv_name adversary budget)
-    [
-      ("silent", Rn_sim.Adversary.silent);
-      ("bernoulli 0.3", Rn_sim.Adversary.bernoulli 0.3);
-      ("bernoulli 0.7", Rn_sim.Adversary.bernoulli 0.7);
-      ("spiteful", Rn_sim.Adversary.spiteful);
-      ("jamming", Rn_sim.Adversary.jamming);
-    ];
-  let rr_budget = Rn_broadcast.Broadcast.round_robin_budget dual ~source:0 in
-  row "round-robin [5]" Rn_broadcast.Broadcast.Round_robin "jamming"
-    Rn_sim.Adversary.jamming rr_budget;
+    (fun (name, adv_name, coverage, last) ->
+      Table.add_row t
+        [ name; adv_name; Printf.sprintf "%d/%d" coverage n; Table.cell_int last ])
+    rows;
   {
     id = "A7";
     title = "Broadcast under unreliability (the [10,11] hardness, qualitatively)";
@@ -89,28 +99,41 @@ let a3 scale =
   let t =
     Table.create [ "protocol"; "coverage"; "last reached (round)"; "transmissions"; "bits" ]
   in
-  let row name protocol budget =
-    let r = Rn_broadcast.Broadcast.run ~adversary ~seed:21 ~protocol ~source ~rounds:budget dual in
-    let last =
-      Array.fold_left
-        (fun acc f -> match f with Some x -> max acc x | None -> acc)
-        0 r.first_hear
-    in
-    Table.add_row t
-      [
-        name;
-        Printf.sprintf "%d/%d" r.coverage n;
-        Table.cell_int last;
-        Table.cell_int r.sends;
-        Table.cell_int r.bits_sent;
-      ]
-  in
-  row "flood p=0.1" (Flood 0.1) rounds;
-  row "backbone p=0.1"
-    (Backbone { relay = (fun v -> in_backbone.(v)); p = 0.1 })
-    rounds;
   let rr_budget = Rn_broadcast.Broadcast.round_robin_budget dual ~source in
-  row "round-robin [5]" Round_robin rr_budget;
+  let specs =
+    [
+      ("flood p=0.1", Rn_broadcast.Broadcast.Flood 0.1, rounds);
+      ( "backbone p=0.1",
+        Rn_broadcast.Broadcast.Backbone { relay = (fun v -> in_backbone.(v)); p = 0.1 },
+        rounds );
+      ("round-robin [5]", Rn_broadcast.Broadcast.Round_robin, rr_budget);
+    ]
+  in
+  let rows =
+    run_cells
+      (fun (name, protocol, budget) ->
+        let r =
+          Rn_broadcast.Broadcast.run ~adversary ~seed:21 ~protocol ~source ~rounds:budget dual
+        in
+        let last =
+          Array.fold_left
+            (fun acc f -> match f with Some x -> max acc x | None -> acc)
+            0 r.first_hear
+        in
+        (name, r.coverage, last, r.sends, r.bits_sent))
+      specs
+  in
+  List.iter
+    (fun (name, coverage, last, sends, bits) ->
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "%d/%d" coverage n;
+          Table.cell_int last;
+          Table.cell_int sends;
+          Table.cell_int bits;
+        ])
+    rows;
   let stretch =
     let members = ref [] in
     Array.iteri (fun v b -> if b then members := v :: !members) in_backbone;

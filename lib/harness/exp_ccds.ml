@@ -23,33 +23,30 @@ let e2 scale =
   let b_name = function Some b -> string_of_int b | None -> "inf" in
   let t = Table.create [ "deg"; "Delta"; "b(bits)"; "rounds"; "ok" ] in
   let notes = ref [] in
+  let keys = List.concat_map (fun degree -> List.map (fun b -> (degree, b)) bs) degrees in
+  let grid =
+    sweep keys ~reps:(reps scale) (fun (degree, b) rep ->
+        let dual = geometric ~seed:(rep + (17 * degree)) ~n ~degree () in
+        let det = Detector.perfect (Dual.g dual) in
+        let res =
+          Core.Ccds.run ~seed:rep ?b_bits:b
+            ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+            ~detector:(Detector.static det) dual
+        in
+        (res.R.rounds, Dual.max_degree_g dual, check_ok ~det ~dual res.R.outputs))
+  in
   List.iter
-    (fun degree ->
-      List.iter
-        (fun b ->
-          let rounds = ref 0 and oks = ref [] and deltas = ref [] in
-          for rep = 1 to reps scale do
-            let dual = geometric ~seed:(rep + (17 * degree)) ~n ~degree () in
-            let det = Detector.perfect (Dual.g dual) in
-            let res =
-              Core.Ccds.run ~seed:rep ?b_bits:b
-                ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
-                ~detector:(Detector.static det) dual
-            in
-            rounds := res.R.rounds;
-            deltas := Dual.max_degree_g dual :: !deltas;
-            oks := check_ok ~det ~dual res.R.outputs :: !oks
-          done;
-          Table.add_row t
-            [
-              Table.cell_int degree;
-              Table.cell_float ~digits:0 (mean_int !deltas);
-              b_name b;
-              Table.cell_int !rounds;
-              Table.cell_pct (success_rate !oks);
-            ])
-        bs)
-    degrees;
+    (fun ((degree, b), runs) ->
+      let rounds, _, _ = last_rep runs in
+      Table.add_row t
+        [
+          Table.cell_int degree;
+          Table.cell_float ~digits:0 (mean_int (List.map (fun (_, d, _) -> d) runs));
+          b_name b;
+          Table.cell_int rounds;
+          Table.cell_pct (success_rate (List.map (fun (_, _, ok) -> ok) runs));
+        ])
+    grid;
   notes :=
     [
       "paper: rounds = O(Delta log^2 n / b + log^3 n) — flat in Delta once b = Omega(Delta)";
@@ -70,46 +67,41 @@ let e3 scale =
   let taus = [ 0; 1; 2; 3 ] in
   let t = Table.create [ "tau"; "deg"; "Delta"; "rounds"; "explore-only"; "ok" ] in
   let xs = ref [] and ys = ref [] in
+  let keys = List.concat_map (fun tau -> List.map (fun degree -> (tau, degree)) degrees) taus in
+  let grid =
+    sweep keys ~reps:(reps scale) (fun (tau, degree) rep ->
+        let dual = geometric ~seed:(rep + (31 * degree)) ~n ~degree () in
+        let rng = Rn_util.Rng.create (rep + 555) in
+        let det = Detector.tau_complete ~rng ~tau dual in
+        let res =
+          Core.Explore_ccds.run ~seed:rep ~tau
+            ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+            ~detector:(Detector.static det) dual
+        in
+        (res.R.rounds, Dual.max_degree_g dual, check_ok ~det ~dual res.R.outputs))
+  in
   List.iter
-    (fun tau ->
-      List.iter
-        (fun degree ->
-          let rounds = ref 0 and oks = ref [] and deltas = ref [] in
-          for rep = 1 to reps scale do
-            let dual = geometric ~seed:(rep + (31 * degree)) ~n ~degree () in
-            let rng = Rn_util.Rng.create (rep + 555) in
-            let det = Detector.tau_complete ~rng ~tau dual in
-            let res =
-              Core.Explore_ccds.run ~seed:rep ~tau
-                ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
-                ~detector:(Detector.static det) dual
-            in
-            rounds := res.R.rounds;
-            deltas := Dual.max_degree_g dual :: !deltas;
-            oks := check_ok ~det ~dual res.R.outputs :: !oks
-          done;
-          (* Rounds spent past the fixed domination (MIS) prefix: the part
-             Theorem 6.2 charges O(Delta polylog n) for. *)
-          let dom =
-            (tau + 1) * Core.Mis.schedule_rounds Core.Params.default ~n
-          in
-          let explore_only = !rounds - dom in
-          let delta_mean = mean_int !deltas in
-          Table.add_row t
-            [
-              Table.cell_int tau;
-              Table.cell_int degree;
-              Table.cell_float ~digits:0 delta_mean;
-              Table.cell_int !rounds;
-              Table.cell_int explore_only;
-              Table.cell_pct (success_rate !oks);
-            ];
-          if tau = 1 then begin
-            xs := delta_mean :: !xs;
-            ys := float_of_int explore_only :: !ys
-          end)
-        degrees)
-    taus;
+    (fun ((tau, degree), runs) ->
+      let rounds, _, _ = last_rep runs in
+      (* Rounds spent past the fixed domination (MIS) prefix: the part
+         Theorem 6.2 charges O(Delta polylog n) for. *)
+      let dom = (tau + 1) * Core.Mis.schedule_rounds Core.Params.default ~n in
+      let explore_only = rounds - dom in
+      let delta_mean = mean_int (List.map (fun (_, d, _) -> d) runs) in
+      Table.add_row t
+        [
+          Table.cell_int tau;
+          Table.cell_int degree;
+          Table.cell_float ~digits:0 delta_mean;
+          Table.cell_int rounds;
+          Table.cell_int explore_only;
+          Table.cell_pct (success_rate (List.map (fun (_, _, ok) -> ok) runs));
+        ];
+      if tau = 1 then begin
+        xs := delta_mean :: !xs;
+        ys := float_of_int explore_only :: !ys
+      end)
+    grid;
   {
     id = "E3";
     title = "Exploration CCDS with tau-complete detectors (Thm 6.2)";
@@ -132,45 +124,50 @@ let a1 scale =
   let bs = [ Some (8 * id); None ] in
   let b_name = function Some b -> string_of_int b | None -> "inf" in
   let t = Table.create [ "algorithm"; "deg"; "b(bits)"; "rounds"; "ok" ] in
+  let algorithms =
+    [
+      ( "banned-list (Sec 5)",
+        fun ~rep ~b ~det ~dual ->
+          let res =
+            Core.Ccds.run ~seed:rep ?b_bits:b
+              ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+              ~detector:(Detector.static det) dual
+          in
+          (res.R.rounds, res.R.outputs) );
+      ( "naive explore (Sec 6, tau=0)",
+        fun ~rep ~b ~det ~dual ->
+          let res =
+            Core.Explore_ccds.run ~seed:rep ?b_bits:b ~tau:0
+              ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+              ~detector:(Detector.static det) dual
+          in
+          (res.R.rounds, res.R.outputs) );
+    ]
+  in
+  let keys =
+    List.concat_map
+      (fun (d, b) -> List.map (fun algo -> (d, b, algo)) algorithms)
+      (List.concat_map (fun d -> List.map (fun b -> (d, b)) bs) degrees)
+  in
+  let grid =
+    sweep keys ~reps:(reps scale) (fun (degree, b, (_, runner)) rep ->
+        let dual = geometric ~seed:(rep + 71) ~n ~degree () in
+        let det = Detector.perfect (Dual.g dual) in
+        let r, outputs = runner ~rep ~b ~det ~dual in
+        (r, check_ok ~det ~dual outputs))
+  in
   List.iter
-    (fun (degree, b) ->
-      List.iter
-        (fun (name, runner) ->
-          let rounds = ref 0 and oks = ref [] in
-          for rep = 1 to reps scale do
-            let dual = geometric ~seed:(rep + 71) ~n ~degree () in
-            let det = Detector.perfect (Dual.g dual) in
-            let r, outputs = runner ~rep ~b ~det ~dual in
-            rounds := r;
-            oks := check_ok ~det ~dual outputs :: !oks
-          done;
-          Table.add_row t
-            [
-              name;
-              Table.cell_int degree;
-              b_name b;
-              Table.cell_int !rounds;
-              Table.cell_pct (success_rate !oks);
-            ])
+    (fun ((degree, b, (name, _)), runs) ->
+      let rounds, _ = last_rep runs in
+      Table.add_row t
         [
-          ( "banned-list (Sec 5)",
-            fun ~rep ~b ~det ~dual ->
-              let res =
-                Core.Ccds.run ~seed:rep ?b_bits:b
-                  ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
-                  ~detector:(Detector.static det) dual
-              in
-              (res.R.rounds, res.R.outputs) );
-          ( "naive explore (Sec 6, tau=0)",
-            fun ~rep ~b ~det ~dual ->
-              let res =
-                Core.Explore_ccds.run ~seed:rep ?b_bits:b ~tau:0
-                  ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
-                  ~detector:(Detector.static det) dual
-              in
-              (res.R.rounds, res.R.outputs) );
+          name;
+          Table.cell_int degree;
+          b_name b;
+          Table.cell_int rounds;
+          Table.cell_pct (success_rate (List.map snd runs));
         ])
-    (List.concat_map (fun d -> List.map (fun b -> (d, b)) bs) degrees);
+    grid;
   {
     id = "A1";
     title = "Ablation: banned-list vs naive exploration CCDS";

@@ -16,16 +16,24 @@ let e4_single scale =
   let betas = match scale with Quick -> [ 8; 16; 32; 64 ] | Full -> [ 8; 16; 32; 64; 128; 256 ] in
   let t = Table.create [ "beta"; "mean (permutation)"; "mean (memoryless)"; "p90 worst target" ] in
   let xs = ref [] and ys = ref [] in
-  let rng = Rng.create 1 in
+  let rows =
+    (* Each beta gets its own generator so the cells are independent and
+       the sweep parallelises without changing any stream. *)
+    run_cells
+      (fun beta ->
+        let rng = Rng.create (0xE4A + beta) in
+        let samples = match scale with Quick -> 200 | Full -> 1000 in
+        let perm = Rn_games.Single_game.mean_rounds rng Permutation ~beta ~samples in
+        let memless = Rn_games.Single_game.mean_rounds rng Memoryless ~beta ~samples in
+        let p90 =
+          Rn_games.Single_game.quantile_rounds rng Permutation ~beta
+            ~samples:(max 50 (samples / 10)) ~q:0.9
+        in
+        (beta, perm, memless, p90))
+      betas
+  in
   List.iter
-    (fun beta ->
-      let samples = match scale with Quick -> 200 | Full -> 1000 in
-      let perm = Rn_games.Single_game.mean_rounds rng Permutation ~beta ~samples in
-      let memless = Rn_games.Single_game.mean_rounds rng Memoryless ~beta ~samples in
-      let p90 =
-        Rn_games.Single_game.quantile_rounds rng Permutation ~beta
-          ~samples:(max 50 (samples / 10)) ~q:0.9
-      in
+    (fun (beta, perm, memless, p90) ->
       Table.add_row t
         [
           Table.cell_int beta;
@@ -35,7 +43,7 @@ let e4_single scale =
         ];
       xs := float_of_int beta :: !xs;
       ys := perm :: !ys)
-    betas;
+    rows;
   {
     id = "E4a";
     title = "Single hitting game: rounds to hit vs beta (lower-bound core)";
@@ -51,14 +59,20 @@ let e4_double scale =
   let betas = match scale with Quick -> [ 4; 8 ] | Full -> [ 4; 8; 16 ] in
   let t = Table.create [ "beta"; "worst pair rounds"; "unsolved pairs" ] in
   let xs = ref [] and ys = ref [] in
+  let rows =
+    run_cells
+      (fun beta ->
+        let pa, pb = Rn_games.Reduction.ccds_players ~beta () in
+        let worst, unsolved = Rn_games.Double_game.worst_case ~pa ~pb ~beta ~seed:11 in
+        (beta, worst, unsolved))
+      betas
+  in
   List.iter
-    (fun beta ->
-      let pa, pb = Rn_games.Reduction.ccds_players ~beta () in
-      let worst, unsolved = Rn_games.Double_game.worst_case ~pa ~pb ~beta ~seed:11 in
+    (fun (beta, worst, unsolved) ->
       Table.add_row t [ Table.cell_int beta; Table.cell_int worst; Table.cell_int unsolved ];
       xs := float_of_int beta :: !xs;
       ys := float_of_int worst :: !ys)
-    betas;
+    rows;
   {
     id = "E4b";
     title = "Double hitting game via the Lemma 7.2 CCDS reduction";
@@ -74,9 +88,11 @@ let e4_bridge scale =
   let betas = match scale with Quick -> [ 4; 8; 16; 32 ] | Full -> [ 4; 8; 16; 32; 64 ] in
   let t = Table.create [ "beta"; "Delta"; "rounds"; "solved" ] in
   let xs = ref [] and ys = ref [] in
+  let rows =
+    run_cells (fun beta -> (beta, Rn_games.Reduction.bridge_run ~beta ~seed:3 ())) betas
+  in
   List.iter
-    (fun beta ->
-      let r = Rn_games.Reduction.bridge_run ~beta ~seed:3 () in
+    (fun (beta, (r : Rn_games.Reduction.bridge_result)) ->
       Table.add_row t
         [
           Table.cell_int beta;
@@ -86,7 +102,7 @@ let e4_bridge scale =
         ];
       xs := float_of_int beta :: !xs;
       ys := float_of_int r.rounds :: !ys)
-    betas;
+    rows;
   {
     id = "E4c";
     title = "tau=1 CCDS on the two-clique bridge network (Thm 7.1: Omega(Delta))";

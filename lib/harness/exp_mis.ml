@@ -17,12 +17,8 @@ let sizes = function Quick -> [ 32; 64; 128; 256 ] | Full -> [ 32; 64; 128; 256;
 
 let e1 scale =
   let t = Table.create [ "n"; "deg"; "rounds"; "last-decide"; "ok" ] in
-  let xs = ref [] and ys = ref [] and ds = ref [] in
-  List.iter
-    (fun n ->
-      let rounds = ref 0 in
-      let decides = ref [] and oks = ref [] in
-      for rep = 1 to reps scale do
+  let per_n =
+    sweep (sizes scale) ~reps:(reps scale) (fun n rep ->
         let dual = geometric ~seed:(rep + (100 * n)) ~n ~degree:(degree_for n) () in
         let det = Detector.perfect (Dual.g dual) in
         let res =
@@ -30,32 +26,34 @@ let e1 scale =
             ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
             ~detector:(Detector.static det) dual
         in
-        rounds := res.R.rounds;
         let last =
           Array.fold_left
             (fun acc d -> match d with Some r -> max acc r | None -> acc)
             0 res.R.decided_round
         in
-        decides := last :: !decides;
         let rep_ok =
           Verify.Mis_check.ok
             (Verify.Mis_check.check ~g:(Dual.g dual) ~h:(Detector.h_graph det) res.R.outputs)
         in
-        oks := rep_ok :: !oks
-      done;
-      let last_mean = mean_int !decides in
+        (res.R.rounds, last, rep_ok))
+  in
+  let xs = ref [] and ys = ref [] and ds = ref [] in
+  List.iter
+    (fun (n, runs) ->
+      let rounds, _, _ = last_rep runs in
+      let last_mean = mean_int (List.map (fun (_, last, _) -> last) runs) in
       Table.add_row t
         [
           Table.cell_int n;
           Table.cell_int (degree_for n);
-          Table.cell_int !rounds;
+          Table.cell_int rounds;
           Table.cell_float last_mean;
-          Table.cell_pct (success_rate !oks);
+          Table.cell_pct (success_rate (List.map (fun (_, _, ok) -> ok) runs));
         ];
       xs := float_of_int n :: !xs;
-      ys := float_of_int !rounds :: !ys;
+      ys := float_of_int rounds :: !ys;
       ds := last_mean :: !ds)
-    (sizes scale);
+    per_n;
   {
     id = "E1";
     title = "MIS rounds vs n (Thm 4.6: O(log^3 n) w.h.p.)";
@@ -84,11 +82,17 @@ let e5 scale =
   Array.iteri (fun v o -> if o = Some 1 then members := v :: !members) res.R.outputs;
   let pos = match Dual.positions dual with Some p -> p | None -> assert false in
   let notes = ref [] in
+  let rows =
+    run_cells
+      (fun r ->
+        let r_f = float_of_int r in
+        let got = Verify.Density.max_within ~pos ~members:!members r_f in
+        let bound = Overlay.i_r_cached r_f in
+        (r, got, bound))
+      [ 1; 2; 3; 4 ]
+  in
   List.iter
-    (fun r ->
-      let r_f = float_of_int r in
-      let got = Verify.Density.max_within ~pos ~members:!members r_f in
-      let bound = Overlay.i_r_cached r_f in
+    (fun (r, got, bound) ->
       Table.add_row t
         [
           Table.cell_int r;
@@ -96,7 +100,7 @@ let e5 scale =
           Table.cell_int bound;
           (if got <= bound then "yes" else "NO");
         ])
-    [ 1; 2; 3; 4 ];
+    rows;
   notes := [ "paper: no more than I_r MIS processes within distance r of any node" ];
   {
     id = "E5";
@@ -110,54 +114,54 @@ let e5 scale =
 let e7 scale =
   let t = Table.create [ "n"; "model"; "max local decide"; "ok" ] in
   let xs = ref [] and ys = ref [] in
+  let keys =
+    sizes scale
+    |> List.filter (fun n -> n <= 512)
+    |> List.concat_map (fun n -> [ (n, true); (n, false) ])
+  in
+  let grid =
+    sweep keys ~reps:(reps scale) (fun (n, classic) rep ->
+        let dual = geometric ~seed:(rep + (30 * n)) ~n ~degree:(degree_for n) () in
+        let net = if classic then Dual.classic (Dual.g dual) else dual in
+        let det = Detector.perfect (Dual.g net) in
+        let spread = 4 * Rn_util.Ilog.log2_up n * Rn_util.Ilog.log2_up n in
+        let wake = Array.init n (fun i -> 1 + (((i * 131) + rep) mod spread)) in
+        let adversary =
+          if classic then Rn_sim.Adversary.silent else Rn_sim.Adversary.bernoulli 0.5
+        in
+        let res =
+          Core.Async_mis.run ~seed:rep ~classic ~wake ~adversary
+            ~detector:(Detector.static det) net
+        in
+        (* local decision latency: decided round minus wake round *)
+        let worst = ref 0 in
+        Array.iteri
+          (fun v d ->
+            match d with
+            | Some r -> worst := max !worst (r - wake.(v) + 1)
+            | None -> worst := max !worst res.R.rounds)
+          res.R.decided_round;
+        let rep_ok =
+          Verify.Mis_check.ok
+            (Verify.Mis_check.check ~g:(Dual.g net) ~h:(Detector.h_graph det) res.R.outputs)
+        in
+        (!worst, rep_ok))
+  in
   List.iter
-    (fun n ->
-      List.iter
-        (fun classic ->
-          let decides = ref [] and oks = ref [] in
-          for rep = 1 to reps scale do
-            let dual = geometric ~seed:(rep + (30 * n)) ~n ~degree:(degree_for n) () in
-            let net = if classic then Dual.classic (Dual.g dual) else dual in
-            let det = Detector.perfect (Dual.g net) in
-            let spread = 4 * Rn_util.Ilog.log2_up n * Rn_util.Ilog.log2_up n in
-            let wake = Array.init n (fun i -> 1 + (((i * 131) + rep) mod spread)) in
-            let adversary =
-              if classic then Rn_sim.Adversary.silent else Rn_sim.Adversary.bernoulli 0.5
-            in
-            let res =
-              Core.Async_mis.run ~seed:rep ~classic ~wake ~adversary
-                ~detector:(Detector.static det) net
-            in
-            (* local decision latency: decided round minus wake round *)
-            let worst = ref 0 in
-            Array.iteri
-              (fun v d ->
-                match d with
-                | Some r -> worst := max !worst (r - wake.(v) + 1)
-                | None -> worst := max !worst res.R.rounds)
-              res.R.decided_round;
-            decides := !worst :: !decides;
-            let rep_ok =
-              Verify.Mis_check.ok
-                (Verify.Mis_check.check ~g:(Dual.g net) ~h:(Detector.h_graph det)
-                   res.R.outputs)
-            in
-            oks := rep_ok :: !oks
-          done;
-          let m = mean_int !decides in
-          Table.add_row t
-            [
-              Table.cell_int n;
-              (if classic then "classic G=G'" else "dual 0-complete");
-              Table.cell_float m;
-              Table.cell_pct (success_rate !oks);
-            ];
-          if classic then begin
-            xs := float_of_int n :: !xs;
-            ys := m :: !ys
-          end)
-        [ true; false ])
-    (sizes scale |> List.filter (fun n -> n <= 512));
+    (fun ((n, classic), runs) ->
+      let m = mean_int (List.map fst runs) in
+      Table.add_row t
+        [
+          Table.cell_int n;
+          (if classic then "classic G=G'" else "dual 0-complete");
+          Table.cell_float m;
+          Table.cell_pct (success_rate (List.map snd runs));
+        ];
+      if classic then begin
+        xs := float_of_int n :: !xs;
+        ys := m :: !ys
+      end)
+    grid;
   {
     id = "E7";
     title = "Async-start MIS: local decision latency (Thm 9.4: O(log^3 n))";
@@ -175,48 +179,48 @@ let e7 scale =
 let a2 scale =
   let n = match scale with Quick -> 96 | Full -> 192 in
   let t = Table.create [ "filter"; "adversary"; "ok"; "indep"; "maximal" ] in
+  let keys =
+    List.concat_map
+      (fun filter ->
+        List.map
+          (fun adv -> (filter, adv))
+          [
+            ("bernoulli 0.5", Rn_sim.Adversary.bernoulli 0.5);
+            ("jamming", Rn_sim.Adversary.jamming);
+            ("all-gray", Rn_sim.Adversary.all_gray);
+          ])
+      [
+        ("detector", Core.Radio.recv_from_detector);
+        ("accept-all", Core.Async_mis.accept_all);
+      ]
+  in
+  let grid =
+    sweep keys ~reps:(reps scale) (fun ((_, filter), (_, adv)) rep ->
+        let dual = geometric ~seed:(rep + 900) ~n ~degree:12 () in
+        let det = Detector.perfect (Dual.g dual) in
+        let cfg = R.config ~seed:rep ~adversary:adv ~detector:(Detector.static det) dual in
+        let res =
+          R.run cfg (fun ctx ->
+              Core.Mis.body ~filter
+                ~on_decide:(fun v -> R.output ctx v)
+                Core.Params.default ctx)
+        in
+        let rep_check =
+          Verify.Mis_check.check ~g:(Dual.g dual) ~h:(Detector.h_graph det) res.R.outputs
+        in
+        (Verify.Mis_check.ok rep_check, rep_check.independence, rep_check.maximality))
+  in
   List.iter
-    (fun (filter_name, filter) ->
-      List.iter
-        (fun (adv_name, adv) ->
-          let oks = ref [] and indeps = ref [] and maxs = ref [] in
-          for rep = 1 to reps scale do
-            let dual = geometric ~seed:(rep + 900) ~n ~degree:12 () in
-            let det = Detector.perfect (Dual.g dual) in
-            let cfg =
-              R.config ~seed:rep ~adversary:adv ~detector:(Detector.static det) dual
-            in
-            let res =
-              R.run cfg (fun ctx ->
-                  Core.Mis.body ~filter
-                    ~on_decide:(fun v -> R.output ctx v)
-                    Core.Params.default ctx)
-            in
-            let rep_check =
-              Verify.Mis_check.check ~g:(Dual.g dual) ~h:(Detector.h_graph det)
-                res.R.outputs
-            in
-            oks := Verify.Mis_check.ok rep_check :: !oks;
-            indeps := rep_check.independence :: !indeps;
-            maxs := rep_check.maximality :: !maxs
-          done;
-          Table.add_row t
-            [
-              filter_name;
-              adv_name;
-              Table.cell_pct (success_rate !oks);
-              Table.cell_pct (success_rate !indeps);
-              Table.cell_pct (success_rate !maxs);
-            ])
+    (fun (((filter_name, _), (adv_name, _)), runs) ->
+      Table.add_row t
         [
-          ("bernoulli 0.5", Rn_sim.Adversary.bernoulli 0.5);
-          ("jamming", Rn_sim.Adversary.jamming);
-          ("all-gray", Rn_sim.Adversary.all_gray);
+          filter_name;
+          adv_name;
+          Table.cell_pct (success_rate (List.map (fun (ok, _, _) -> ok) runs));
+          Table.cell_pct (success_rate (List.map (fun (_, i, _) -> i) runs));
+          Table.cell_pct (success_rate (List.map (fun (_, _, m) -> m) runs));
         ])
-    [
-      ("detector", Core.Radio.recv_from_detector);
-      ("accept-all", Core.Async_mis.accept_all);
-    ];
+    grid;
   {
     id = "A2";
     title = "Ablation: MIS with vs without detector filtering";

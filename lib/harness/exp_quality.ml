@@ -46,35 +46,30 @@ let a8 scale =
           r.R.outputs );
     ]
   in
-  List.iter
-    (fun (name, runner) ->
-      let sizes = ref [] and opts = ref [] and ratios = ref [] and oks = ref [] in
-      for seed = 1 to trials do
+  let grid =
+    sweep algorithms ~reps:trials (fun (_, runner) seed ->
         let dual = geometric ~seed:(seed + 60) ~n ~degree:6 () in
         let det = Detector.perfect (Dual.g dual) in
         let outputs = runner ~seed ~det ~dual in
-        let size =
-          Array.fold_left (fun c o -> if o = Some 1 then c + 1 else c) 0 outputs
-        in
+        let size = Array.fold_left (fun c o -> if o = Some 1 then c + 1 else c) 0 outputs in
         let opt = Verify.Exact.min_cds (Dual.g dual) in
         let rep =
           Verify.Ccds_check.check ~h:(Detector.h_graph det) ~g':(Dual.g' dual) outputs
         in
-        sizes := float_of_int size :: !sizes;
-        opts := float_of_int opt :: !opts;
-        ratios := (float_of_int size /. float_of_int opt) :: !ratios;
-        oks := Verify.Ccds_check.ok rep :: !oks
-      done;
-      let mean l = Rn_util.Stats.mean (Array.of_list l) in
+        (float_of_int size, float_of_int opt, Verify.Ccds_check.ok rep))
+  in
+  List.iter
+    (fun ((name, _), runs) ->
+      let mean f = Rn_util.Stats.mean (Array.of_list (List.map f runs)) in
       Table.add_row t
         [
           name;
-          Table.cell_float (mean !sizes);
-          Table.cell_float (mean !opts);
-          Table.cell_float ~digits:2 (mean !ratios);
-          Table.cell_pct (success_rate !oks);
+          Table.cell_float (mean (fun (s, _, _) -> s));
+          Table.cell_float (mean (fun (_, o, _) -> o));
+          Table.cell_float ~digits:2 (mean (fun (s, o, _) -> s /. o));
+          Table.cell_pct (success_rate (List.map (fun (_, _, ok) -> ok) runs));
         ])
-    algorithms;
+    grid;
   {
     id = "A8";
     title = "Approximation quality vs exact minimum CDS (n = 18)";

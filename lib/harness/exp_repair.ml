@@ -43,13 +43,8 @@ let a4 scale =
     Table.create
       [ "orphaned"; "strategy"; "rounds"; "messages"; "churn"; "valid" ]
   in
-  List.iter
-    (fun k ->
-      let churns_r = ref [] and churns_b = ref [] in
-      let oks_r = ref [] and oks_b = ref [] in
-      let rounds_r = ref 0 and rounds_b = ref 0 in
-      let msgs_r = ref 0 and msgs_b = ref 0 in
-      for rep = 1 to reps scale do
+  let grid =
+    sweep ks ~reps:(reps scale) (fun k rep ->
         let dual = geometric ~seed:(rep + (5 * k)) ~n ~degree:10 () in
         let det0 = perfect_detector dual in
         let adv = Rn_sim.Adversary.bernoulli 0.5 in
@@ -80,35 +75,33 @@ let a4 scale =
         let ok outputs =
           Verify.Ccds_check.ok (Verify.Ccds_check.check ~h:h1 ~g':(Dual.g' dual1) outputs)
         in
-        oks_r := ok repair.R.outputs :: !oks_r;
-        oks_b := ok rebuild.R.outputs :: !oks_b;
-        churns_r := Core.Repair.churn ~before:old_outputs ~after:repair.R.outputs :: !churns_r;
-        churns_b := Core.Repair.churn ~before:old_outputs ~after:rebuild.R.outputs :: !churns_b;
-        rounds_r := repair.R.rounds;
-        rounds_b := rebuild.R.rounds;
-        msgs_r := repair.R.stats.sends;
-        msgs_b := rebuild.R.stats.sends
-      done;
-      let mean l = Rn_util.Stats.mean (Array.of_list l) in
-      Table.add_row t
-        [
-          Table.cell_int k;
-          "repair (A4)";
-          Table.cell_int !rounds_r;
-          Table.cell_int !msgs_r;
-          Table.cell_pct (mean !churns_r);
-          Table.cell_pct (success_rate !oks_r);
-        ];
-      Table.add_row t
-        [
-          Table.cell_int k;
-          "full rebuild";
-          Table.cell_int !rounds_b;
-          Table.cell_int !msgs_b;
-          Table.cell_pct (mean !churns_b);
-          Table.cell_pct (success_rate !oks_b);
-        ])
-    ks;
+        let measure (res : _ R.result) =
+          ( res.R.rounds,
+            res.R.stats.sends,
+            Core.Repair.churn ~before:old_outputs ~after:res.R.outputs,
+            ok res.R.outputs )
+        in
+        (measure repair, measure rebuild))
+  in
+  List.iter
+    (fun (k, runs) ->
+      let mean f = Rn_util.Stats.mean (Array.of_list (List.map f runs)) in
+      let row label pick =
+        let rounds, msgs, _, _ = pick (last_rep runs) in
+        Table.add_row t
+          [
+            Table.cell_int k;
+            label;
+            Table.cell_int rounds;
+            Table.cell_int msgs;
+            Table.cell_pct (mean (fun run -> let _, _, churn, _ = pick run in churn));
+            Table.cell_pct
+              (success_rate (List.map (fun run -> let _, _, _, ok = pick run in ok) runs));
+          ]
+      in
+      row "repair (A4)" fst;
+      row "full rebuild" snd)
+    grid;
   {
     id = "A4";
     title = "Extension: localized repair vs full rebuild (Sec 8 open problem)";

@@ -33,17 +33,21 @@ let bb_trial ~k ~seed =
 
 let e8_bb scale =
   let t = Table.create [ "concurrent callers k"; "rounds"; "heard all k" ] in
-  List.iter
-    (fun k ->
-      let oks = ref [] and rounds = ref 0 in
-      for rep = 1 to 2 * reps scale do
+  let grid =
+    sweep [ 1; 2; 4; 8 ] ~reps:(2 * reps scale) (fun k rep ->
         let heard, r = bb_trial ~k ~seed:(rep + (10 * k)) in
-        rounds := r;
-        oks := (heard = k) :: !oks
-      done;
+        (r, heard = k))
+  in
+  List.iter
+    (fun (k, runs) ->
+      let rounds, _ = last_rep runs in
       Table.add_row t
-        [ Table.cell_int k; Table.cell_int !rounds; Table.cell_pct (success_rate !oks) ])
-    [ 1; 2; 4; 8 ];
+        [
+          Table.cell_int k;
+          Table.cell_int rounds;
+          Table.cell_pct (success_rate (List.map snd runs));
+        ])
+    grid;
   {
     id = "E8a";
     title = "bounded-broadcast under contention (Lemma 5.1)";
@@ -79,17 +83,21 @@ let dd_trial ~m ~seed =
 
 let e8_dd scale =
   let t = Table.create [ "covered set m"; "rounds"; "centre heard >=1" ] in
-  List.iter
-    (fun m ->
-      let oks = ref [] and rounds = ref 0 in
-      for rep = 1 to 2 * reps scale do
+  let grid =
+    sweep [ 2; 8; 32; 128 ] ~reps:(2 * reps scale) (fun m rep ->
         let received, r = dd_trial ~m ~seed:(rep + (7 * m)) in
-        rounds := r;
-        oks := (received >= 1) :: !oks
-      done;
+        (r, received >= 1))
+  in
+  List.iter
+    (fun (m, runs) ->
+      let rounds, _ = last_rep runs in
       Table.add_row t
-        [ Table.cell_int m; Table.cell_int !rounds; Table.cell_pct (success_rate !oks) ])
-    [ 2; 8; 32; 128 ];
+        [
+          Table.cell_int m;
+          Table.cell_int rounds;
+          Table.cell_pct (success_rate (List.map snd runs));
+        ])
+    grid;
   {
     id = "E8b";
     title = "directed-decay delivery (Lemma 5.2)";

@@ -22,53 +22,54 @@ let a5 scale =
   let sizes = match scale with Quick -> [ 32; 64; 128 ] | Full -> [ 32; 64; 128; 256; 512 ] in
   let t = Table.create [ "n"; "algorithm"; "adversary"; "rounds"; "ok" ] in
   let xs_t = ref [] and ys_t = ref [] and xs_c = ref [] and ys_c = ref [] in
-  List.iter
-    (fun n ->
-      let degree = max 8 (2 * Rn_util.Ilog.log2_up n) in
-      let run_one name adv_name adversary runner =
-        let rounds = ref 0 and oks = ref [] in
-        for rep = 1 to reps scale do
-          let dual = geometric ~seed:(rep + (11 * n)) ~n ~degree () in
-          let det = Detector.perfect (Dual.g dual) in
-          let r, outputs = runner ~rep ~adversary ~det ~dual in
-          rounds := r;
-          let ok =
-            Verify.Ccds_check.ok
-              (Verify.Ccds_check.check ~h:(Detector.h_graph det) ~g':(Dual.g' dual) outputs)
-          in
-          oks := ok :: !oks
-        done;
-        Table.add_row t
-          [
-            Table.cell_int n;
-            name;
-            adv_name;
-            Table.cell_int !rounds;
-            Table.cell_pct (success_rate !oks);
-          ];
-        !rounds
-      in
-      let tdma ~rep ~adversary ~det ~dual =
-        let res =
-          Core.Tdma_ccds.run ~seed:rep ~adversary ~detector:(Detector.static det) dual
+  let tdma ~rep ~adversary ~det ~dual =
+    let res = Core.Tdma_ccds.run ~seed:rep ~adversary ~detector:(Detector.static det) dual in
+    (res.R.rounds, res.R.outputs)
+  in
+  let banned ~rep ~adversary ~det ~dual =
+    let res = Core.Ccds.run ~seed:rep ~adversary ~detector:(Detector.static det) dual in
+    (res.R.rounds, res.R.outputs)
+  in
+  let keys =
+    List.concat_map
+      (fun n ->
+        [
+          (n, "TDMA [19]", "all-gray", Rn_sim.Adversary.all_gray, tdma);
+          ( n,
+            "banned-list (Sec 5)",
+            "bernoulli 0.5",
+            Rn_sim.Adversary.bernoulli 0.5,
+            banned );
+        ])
+      sizes
+  in
+  let grid =
+    sweep keys ~reps:(reps scale) (fun (n, _, _, adversary, runner) rep ->
+        let degree = max 8 (2 * Rn_util.Ilog.log2_up n) in
+        let dual = geometric ~seed:(rep + (11 * n)) ~n ~degree () in
+        let det = Detector.perfect (Dual.g dual) in
+        let r, outputs = runner ~rep ~adversary ~det ~dual in
+        let ok =
+          Verify.Ccds_check.ok
+            (Verify.Ccds_check.check ~h:(Detector.h_graph det) ~g':(Dual.g' dual) outputs)
         in
-        (res.R.rounds, res.R.outputs)
-      in
-      let banned ~rep ~adversary ~det ~dual =
-        let res = Core.Ccds.run ~seed:rep ~adversary ~detector:(Detector.static det) dual in
-        (res.R.rounds, res.R.outputs)
-      in
-      let r_t =
-        run_one "TDMA [19]" "all-gray" Rn_sim.Adversary.all_gray tdma
-      in
-      let r_c =
-        run_one "banned-list (Sec 5)" "bernoulli 0.5" (Rn_sim.Adversary.bernoulli 0.5) banned
-      in
-      xs_t := float_of_int n :: !xs_t;
-      ys_t := float_of_int r_t :: !ys_t;
-      xs_c := float_of_int n :: !xs_c;
-      ys_c := float_of_int r_c :: !ys_c)
-    sizes;
+        (r, ok))
+  in
+  List.iter
+    (fun ((n, name, adv_name, _, _), runs) ->
+      let rounds, _ = last_rep runs in
+      Table.add_row t
+        [
+          Table.cell_int n;
+          name;
+          adv_name;
+          Table.cell_int rounds;
+          Table.cell_pct (success_rate (List.map snd runs));
+        ];
+      let xs, ys = if name = "TDMA [19]" then (xs_t, ys_t) else (xs_c, ys_c) in
+      xs := float_of_int n :: !xs;
+      ys := float_of_int rounds :: !ys)
+    grid;
   let p_t, r2_t = Rn_util.Fit.power_law (Array.of_list !xs_t) (Array.of_list !ys_t) in
   {
     id = "A5";

@@ -14,6 +14,56 @@ type scale = Quick | Full
 
 let reps = function Quick -> 3 | Full -> 5
 
+(* --- parallel execution ---
+
+   Every experiment cell derives its randomness from the cell itself
+   (seed, n, degree, ...), so cells are independent and a parallel sweep
+   must produce the same table as a sequential one.  [run_cells] is the
+   single entry point both seed repetition and grid iteration go through;
+   the worker count defaults to a harness-wide setting so the registry's
+   [scale -> result] experiment signature stays unchanged. *)
+
+let default_jobs = ref 1
+let set_jobs j = default_jobs := max 1 j
+let jobs () = !default_jobs
+
+(* [run_cells f cells] maps [f] over the cells, in parallel when the jobs
+   setting (or [?jobs]) exceeds 1, preserving input order.  [~jobs:1] is
+   exactly [List.map]. *)
+let run_cells ?jobs f cells =
+  let j = match jobs with Some j -> j | None -> !default_jobs in
+  Rn_util.Pool.map ~jobs:j f cells
+
+(* [run_reps scale f] runs [f rep] for [rep = 1 .. reps scale] and returns
+   the results in rep order. *)
+let run_reps ?jobs scale f = run_cells ?jobs f (List.init (reps scale) (fun i -> i + 1))
+
+(* [sweep keys ~reps f] flattens a parameter grid x seed repetition into
+   one cell list, runs it through [run_cells], and regroups the results:
+   the returned list pairs each key (in input order) with its [reps]
+   results (in rep order).  This keeps grids and repetitions on a single
+   flat queue, so the pool load-balances across the whole sweep instead
+   of barrier-synchronising at each grid point. *)
+let sweep ?jobs keys ~reps:r f =
+  let cells = List.concat_map (fun k -> List.init r (fun i -> (k, i + 1))) keys in
+  let out = run_cells ?jobs (fun (k, rep) -> f k rep) cells in
+  let rec regroup keys out =
+    match keys with
+    | [] -> []
+    | k :: keys ->
+      let rec split n acc rest =
+        if n = 0 then (List.rev acc, rest)
+        else match rest with x :: rest -> split (n - 1) (x :: acc) rest | [] -> assert false
+      in
+      let mine, rest = split r [] out in
+      (k, mine) :: regroup keys rest
+  in
+  regroup keys out
+
+(* The last of a cell's repetitions, matching the historical "keep the
+   final rep's value" convention of the tables. *)
+let last_rep = function [] -> invalid_arg "last_rep" | l -> List.nth l (List.length l - 1)
+
 type result = {
   id : string;
   title : string;
