@@ -7,8 +7,19 @@
 
    Part 2 — the experiment suite of DESIGN.md: one table per theorem of
    the paper, regenerated from scratch.  Pass [--full] for the larger
-   parameter grids recorded in EXPERIMENTS.md. *)
+   parameter grids recorded in EXPERIMENTS.md.
 
+   Flags:
+     --full            larger grids
+     --jobs N          worker domains for the experiment sweeps
+     --profile         print engine round-loop section timings at the end
+     --json            write micro-bench estimates + per-experiment
+                       wall-clocks to BENCH_PR2.json (see --json-out)
+     --json-out FILE   destination for the JSON report *)
+
+(* Alias the stub library's clock before the opens: [Toolkit] shadows
+   [Monotonic_clock] with its MEASURE wrapper. *)
+module Mclock = Monotonic_clock
 open Bechamel
 open Toolkit
 module Rng = Rn_util.Rng
@@ -85,6 +96,8 @@ let tests =
       Test.make ~name:"single-game-b256" (Staged.stage bench_single_game);
     ]
 
+(* Runs the micro-benchmarks, prints the table, and returns the raw
+   (name, ns/run) estimates for the JSON report. *)
 let run_microbenches () =
   print_endline "--- substrate micro-benchmarks (bechamel, ns/run) ---";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -98,26 +111,30 @@ let run_microbenches () =
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   let t = Rn_util.Table.create [ "benchmark"; "time/run"; "r^2" ] in
-  List.iter
-    (fun (name, o) ->
-      let est =
-        match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
-      in
-      let pretty =
-        if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
-        else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
-        else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
-        else Printf.sprintf "%.0f ns" est
-      in
-      let r2 =
-        match Analyze.OLS.r_square o with
-        | Some r -> Printf.sprintf "%.3f" r
-        | None -> "-"
-      in
-      Rn_util.Table.add_row t [ name; pretty; r2 ])
-    rows;
+  let estimates =
+    List.map
+      (fun (name, o) ->
+        let est =
+          match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
+        in
+        let pretty =
+          if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+          else Printf.sprintf "%.0f ns" est
+        in
+        let r2 =
+          match Analyze.OLS.r_square o with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "-"
+        in
+        Rn_util.Table.add_row t [ name; pretty; r2 ];
+        (name, est))
+      rows
+  in
   Rn_util.Table.print t;
-  print_newline ()
+  print_newline ();
+  estimates
 
 (* --jobs N: worker domains for the experiment sweeps (default: cores - 1,
    capped).  With jobs > 1 every experiment is run twice — once parallel,
@@ -135,21 +152,62 @@ let parse_jobs () =
   in
   find (Array.to_list Sys.argv)
 
+(* Monotonic wall-clock timing (bechamel's clock, ns).  gettimeofday is
+   subject to NTP slews/jumps, which corrupted speedup tables on long
+   runs. *)
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mclock.now () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  let t1 = Mclock.now () in
+  (v, Int64.to_float (Int64.sub t1 t0) /. 1e9)
+
+let parse_json_out () =
+  let rec find = function
+    | "--json-out" :: path :: _ -> Some path
+    | "--json" :: _ -> Some "BENCH_PR2.json"
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+(* Hand-rolled JSON (no json dependency); one entry per line so shell
+   tooling (scripts/bench_check.sh) can grep it. *)
+let write_json ~path ~full ~jobs ~micro ~experiments =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"rn-bench/1\",\n  \"scale\": \"%s\",\n  \"jobs\": %d,\n"
+    (if full then "full" else "quick")
+    jobs;
+  Printf.fprintf oc "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n" name
+        (if Float.is_nan ns then -1.0 else ns)
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  Printf.fprintf oc "  ],\n  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, seconds) ->
+      Printf.fprintf oc "    {\"id\": \"%s\", \"seconds\": %.3f}%s\n" id seconds
+        (if i = List.length experiments - 1 then "" else ","))
+    experiments;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
 
 let () =
   let full = Array.exists (fun a -> a = "--full") Sys.argv in
+  let profile = Array.exists (fun a -> a = "--profile") Sys.argv in
+  let json_out = parse_json_out () in
   let jobs = parse_jobs () in
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
-  run_microbenches ();
+  let micro = run_microbenches () in
+  if profile then Rn_util.Timing.set_enabled true;
   Printf.printf
     "--- experiment suite (%s scale, %d jobs; see DESIGN.md / EXPERIMENTS.md) ---\n\n"
     (if full then "full" else "quick")
     jobs;
   let speedups = Rn_util.Table.create [ "experiment"; "seq (s)"; "par (s)"; "speedup"; "identical" ] in
+  let wallclocks = ref [] in
   List.iter
     (fun id ->
       Printf.printf "[running %s...]\n%!" id;
@@ -159,6 +217,7 @@ let () =
         Rn_harness.Harness.set_jobs jobs;
         let par, t_par = timed (fun () -> f scale) in
         Rn_harness.Harness.print par;
+        wallclocks := (id, t_par) :: !wallclocks;
         if jobs > 1 then begin
           Rn_harness.Harness.set_jobs 1;
           let seq, t_seq = timed (fun () -> f scale) in
@@ -177,4 +236,8 @@ let () =
     Printf.printf "--- wall-clock speedup at %d jobs (tables must be identical) ---\n" jobs;
     Rn_util.Table.print speedups;
     print_newline ()
-  end
+  end;
+  if profile then Rn_util.Timing.print_report ();
+  match json_out with
+  | Some path -> write_json ~path ~full ~jobs ~micro ~experiments:(List.rev !wallclocks)
+  | None -> ()

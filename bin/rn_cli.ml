@@ -57,9 +57,10 @@ let build_instance ~seed ~n ~degree ~tau =
   (dual, det)
 
 let summarize_engine name (rounds, stats, timed_out) =
-  Printf.printf "%s: rounds=%d sends=%d deliveries=%d collisions=%d bits=%d%s\n" name rounds
-    stats.Rn_sim.Engine.sends stats.Rn_sim.Engine.deliveries stats.Rn_sim.Engine.collisions
-    stats.Rn_sim.Engine.bits_sent
+  Printf.printf "%s: rounds=%d sends=%d deliveries=%d collisions=%d bits=%d silent=%d%s\n" name
+    rounds stats.Rn_sim.Engine.sends stats.Rn_sim.Engine.deliveries
+    stats.Rn_sim.Engine.collisions stats.Rn_sim.Engine.bits_sent
+    stats.Rn_sim.Engine.silent_rounds
     (if timed_out then " TIMEOUT" else "")
 
 let print_mis_report dual det outputs =
@@ -157,8 +158,9 @@ let bridge_cmd =
 
 (* --- experiment command --- *)
 
-let run_experiments ids full jobs =
+let run_experiments ids full jobs profile =
   Rn_harness.Harness.set_jobs jobs;
+  if profile then Rn_util.Timing.set_enabled true;
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
   let ids = if ids = [] then Rn_harness.All.ids else ids in
   List.iter
@@ -168,7 +170,8 @@ let run_experiments ids full jobs =
       | None ->
         Printf.eprintf "unknown experiment %s (known: %s)\n" id
           (String.concat ", " Rn_harness.All.ids))
-    ids
+    ids;
+  if profile then Rn_util.Timing.print_report ()
 
 let ids_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
@@ -184,10 +187,18 @@ let jobs_arg =
           "Worker domains for experiment cells (default: cores - 1, capped). Tables are \
            identical for every value; 1 runs strictly sequentially.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print engine round-loop section timings (wake/collect/adversary/deliver/resume) \
+           aggregated over all runs; see EXPERIMENTS.md for how to read the report.")
+
 let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's experiment tables (see DESIGN.md).")
-    Term.(const run_experiments $ ids_arg $ full_arg $ jobs_arg)
+    Term.(const run_experiments $ ids_arg $ full_arg $ jobs_arg $ profile_arg)
 
 let list_cmd =
   Cmd.v

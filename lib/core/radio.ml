@@ -17,6 +17,7 @@ type stats = Rn_sim.Engine.stats = {
   deliveries : int;
   collisions : int;
   bits_sent : int;
+  silent_rounds : int;
 }
 
 module Bitset = Rn_util.Bitset

@@ -43,7 +43,7 @@ let directed_decay_rounds (params : Params.t) ~n =
 (* [directed_decay params ctx ~is_mis ~noms] where [noms] maps destination
    MIS neighbours to nominee payloads.  Returns, for an MIS process, every
    (sender, nominee) pair addressed to it (empty for covered processes). *)
-let directed_decay (params : Params.t) ctx ~is_mis ~noms =
+let directed_decay_live (params : Params.t) ctx ~is_mis ~noms =
   let n = R.n ctx and me = R.me ctx in
   let logn = Ilog.log2_up n in
   let ldd = dd_phase_rounds params ~n in
@@ -101,3 +101,14 @@ let directed_decay (params : Params.t) ctx ~is_mis ~noms =
         | _ -> ())
   done;
   List.rev !received
+
+let directed_decay (params : Params.t) ctx ~is_mis ~noms =
+  if (not is_mis) && noms = [] then begin
+    (* Pure listener: no virtual senders (no coin flips), not an MIS node
+       (every receive is discarded, stop orders touch an empty table) — the
+       whole schedule collapses to one batched idle, which lets the engine
+       park this fiber instead of resuming it every round. *)
+    R.idle ctx (directed_decay_rounds params ~n:(R.n ctx));
+    []
+  end
+  else directed_decay_live params ctx ~is_mis ~noms

@@ -73,7 +73,15 @@ let edges t =
   done;
   List.rev !acc
 
-let iter_edges f t = List.iter (fun (u, v) -> f u v) (edges t)
+(* Same visiting order as [edges t], without building the list. *)
+let iter_edges f t =
+  for u = 0 to t.n - 1 do
+    let a = t.adj.(u) in
+    for i = 0 to Array.length a - 1 do
+      let v = a.(i) in
+      if u < v then f u v
+    done
+  done
 
 let fold_nodes f t init =
   let acc = ref init in
@@ -82,10 +90,51 @@ let fold_nodes f t init =
   done;
   !acc
 
-(* [union a b] has an edge wherever either graph does. *)
+(* [union a b] has an edge wherever either graph does.  Both adjacency
+   lists are already sorted and duplicate-free, so a per-node merge avoids
+   the edge-list rebuild and re-sort of [of_edges]. *)
 let union a b =
   if a.n <> b.n then invalid_arg "Graph.union: size mismatch";
-  of_edges a.n (edges a @ edges b)
+  let merge x y =
+    let lx = Array.length x and ly = Array.length y in
+    if lx = 0 then Array.copy y
+    else if ly = 0 then Array.copy x
+    else begin
+      let buf = Array.make (lx + ly) 0 in
+      let i = ref 0 and j = ref 0 and k = ref 0 in
+      while !i < lx && !j < ly do
+        let xv = x.(!i) and yv = y.(!j) in
+        if xv < yv then begin
+          buf.(!k) <- xv;
+          incr i
+        end
+        else if yv < xv then begin
+          buf.(!k) <- yv;
+          incr j
+        end
+        else begin
+          buf.(!k) <- xv;
+          incr i;
+          incr j
+        end;
+        incr k
+      done;
+      while !i < lx do
+        buf.(!k) <- x.(!i);
+        incr i;
+        incr k
+      done;
+      while !j < ly do
+        buf.(!k) <- y.(!j);
+        incr j;
+        incr k
+      done;
+      if !k = lx + ly then buf else Array.sub buf 0 !k
+    end
+  in
+  let adj = Array.init a.n (fun v -> merge a.adj.(v) b.adj.(v)) in
+  let m = Array.fold_left (fun acc l -> acc + Array.length l) 0 adj / 2 in
+  { n = a.n; adj; m }
 
 (* [is_subgraph a b]: every edge of [a] is an edge of [b]. *)
 let is_subgraph a b =

@@ -24,29 +24,56 @@ let name t = t.name
 let choose t ~round ~broadcasters dual rng active =
   t.choose ~round ~broadcasters dual rng active
 
+(* Only gray edges incident to a broadcaster can influence delivery — the
+   engine reads the activation bitset exclusively through the broadcasters'
+   gray adjacency — so policies below restrict themselves to those edges.
+   For deterministic policies this is observably identical; for [bernoulli]
+   it merely re-times which stream positions feed which edges (each
+   relevant edge still gets one independent draw per round, from the
+   round's derived stream). *)
+
+(* Membership test in a sorted int array (the engine passes broadcasters
+   in ascending order). *)
+let mem_sorted (a : int array) x =
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let y = a.(mid) in
+    if y = x then found := true else if y < x then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
 let silent = { name = "silent"; choose = (fun ~round:_ ~broadcasters:_ _ _ _ -> ()) }
 
 let all_gray =
   {
     name = "all-gray";
     choose =
-      (fun ~round:_ ~broadcasters:_ dual _ active ->
-        for e = 0 to Dual.gray_count dual - 1 do
-          Bitset.add active e
-        done);
+      (fun ~round:_ ~broadcasters dual _ active ->
+        Array.iter
+          (fun u ->
+            Array.iter (fun (_, e) -> Bitset.add active e) (Dual.gray_adj dual u))
+          broadcasters);
   }
 
 (* Each gray edge independently active with probability p, fresh each
-   round. *)
+   round.  One draw per distinct incident edge: the lowest-id broadcasting
+   endpoint owns the draw. *)
 let bernoulli p =
   if p < 0.0 || p > 1.0 then invalid_arg "Adversary.bernoulli";
   {
     name = Printf.sprintf "bernoulli(%.2f)" p;
     choose =
-      (fun ~round:_ ~broadcasters:_ dual rng active ->
-        for e = 0 to Dual.gray_count dual - 1 do
-          if Rng.bool rng p then Bitset.add active e
-        done);
+      (fun ~round:_ ~broadcasters dual rng active ->
+        Array.iter
+          (fun u ->
+            Array.iter
+              (fun (v, e) ->
+                if not (v < u && mem_sorted broadcasters v) then
+                  if Rng.bool rng p then Bitset.add active e)
+              (Dual.gray_adj dual u))
+          broadcasters);
   }
 
 (* Activate gray edges incident to broadcasters with probability p: a
@@ -74,9 +101,10 @@ let spiteful =
     choose =
       (fun ~round:_ ~broadcasters dual _ active ->
         if Array.length broadcasters >= 2 then
-          for e = 0 to Dual.gray_count dual - 1 do
-            Bitset.add active e
-          done);
+          Array.iter
+            (fun u ->
+              Array.iter (fun (_, e) -> Bitset.add active e) (Dual.gray_adj dual u))
+            broadcasters);
   }
 
 (* The broadcast-hardness adversary of the dual graph line of work

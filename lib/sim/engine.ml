@@ -9,12 +9,38 @@
    gets silence, with no collision detection — and resumes every fiber with
    its receive.
 
+   The round loop is organised so per-round cost scales with *activity*,
+   not with n:
+
+   - a live-fiber worklist holds exactly the fibers awaiting this round's
+     receive, so send collection, receive computation and resumption touch
+     only live ids;
+   - wake rounds are pre-sorted into a round-ordered queue, so the wake
+     phase is O(#wakers this round);
+   - fibers that declare themselves inert for k rounds ([idle]) park in a
+     min-heap keyed by resume round instead of being resumed k times;
+   - the adversary RNG is re-derived per round from a root stream
+     ([Rng.derive_into adv_root round]), so rounds with no broadcasters can
+     skip the adversary/delivery phases — and stretches of rounds with no
+     live fiber at all are fast-forwarded in one jump — without perturbing
+     any later round's randomness;
+   - delivery scratch (`recv_count`/`recv_from`/`touched`) and the
+     broadcaster buffer are preallocated and reset via the touched list, so
+     steady-state rounds allocate nothing but the sorted broadcaster
+     snapshot handed to the adversary and observer.
+
+   [run_reference] keeps the original straightforward O(n)-scans-per-round
+   loop (modulo the per-round adversary derivation, which is part of the
+   semantics now) as a differential-testing oracle: for any config and
+   body, [run] and [run_reference] must produce identical results.
+
    The functor is parameterised by the message type so each algorithm gets
    a typed payload; [size_bits] lets the engine enforce the model's bound b
    on message size in bits. *)
 
 module Bitset = Rn_util.Bitset
 module Rng = Rn_util.Rng
+module Timing = Rn_util.Timing
 module Graph = Rn_graph.Graph
 module Dual = Rn_graph.Dual
 module Detector = Rn_detect.Detector
@@ -40,12 +66,15 @@ type stats = {
   deliveries : int;
   collisions : int; (* receiver-side: >= 2 reachable broadcasters *)
   bits_sent : int;
+  silent_rounds : int; (* rounds with zero broadcasters (fast-forwardable) *)
 }
 
 module Make (M : MESSAGE) = struct
   type receive = Own | Silence | Recv of M.t
 
-  type _ Effect.t += Sync : M.t option -> receive Effect.t
+  type _ Effect.t +=
+    | Sync : M.t option -> receive Effect.t
+    | Idle : int -> unit Effect.t
 
   type view = {
     view_round : int;
@@ -100,11 +129,14 @@ module Make (M : MESSAGE) = struct
     ctx.local_round <- ctx.local_round + 1;
     r
 
-  (* Sync [k] rounds with no send, discarding receives. *)
+  (* Listen for [k] rounds, discarding receives.  A single [Idle] perform
+     lets the engine park the fiber for the whole stretch instead of
+     resuming it k times; semantically identical to k silent syncs. *)
   let idle ctx k =
-    for _ = 1 to k do
-      ignore (sync ctx None)
-    done
+    if k > 0 then begin
+      Effect.perform (Idle k);
+      ctx.local_round <- ctx.local_round + k
+    end
 
   (* Broadcast with probability [p], otherwise listen. *)
   let sync_p ctx p send = if Rng.bool ctx.rng p then sync ctx (Some send) else sync ctx None
@@ -120,27 +152,408 @@ module Make (M : MESSAGE) = struct
 
   type fiber_status = Asleep | Running | Finished
 
+  (* A fiber between resumptions: waiting on this round's receive, parked
+     by [idle], or absent (asleep / finished). *)
+  type fiber_pending =
+    | No_fiber
+    | Synced of (receive, unit) Effect.Deep.continuation
+    | Idling of (unit, unit) Effect.Deep.continuation
+
+  let no_broadcasters : int array = [||]
+
+  (* Memoise a dynamic detector once it has stabilised (static detectors
+     stabilise at round 0), so the common query path is one load instead of
+     a closure call per query. *)
+  let detector_query dyn round_counter =
+    match Detector.stabilizes_at dyn with
+    | None -> fun () -> Detector.at dyn !round_counter
+    | Some s ->
+      let cache = ref None in
+      fun () ->
+        (match !cache with
+        | Some d -> d
+        | None ->
+          let d = Detector.at dyn !round_counter in
+          if !round_counter >= s then cache := Some d;
+          d)
+
+  let validate_wake wake =
+    Array.iteri
+      (fun v w -> if w < 1 then invalid_arg (Printf.sprintf "Engine.run: wake.(%d) < 1" v))
+      wake
+
   let run cfg body =
     let dual = cfg.dual in
     let nn = Dual.n dual in
     let root_rng = Rng.create cfg.seed in
-    let adv_rng = Rng.derive root_rng 0x5EED in
+    let adv_root = Rng.derive root_rng 0x5EED in
+    let adv_rng = Rng.create 0 (* re-derived from [adv_root] every round *) in
     let wake = match cfg.wake with Some w -> Array.copy w | None -> Array.make nn 1 in
-    Array.iteri
-      (fun v w -> if w < 1 then invalid_arg (Printf.sprintf "Engine.run: wake.(%d) < 1" v))
-      wake;
+    validate_wake wake;
+    let outputs = Array.make nn None in
+    let decided = Array.make nn None in
+    let returns = Array.make nn None in
+    let sends = Array.make nn None in
+    let pending = Array.make nn No_fiber in
+    let round_counter = ref 0 in
+    let sends_total = ref 0 and deliveries = ref 0 and collisions = ref 0 in
+    let bits_sent = ref 0 and silent_rounds = ref 0 in
+    let n_finished = ref 0 and n_decided = ref 0 in
+    let current_detector = detector_query cfg.detector round_counter in
+    let mk_ctx v =
+      {
+        me = v;
+        n = nn;
+        delta_bound = cfg.delta_bound;
+        b_bits = cfg.b_bits;
+        rng = Rng.derive root_rng (v + 1);
+        local_round = 0;
+        current_detector;
+        do_output =
+          (fun value ->
+            match outputs.(v) with
+            | Some old when old <> value ->
+              invalid_arg
+                (Printf.sprintf "Engine: process %d re-output %d after %d" v value old)
+            | Some _ -> ()
+            | None ->
+              outputs.(v) <- Some value;
+              decided.(v) <- Some !round_counter;
+              incr n_decided);
+      }
+    in
+    (* Live worklist: [active.(0 .. n_active-1)] are the fibers holding a
+       [Synced] continuation for the current round.  [joining] collects the
+       fibers that perform [Sync] during a start/resume phase. *)
+    let active = Array.make (max 1 nn) 0 in
+    let n_active = ref 0 in
+    let joining = Array.make (max 1 nn) 0 in
+    let n_joining = ref 0 in
+    (* Idling fibers, min-heap keyed by the round at whose end they resume.
+       At most one entry per fiber. *)
+    let heap_r = Array.make (max 1 nn) 0 in
+    let heap_v = Array.make (max 1 nn) 0 in
+    let heap_n = ref 0 in
+    let heap_swap i j =
+      let tr = heap_r.(i) and tv = heap_v.(i) in
+      heap_r.(i) <- heap_r.(j);
+      heap_v.(i) <- heap_v.(j);
+      heap_r.(j) <- tr;
+      heap_v.(j) <- tv
+    in
+    let heap_push r v =
+      let i = ref !heap_n in
+      heap_r.(!i) <- r;
+      heap_v.(!i) <- v;
+      incr heap_n;
+      while !i > 0 && heap_r.((!i - 1) / 2) > heap_r.(!i) do
+        let p = (!i - 1) / 2 in
+        heap_swap p !i;
+        i := p
+      done
+    in
+    let heap_min () = if !heap_n = 0 then max_int else heap_r.(0) in
+    let heap_pop () =
+      let v = heap_v.(0) in
+      decr heap_n;
+      heap_r.(0) <- heap_r.(!heap_n);
+      heap_v.(0) <- heap_v.(!heap_n);
+      let i = ref 0 in
+      let sifting = ref true in
+      while !sifting do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < !heap_n && heap_r.(l) < heap_r.(!s) then s := l;
+        if r < !heap_n && heap_r.(r) < heap_r.(!s) then s := r;
+        if !s = !i then sifting := false
+        else begin
+          heap_swap !i !s;
+          i := !s
+        end
+      done;
+      v
+    in
+    (* Wake queue: node ids sorted by (wake round, id); [wake_ptr] advances
+       monotonically, so the wake phase costs O(#wakers this round). *)
+    let wake_order = Array.init nn (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = compare wake.(a) wake.(b) in
+        if c <> 0 then c else compare a b)
+      wake_order;
+    let wake_ptr = ref 0 in
+    let next_wake () = if !wake_ptr >= nn then max_int else wake.(wake_order.(!wake_ptr)) in
+    (* The round a fresh [Idle k] starts counting from: the current round
+       during the wake phase, the next round during the resume phase. *)
+    let idle_base = ref 0 in
+    let handler v : (unit, unit) Effect.Deep.handler =
+      {
+        retc =
+          (fun () ->
+            incr n_finished;
+            pending.(v) <- No_fiber);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Sync send ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  sends.(v) <- send;
+                  pending.(v) <- Synced k;
+                  joining.(!n_joining) <- v;
+                  incr n_joining)
+            | Idle dur ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  pending.(v) <- Idling k;
+                  heap_push (!idle_base + dur - 1) v)
+            | _ -> None);
+      }
+    in
+    let start v =
+      let ctx = mk_ctx v in
+      Effect.Deep.match_with (fun () -> returns.(v) <- Some (body ctx)) () (handler v)
+    in
+    (* Delivery scratch, reset via the touched list each round.  A unique
+       broadcaster is remembered by id ([recv_from]) rather than by boxing
+       its message. *)
+    let recv_count = Array.make nn 0 in
+    let recv_from = Array.make nn (-1) in
+    let touched = Array.make (max 1 nn) 0 in
+    let n_touched = ref 0 in
+    let touch u v =
+      if recv_count.(v) = 0 then begin
+        touched.(!n_touched) <- v;
+        incr n_touched;
+        recv_from.(v) <- u
+      end;
+      recv_count.(v) <- recv_count.(v) + 1
+    in
+    let bcast = Array.make (max 1 nn) 0 in
+    let n_bcast = ref 0 in
+    let gray_active = Bitset.create (max 1 (Dual.gray_count dual)) in
+    (* Receive buffer; all-[Silence] between rounds (entries are reset as
+       they are consumed by the resume phase). *)
+    let receives = Array.make nn Silence in
+    let g = Dual.g dual in
+    let validate_send v =
+      incr sends_total;
+      let m = match sends.(v) with Some m -> m | None -> assert false in
+      let sz = M.size_bits ~n:nn m in
+      bits_sent := !bits_sent + sz;
+      match cfg.b_bits with
+      | Some b when sz > b ->
+        invalid_arg
+          (Format.asprintf "Engine: process %d sent %d bits > b=%d in round %d: %a" v sz b
+             !round_counter M.pp m)
+      | _ -> ()
+    in
+    let stop_now () =
+      match cfg.stop with
+      | All_done -> !n_finished = nn
+      | All_decided -> !n_decided = nn || !n_finished = nn
+      | At_round r -> !round_counter >= r
+    in
+    let timed_out = ref false in
+    let prof = Timing.enabled () in
+    let ff_skipped = ref 0 in
+    let t_mark = ref 0.0 in
+    let p_start () = if prof then t_mark := Timing.now () in
+    let p_stop sec = if prof then Timing.record sec (Timing.now () -. !t_mark) in
+    (try
+       while not (stop_now ()) do
+         (* Fast-forward: with no fiber awaiting a receive and no observer,
+            every round before the next wake or idle expiry is a no-op —
+            nothing broadcasts, nothing listens, and the per-round adversary
+            derivation guarantees the skipped draws cannot influence later
+            rounds.  Jump there in one step. *)
+         if !n_active = 0 && cfg.observer = None then begin
+           let next_event = min (next_wake ()) (heap_min ()) in
+           let cap =
+             match cfg.stop with
+             | At_round tgt -> min tgt cfg.max_rounds
+             | All_done | All_decided -> cfg.max_rounds
+           in
+           let target = min (next_event - 1) cap in
+           if target > !round_counter then begin
+             let skipped = target - !round_counter in
+             silent_rounds := !silent_rounds + skipped;
+             ff_skipped := !ff_skipped + skipped;
+             round_counter := target
+           end
+         end;
+         if not (stop_now ()) then begin
+           if !round_counter >= cfg.max_rounds then begin
+             timed_out := true;
+             raise Exit
+           end;
+           incr round_counter;
+           let r = !round_counter in
+           (* 1. Wake processes scheduled for this round; they run to their
+              first sync/idle and thereby register this round's intent. *)
+           p_start ();
+           idle_base := r;
+           n_joining := 0;
+           while !wake_ptr < nn && wake.(wake_order.(!wake_ptr)) = r do
+             let v = wake_order.(!wake_ptr) in
+             incr wake_ptr;
+             start v
+           done;
+           if !n_joining > 0 then begin
+             Array.blit joining 0 active !n_active !n_joining;
+             n_active := !n_active + !n_joining
+           end;
+           p_stop Timing.Wake;
+           (* 2. Collect broadcasters (live fibers only) and enforce the
+              message-size bound. *)
+           p_start ();
+           n_bcast := 0;
+           for i = 0 to !n_active - 1 do
+             let v = active.(i) in
+             if sends.(v) <> None then begin
+               bcast.(!n_bcast) <- v;
+               incr n_bcast
+             end
+           done;
+           let broadcasters =
+             if !n_bcast = 0 then no_broadcasters
+             else begin
+               let a = Array.sub bcast 0 !n_bcast in
+               Array.sort (compare : int -> int -> int) a;
+               a
+             end
+           in
+           Array.iter validate_send broadcasters;
+           p_stop Timing.Collect;
+           if !n_bcast = 0 then incr silent_rounds
+           else begin
+             (* 3. Adversary picks the gray edges that behave reliably,
+                from a stream derived fresh for this round. *)
+             p_start ();
+             Bitset.clear gray_active;
+             Rng.derive_into adv_rng ~parent:adv_root r;
+             Adversary.choose cfg.adversary ~round:r ~broadcasters dual adv_rng gray_active;
+             p_stop Timing.Adversary;
+             (* 4. Deliveries along E plus activated gray edges. *)
+             p_start ();
+             n_touched := 0;
+             Array.iter
+               (fun u ->
+                 Array.iter (fun v -> touch u v) (Graph.neighbors g u);
+                 Array.iter
+                   (fun (v, e) -> if Bitset.mem gray_active e then touch u v)
+                   (Dual.gray_adj dual u))
+               broadcasters;
+             Array.iter (fun v -> receives.(v) <- Own) broadcasters;
+             for i = 0 to !n_touched - 1 do
+               let v = touched.(i) in
+               (if sends.(v) = None then
+                  match pending.(v) with
+                  | Synced _ ->
+                    if recv_count.(v) = 1 then begin
+                      (match sends.(recv_from.(v)) with
+                      | Some m -> receives.(v) <- Recv m
+                      | None -> assert false);
+                      incr deliveries
+                    end
+                    else incr collisions
+                  | Idling _ ->
+                    (* Parked listeners discard the message, but the
+                       delivery (or collision) still happened. *)
+                    if recv_count.(v) = 1 then incr deliveries else incr collisions
+                  | No_fiber -> ());
+               recv_count.(v) <- 0;
+               recv_from.(v) <- -1
+             done;
+             p_stop Timing.Deliver
+           end;
+           (* 5. Resume every live fiber with its receive, then unpark the
+              idlers whose stretch ends this round.  All receives were
+              computed before any resume, so next-round intents cannot
+              bleed into this round. *)
+           p_start ();
+           idle_base := r + 1;
+           n_joining := 0;
+           for i = 0 to !n_active - 1 do
+             let v = active.(i) in
+             match pending.(v) with
+             | Synced k ->
+               let recv = receives.(v) in
+               receives.(v) <- Silence;
+               sends.(v) <- None;
+               pending.(v) <- No_fiber;
+               Effect.Deep.continue k recv
+             | Idling _ | No_fiber -> assert false
+           done;
+           while !heap_n > 0 && heap_r.(0) = r do
+             let v = heap_pop () in
+             match pending.(v) with
+             | Idling k ->
+               pending.(v) <- No_fiber;
+               Effect.Deep.continue k ()
+             | Synced _ | No_fiber -> assert false
+           done;
+           Array.blit joining 0 active 0 !n_joining;
+           n_active := !n_joining;
+           p_stop Timing.Resume;
+           match cfg.observer with
+           | Some f ->
+             f
+               {
+                 view_round = r;
+                 view_broadcasters = broadcasters;
+                 view_outputs = outputs;
+                 view_decided = decided;
+               }
+           | None -> ()
+         end
+       done
+     with Exit -> ());
+    if prof then begin
+      Timing.add_rounds (!round_counter - !ff_skipped);
+      Timing.add_silent_skipped !ff_skipped
+    end;
+    {
+      outputs;
+      returns;
+      rounds = !round_counter;
+      decided_round = decided;
+      stats =
+        {
+          rounds = !round_counter;
+          sends = !sends_total;
+          deliveries = !deliveries;
+          collisions = !collisions;
+          bits_sent = !bits_sent;
+          silent_rounds = !silent_rounds;
+        };
+      timed_out = !timed_out;
+    }
+
+  (* Straightforward reference implementation: full 0..n-1 scans every
+     round, no worklist, no fast-forward, adversary consulted every round
+     (its per-round derived draws in broadcaster-free rounds are discarded,
+     which is exactly the invariant that makes [run]'s skip sound).  Kept
+     as the differential-testing oracle for [run]; see
+     test/test_engine_equiv.ml. *)
+  let run_reference cfg body =
+    let dual = cfg.dual in
+    let nn = Dual.n dual in
+    let root_rng = Rng.create cfg.seed in
+    let adv_root = Rng.derive root_rng 0x5EED in
+    let wake = match cfg.wake with Some w -> Array.copy w | None -> Array.make nn 1 in
+    validate_wake wake;
     let outputs = Array.make nn None in
     let decided = Array.make nn None in
     let returns = Array.make nn None in
     let status = Array.make nn Asleep in
     let sends = Array.make nn None in
-    let conts :
-        (receive, unit) Effect.Deep.continuation option array =
-      Array.make nn None
-    in
+    let pending = Array.make nn No_fiber in
+    let resume_round = Array.make nn 0 in
     let round_counter = ref 0 in
     let sends_total = ref 0 and deliveries = ref 0 and collisions = ref 0 in
-    let bits_sent = ref 0 in
+    let bits_sent = ref 0 and silent_rounds = ref 0 in
     let mk_ctx v =
       {
         me = v;
@@ -162,6 +575,7 @@ module Make (M : MESSAGE) = struct
               decided.(v) <- Some !round_counter);
       }
     in
+    let idle_base = ref 0 in
     let handler v : (unit, unit) Effect.Deep.handler =
       {
         retc = (fun () -> status.(v) <- Finished);
@@ -173,7 +587,12 @@ module Make (M : MESSAGE) = struct
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   sends.(v) <- send;
-                  conts.(v) <- Some k)
+                  pending.(v) <- Synced k)
+            | Idle dur ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  pending.(v) <- Idling k;
+                  resume_round.(v) <- !idle_base + dur - 1)
             | _ -> None);
       }
     in
@@ -182,12 +601,10 @@ module Make (M : MESSAGE) = struct
       let ctx = mk_ctx v in
       Effect.Deep.match_with (fun () -> returns.(v) <- Some (body ctx)) () (handler v)
     in
-    (* Delivery scratch space, reset via the touched list each round. *)
     let recv_count = Array.make nn 0 in
     let recv_msg : M.t option array = Array.make nn None in
     let touched = ref [] in
     let gray_active = Bitset.create (max 1 (Dual.gray_count dual)) in
-    (* Preallocated receive buffer, reused every round. *)
     let receives = Array.make nn Silence in
     let g = Dual.g dual in
     let finished () = Array.for_all (fun s -> s = Finished) status in
@@ -207,31 +624,34 @@ module Make (M : MESSAGE) = struct
          end;
          incr round_counter;
          let r = !round_counter in
-         (* 1. Wake processes scheduled for this round; they run to their
-            first sync and thereby register this round's send intent. *)
+         (* 1. Wake. *)
+         idle_base := r;
          for v = 0 to nn - 1 do
            if status.(v) = Asleep && wake.(v) = r then start v
          done;
          (* 2. Collect broadcasters and enforce the message-size bound. *)
          let bcast = ref [] in
          for v = nn - 1 downto 0 do
-           match sends.(v) with
-           | Some m ->
-             bcast := v :: !bcast;
+           if sends.(v) <> None then bcast := v :: !bcast
+         done;
+         let broadcasters = Array.of_list !bcast in
+         Array.iter
+           (fun v ->
              incr sends_total;
+             let m = match sends.(v) with Some m -> m | None -> assert false in
              let sz = M.size_bits ~n:nn m in
              bits_sent := !bits_sent + sz;
-             (match cfg.b_bits with
+             match cfg.b_bits with
              | Some b when sz > b ->
                invalid_arg
                  (Format.asprintf
                     "Engine: process %d sent %d bits > b=%d in round %d: %a" v sz b r M.pp m)
              | _ -> ())
-           | None -> ()
-         done;
-         let broadcasters = Array.of_list !bcast in
-         (* 3. Adversary picks the gray edges that behave reliably. *)
+           broadcasters;
+         if Array.length broadcasters = 0 then incr silent_rounds;
+         (* 3. Adversary, from this round's derived stream. *)
          Bitset.clear gray_active;
+         let adv_rng = Rng.derive adv_root r in
          Adversary.choose cfg.adversary ~round:r ~broadcasters dual adv_rng gray_active;
          (* 4. Deliveries along E plus activated gray edges. *)
          let touch v m =
@@ -247,15 +667,21 @@ module Make (M : MESSAGE) = struct
                (fun (v, e) -> if Bitset.mem gray_active e then touch v m)
                (Dual.gray_adj dual u))
            broadcasters;
-         (* 5. Compute receives for every live fiber, then resume.  All
-            receives are computed before any resume so next-round send
-            intents cannot bleed into this round. *)
+         (* 5. Receives for every live fiber — parked idlers count towards
+            deliveries/collisions but discard the payload. *)
          for v = 0 to nn - 1 do
            receives.(v) <- Silence;
-           if conts.(v) <> None then
+           match pending.(v) with
+           | No_fiber -> ()
+           | Synced _ | Idling _ ->
              if sends.(v) <> None then receives.(v) <- Own
              else if recv_count.(v) = 1 then begin
-               (match recv_msg.(v) with Some m -> receives.(v) <- Recv m | None -> assert false);
+               (match pending.(v) with
+               | Synced _ -> (
+                 match recv_msg.(v) with
+                 | Some m -> receives.(v) <- Recv m
+                 | None -> assert false)
+               | _ -> ());
                incr deliveries
              end
              else if recv_count.(v) >= 2 then incr collisions
@@ -266,13 +692,22 @@ module Make (M : MESSAGE) = struct
              recv_msg.(v) <- None)
            !touched;
          touched := [];
+         (* 6. Resume synced fibers, then idlers whose stretch ends now. *)
+         idle_base := r + 1;
          for v = 0 to nn - 1 do
-           match conts.(v) with
-           | Some k ->
+           match pending.(v) with
+           | Synced k ->
              sends.(v) <- None;
-             conts.(v) <- None;
+             pending.(v) <- No_fiber;
              Effect.Deep.continue k receives.(v)
-           | None -> sends.(v) <- None
+           | Idling _ | No_fiber -> sends.(v) <- None
+         done;
+         for v = 0 to nn - 1 do
+           match pending.(v) with
+           | Idling k when resume_round.(v) = r ->
+             pending.(v) <- No_fiber;
+             Effect.Deep.continue k ()
+           | _ -> ()
          done;
          match cfg.observer with
          | Some f ->
@@ -298,6 +733,7 @@ module Make (M : MESSAGE) = struct
           deliveries = !deliveries;
           collisions = !collisions;
           bits_sent = !bits_sent;
+          silent_rounds = !silent_rounds;
         };
       timed_out = !timed_out;
     }

@@ -26,6 +26,9 @@ type stats = {
   deliveries : int;
   collisions : int;
   bits_sent : int;
+  silent_rounds : int;
+      (** rounds in which nothing broadcast; the engine fast-forwards
+          stretches of them when no fiber is live *)
 }
 
 module Make (M : MESSAGE) : sig
@@ -100,7 +103,10 @@ module Make (M : MESSAGE) : sig
   (** Execute one round, optionally broadcasting. *)
   val sync : ctx -> M.t option -> receive
 
-  (** [idle ctx k]: listen for [k] rounds, discarding receives. *)
+  (** [idle ctx k]: listen for [k] rounds, discarding receives.
+      Semantically identical to [k] silent syncs, but performed as a single
+      effect so the engine can park the fiber for the whole stretch (and
+      fast-forward rounds in which no fiber is live at all). *)
   val idle : ctx -> int -> unit
 
   (** Broadcast with probability [p], else listen. *)
@@ -116,6 +122,21 @@ module Make (M : MESSAGE) : sig
   }
 
   (** Run all processes in lock step until the stop condition (or
-      [max_rounds], setting [timed_out]). *)
+      [max_rounds], setting [timed_out]).
+
+      The round loop costs O(activity) per round: live fibers sit in a
+      worklist, wake rounds are pre-bucketed, idling fibers park in a heap,
+      and stretches of silent rounds are skipped outright.  The adversary's
+      RNG is derived per round from the seed, which is what makes the skip
+      sound.  If the detector declares [stabilizes_at], queries after the
+      stabilisation round are served from a cache — detectors whose [at]
+      violates the declared stabilisation get the cached value.  *)
   val run : config -> (ctx -> 'a) -> 'a result
+
+  (** Straightforward O(n)-scans-per-round implementation of exactly the
+      same semantics (including the per-round adversary derivation).  Slow;
+      exists as the differential-testing oracle for [run] — for any config
+      and body the two must agree on [outputs], [returns], [decided_round],
+      [rounds], [stats], and [timed_out]. *)
+  val run_reference : config -> (ctx -> 'a) -> 'a result
 end

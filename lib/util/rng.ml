@@ -30,6 +30,12 @@ let derive t label =
   let s = mix64 (Int64.logxor t.state (Int64.of_int (0x61C88647 * (label + 1)))) in
   { state = s }
 
+(* Same derivation as [derive], but re-seeds an existing generator instead of
+   allocating one.  The engine re-derives the adversary stream every round, so
+   this keeps the hot loop allocation-free. *)
+let derive_into dst ~parent label =
+  dst.state <- mix64 (Int64.logxor parent.state (Int64.of_int (0x61C88647 * (label + 1))))
+
 let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
 let int t bound =

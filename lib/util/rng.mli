@@ -16,6 +16,11 @@ val split : t -> t
     stream. *)
 val derive : t -> int -> t
 
+(** [derive_into dst ~parent label] resets [dst] to the exact state
+    [derive parent label] would return, without allocating.  [parent] is not
+    advanced. *)
+val derive_into : t -> parent:t -> int -> unit
+
 (** [int t bound] is uniform in [\[0, bound)]. Raises on [bound <= 0]. *)
 val int : t -> int -> int
 

@@ -1,0 +1,40 @@
+(** Section counters for the engine round loop ([--profile]).
+
+    Global, atomic, and therefore safe to record from [Pool] worker
+    domains.  Disabled by default: the engine samples [enabled] once per
+    [run], so the instrumentation is free unless switched on.
+
+    The clock is [Unix.gettimeofday]; differences of nearby samples
+    resolve to roughly a quarter microsecond, which is plenty to tell
+    which phase of the round loop dominates. *)
+
+type section = Wake | Collect | Adversary | Deliver | Resume
+
+val label : section -> string
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** Clear all counters. *)
+val reset : unit -> unit
+
+(** Current time in seconds (wall clock). *)
+val now : unit -> float
+
+(** [record sec dt] adds [dt] seconds and one entry to [sec]. *)
+val record : section -> float -> unit
+
+(** Total rounds actually executed (not fast-forwarded). *)
+val add_rounds : int -> unit
+
+(** Rounds skipped or short-circuited as silent. *)
+val add_silent_skipped : int -> unit
+
+type snapshot = {
+  sections : (string * int * float) list;  (** label, entries, seconds *)
+  rounds : int;
+  silent : int;
+}
+
+val snapshot : unit -> snapshot
+val pp_report : Format.formatter -> snapshot -> unit
+val print_report : unit -> unit

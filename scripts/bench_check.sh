@@ -1,0 +1,75 @@
+#!/bin/sh
+# Compare a fresh bench JSON report against the committed baseline.
+#
+#   scripts/bench_check.sh FRESH.json BASELINE.json [TOLERANCE]
+#
+# Fails (exit 1) only if some experiment's fresh wall-clock exceeds the
+# baseline by BOTH a multiplicative factor (default 4x — CI runners are
+# noisy and share cores) AND an absolute slack of 1 second (so
+# sub-second experiments never trip on scheduler jitter).  Experiments
+# present in only one file are reported but not fatal: the suite grows.
+#
+# Requires only POSIX sh + awk; the JSON is one entry per line by
+# construction (bench/main.ml write_json).
+
+set -eu
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 FRESH.json BASELINE.json [TOLERANCE]" >&2
+  exit 2
+fi
+
+fresh=$1
+base=$2
+tol=${3:-4.0}
+slack=1.0
+
+for f in "$fresh" "$base"; do
+  if [ ! -f "$f" ]; then
+    echo "bench_check: missing file: $f" >&2
+    exit 2
+  fi
+done
+
+extract() {
+  # "  {\"id\": \"E2\", \"seconds\": 24.346}," -> "E2 24.346"
+  awk 'match($0, /"id": "[^"]*", "seconds": [0-9.]+/) {
+         s = substr($0, RSTART, RLENGTH);
+         gsub(/"id": "|", "seconds": /, " ", s);
+         gsub(/"/, "", s);
+         print s
+       }' "$1"
+}
+
+extract "$fresh" > /tmp/bench_fresh.$$
+extract "$base" > /tmp/bench_base.$$
+trap 'rm -f /tmp/bench_fresh.$$ /tmp/bench_base.$$' EXIT
+
+fail=0
+while read -r id secs; do
+  basev=$(awk -v id="$id" '$1 == id { print $2 }' /tmp/bench_base.$$)
+  if [ -z "$basev" ]; then
+    echo "bench_check: $id: new experiment (no baseline), skipping"
+    continue
+  fi
+  verdict=$(awk -v f="$secs" -v b="$basev" -v tol="$tol" -v slack="$slack" \
+    'BEGIN { print (f > b * tol && f - b > slack) ? "REGRESSION" : "ok" }')
+  if [ "$verdict" = "REGRESSION" ]; then
+    echo "bench_check: $id: REGRESSION: ${secs}s vs baseline ${basev}s (tol ${tol}x + ${slack}s)"
+    fail=1
+  else
+    echo "bench_check: $id: ok (${secs}s vs ${basev}s)"
+  fi
+done < /tmp/bench_fresh.$$
+
+while read -r id _; do
+  if ! awk -v id="$id" '$1 == id { found = 1 } END { exit !found }' /tmp/bench_fresh.$$; then
+    echo "bench_check: $id: in baseline but not in fresh run"
+  fi
+done < /tmp/bench_base.$$
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench_check: FAILED" >&2
+  exit 1
+fi
+echo "bench_check: all experiments within tolerance"
