@@ -15,7 +15,12 @@
      --profile         print engine round-loop section timings at the end
      --json            write micro-bench estimates + per-experiment
                        wall-clocks to BENCH_PR2.json (see --json-out)
-     --json-out FILE   destination for the JSON report *)
+     --json-out FILE   destination for the JSON report
+     --store DIR       run every experiment twice through the result
+                       store (cold: journalling, warm: replaying) and
+                       report the cold-vs-warm sweep time; replaces the
+                       seq-vs-par comparison, which a warm cache would
+                       render meaningless *)
 
 (* Alias the stub library's clock before the opens: [Toolkit] shadows
    [Monotonic_clock] with its MEASURE wrapper. *)
@@ -170,6 +175,14 @@ let parse_json_out () =
   in
   find (Array.to_list Sys.argv)
 
+let parse_store () =
+  let rec find = function
+    | "--store" :: dir :: _ -> Some dir
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
 (* Hand-rolled JSON (no json dependency); one entry per line so shell
    tooling (scripts/bench_check.sh) can grep it. *)
 let write_json ~path ~full ~jobs ~micro ~experiments =
@@ -199,6 +212,7 @@ let () =
   let profile = Array.exists (fun a -> a = "--profile") Sys.argv in
   let json_out = parse_json_out () in
   let jobs = parse_jobs () in
+  let store_dir = parse_store () in
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
   let micro = run_microbenches () in
   if profile then Rn_util.Timing.set_enabled true;
@@ -207,6 +221,11 @@ let () =
     (if full then "full" else "quick")
     jobs;
   let speedups = Rn_util.Table.create [ "experiment"; "seq (s)"; "par (s)"; "speedup"; "identical" ] in
+  let cold_warm =
+    Rn_util.Table.create [ "experiment"; "cold (s)"; "warm (s)"; "speedup"; "warm hits"; "identical" ]
+  in
+  let store = Option.map (fun dir -> Rn_util.Store.open_ dir) store_dir in
+  (match store with Some s -> Rn_harness.Harness.set_store s | None -> ());
   let wallclocks = ref [] in
   List.iter
     (fun id ->
@@ -218,25 +237,51 @@ let () =
         let par, t_par = timed (fun () -> f scale) in
         Rn_harness.Harness.print par;
         wallclocks := (id, t_par) :: !wallclocks;
-        if jobs > 1 then begin
-          Rn_harness.Harness.set_jobs 1;
-          let seq, t_seq = timed (fun () -> f scale) in
-          Rn_util.Table.add_row speedups
+        (match store with
+        | Some _ ->
+          (* warm pass: every cell should replay from the journal *)
+          Rn_harness.Harness.reset_store_counters ();
+          let warm, t_warm = timed (fun () -> f scale) in
+          let hits, misses, _ = Rn_harness.Harness.store_counters () in
+          Rn_util.Table.add_row cold_warm
             [
               id;
-              Printf.sprintf "%.2f" t_seq;
               Printf.sprintf "%.2f" t_par;
-              Printf.sprintf "%.2fx" (t_seq /. t_par);
-              (if Rn_harness.Harness.render seq = Rn_harness.Harness.render par then "yes"
+              Printf.sprintf "%.2f" t_warm;
+              Printf.sprintf "%.0fx" (t_par /. t_warm);
+              Printf.sprintf "%d/%d" hits (hits + misses);
+              (if Rn_harness.Harness.render warm = Rn_harness.Harness.render par then "yes"
                else "NO");
             ]
-        end)
+        | None ->
+          if jobs > 1 then begin
+            Rn_harness.Harness.set_jobs 1;
+            let seq, t_seq = timed (fun () -> f scale) in
+            Rn_util.Table.add_row speedups
+              [
+                id;
+                Printf.sprintf "%.2f" t_seq;
+                Printf.sprintf "%.2f" t_par;
+                Printf.sprintf "%.2fx" (t_seq /. t_par);
+                (if Rn_harness.Harness.render seq = Rn_harness.Harness.render par then "yes"
+                 else "NO");
+              ]
+          end))
     Rn_harness.All.ids;
-  if jobs > 1 then begin
-    Printf.printf "--- wall-clock speedup at %d jobs (tables must be identical) ---\n" jobs;
-    Rn_util.Table.print speedups;
-    print_newline ()
-  end;
+  (match store with
+  | Some s ->
+    Printf.printf "--- store cold-vs-warm sweep time (dir %s; tables must be identical) ---\n"
+      (Rn_util.Store.dir s);
+    Rn_util.Table.print cold_warm;
+    print_newline ();
+    Rn_harness.Harness.clear_store ();
+    Rn_util.Store.close s
+  | None ->
+    if jobs > 1 then begin
+      Printf.printf "--- wall-clock speedup at %d jobs (tables must be identical) ---\n" jobs;
+      Rn_util.Table.print speedups;
+      print_newline ()
+    end);
   if profile then Rn_util.Timing.print_report ();
   match json_out with
   | Some path -> write_json ~path ~full ~jobs ~micro ~experiments:(List.rev !wallclocks)

@@ -158,20 +158,55 @@ let bridge_cmd =
 
 (* --- experiment command --- *)
 
-let run_experiments ids full jobs profile =
+module Store = Rn_util.Store
+
+(* Store diagnostics go to stderr: the rendered tables on stdout must be
+   byte-identical whether cells were computed or replayed from the
+   cache (and identical to --no-cache). *)
+let run_experiments ids full jobs profile store_dir no_cache retry cell_timeout =
   Rn_harness.Harness.set_jobs jobs;
   if profile then Rn_util.Timing.set_enabled true;
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
   let ids = if ids = [] then Rn_harness.All.ids else ids in
+  let store =
+    if no_cache then None
+    else begin
+      let s = Store.open_ store_dir in
+      if Store.recovered_bytes s > 0 then
+        Printf.eprintf "[store] dropped %d corrupt trailing bytes (interrupted run?)\n%!"
+          (Store.recovered_bytes s);
+      Rn_harness.Harness.set_store ~retry ?timeout:cell_timeout s;
+      Some s
+    end
+  in
+  let any_failed = ref false in
   List.iter
     (fun id ->
       match Rn_harness.All.find id with
-      | Some f -> Rn_harness.Harness.print (f scale)
+      | Some f -> begin
+        match f scale with
+        | r -> Rn_harness.Harness.print r
+        | exception Rn_harness.Harness.Cell_failed { exp; failed; total } ->
+          any_failed := true;
+          Printf.eprintf
+            "[store] %s: %d/%d cells failed; finished cells are cached, re-run to retry\n%!"
+            exp failed total
+      end
       | None ->
         Printf.eprintf "unknown experiment %s (known: %s)\n" id
           (String.concat ", " Rn_harness.All.ids))
     ids;
-  if profile then Rn_util.Timing.print_report ()
+  (match store with
+  | Some s ->
+    let hits, misses, failures = Rn_harness.Harness.store_counters () in
+    Printf.eprintf "[store] hits=%d misses=%d failed=%d dir=%s\n%!" hits misses failures
+      store_dir;
+    Store.write_last_run ~dir:store_dir ~hits ~misses ~failures;
+    Rn_harness.Harness.clear_store ();
+    Store.close s
+  | None -> ());
+  if profile then Rn_util.Timing.print_report ();
+  if !any_failed then exit 1
 
 let ids_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
@@ -195,10 +230,111 @@ let profile_arg =
           "Print engine round-loop section timings (wake/collect/adversary/deliver/resume) \
            aggregated over all runs; see EXPERIMENTS.md for how to read the report.")
 
+let store_arg =
+  Arg.(
+    value & opt string ".rn-store"
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Result store directory: finished cells are journalled there as they complete, \
+           a re-run replays them, and a killed sweep resumes from the journal.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the result store entirely: every cell is recomputed, nothing is written.")
+
+let retry_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "Re-run a cell that raises up to N extra times before recording it as failed \
+           (cells are deterministic, so this rederives nothing: same key, same result).")
+
+let cell_timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "cell-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Per-cell wall-clock budget: a cell that reaches it is recorded as \
+           failed-but-resumable and the rest of the sweep still runs (and caches).")
+
 let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's experiment tables (see DESIGN.md).")
-    Term.(const run_experiments $ ids_arg $ full_arg $ jobs_arg $ profile_arg)
+    Term.(
+      const run_experiments $ ids_arg $ full_arg $ jobs_arg $ profile_arg $ store_arg
+      $ no_cache_arg $ retry_arg $ cell_timeout_arg)
+
+(* --- store command --- *)
+
+let store_dir_pos =
+  Arg.(value & opt string ".rn-store" & info [ "store" ] ~docv:"DIR" ~doc:"Store directory.")
+
+let per_group records =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Store.record_) ->
+      let g = (r.key.exp, r.key.code_version, r.key.scale, r.key.env) in
+      let ok, fl = Option.value (Hashtbl.find_opt tbl g) ~default:(0, 0) in
+      Hashtbl.replace tbl g
+        (match r.status with Store.Done -> (ok + 1, fl) | Store.Failed -> (ok, fl + 1)))
+    records;
+  Hashtbl.fold (fun g c acc -> (g, c) :: acc) tbl [] |> List.sort compare
+
+let run_store_stats dir =
+  let scan = Store.scan_file (Store.journal_path dir) in
+  Printf.printf "store %s: %d records, journal %d bytes (%d intact)\n" dir
+    (List.length scan.Store.good) scan.Store.total_bytes scan.Store.good_bytes;
+  List.iter
+    (fun m -> Printf.printf "  journal: %s\n" m)
+    scan.Store.problems;
+  List.iter
+    (fun ((exp, v, scale, env), (ok, fl)) ->
+      Printf.printf "  %-4s v%d %-5s %-6s %d ok%s\n" exp v scale env ok
+        (if fl > 0 then Printf.sprintf ", %d failed" fl else ""))
+    (per_group scan.Store.good);
+  match Store.read_last_run ~dir with
+  | Some (h, m, f) ->
+    let total = h + m in
+    let pct = if total = 0 then 0.0 else 100.0 *. float_of_int h /. float_of_int total in
+    Printf.printf "last run: hits=%d misses=%d failed=%d (%.1f%% hits)\n" h m f pct
+  | None -> ()
+
+let run_store_gc dir =
+  let s = Store.open_ dir in
+  let live = Rn_harness.All.versions in
+  let env = Rn_sim.Engine.semantics_digest in
+  let keep (r : Store.record_) =
+    r.key.env = env
+    && List.exists (fun (id, v) -> id = r.key.exp && v = r.key.code_version) live
+  in
+  let dropped = Store.gc s ~keep in
+  Printf.printf "store %s: pruned %d stale records, kept %d\n" dir dropped (Store.count s);
+  Store.close s
+
+let run_store_verify dir =
+  let path = Store.journal_path dir in
+  let scan = Store.scan_file path in
+  Printf.printf "store %s: %d records intact (%d/%d bytes)\n" dir
+    (List.length scan.Store.good) scan.Store.good_bytes scan.Store.total_bytes;
+  if scan.Store.problems <> [] then begin
+    List.iter (fun m -> Printf.printf "  INTEGRITY: %s\n" m) scan.Store.problems;
+    exit 1
+  end
+
+let store_cmd =
+  let sub name doc f =
+    Cmd.v (Cmd.info name ~doc) Term.(const f $ store_dir_pos)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and maintain the experiment result store.")
+    [
+      sub "stats" "Record counts per experiment/version and last-run hit rates." run_store_stats;
+      sub "gc" "Prune records with a stale code_version or engine digest." run_store_gc;
+      sub "verify" "Re-hash every journal record and check integrity." run_store_verify;
+    ]
 
 let list_cmd =
   Cmd.v
@@ -337,7 +473,7 @@ let main =
        ~doc:"Dual graph radio network algorithms (Censor-Hillel et al., PODC 2011).")
     [
       mis_cmd; ccds_cmd; bridge_cmd; experiment_cmd; list_cmd; figures_cmd; broadcast_cmd;
-      repair_cmd; scenario_cmd;
+      repair_cmd; scenario_cmd; store_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,35 +1,51 @@
-(* Registry of every experiment, keyed by the DESIGN.md index. *)
+(* Registry of every experiment, keyed by the DESIGN.md index.  Each
+   entry carries the experiment's store-cache [code_version]; [find]
+   wraps the experiment function so the harness key context (id, scale,
+   version) is always set before any cells run. *)
 
-let experiments : (string * (Harness.scale -> Harness.result)) list =
+let experiments : (string * int * (Harness.scale -> Harness.result)) list =
   [
-    ("E1", Exp_mis.e1);
-    ("E2", Exp_ccds.e2);
-    ("E3", Exp_ccds.e3);
-    ("E4a", Exp_lower.e4_single);
-    ("E4b", Exp_lower.e4_double);
-    ("E4c", Exp_lower.e4_bridge);
-    ("E5", Exp_mis.e5);
-    ("E6", Exp_ccds.e6);
-    ("E7", Exp_mis.e7);
-    ("E8a", Exp_subroutines.e8_bb);
-    ("E8b", Exp_subroutines.e8_dd);
-    ("A1", Exp_ccds.a1);
-    ("A2", Exp_mis.a2);
-    ("A3", Exp_broadcast.a3);
-    ("A4", Exp_repair.a4);
-    ("A5", Exp_tdma.a5);
-    ("A6", Exp_params.a6);
-    ("A7", Exp_broadcast.a7);
-    ("A8", Exp_quality.a8);
+    ("E1", Exp_mis.code_version, Exp_mis.e1);
+    ("E2", Exp_ccds.code_version, Exp_ccds.e2);
+    ("E3", Exp_ccds.code_version, Exp_ccds.e3);
+    ("E4a", Exp_lower.code_version, Exp_lower.e4_single);
+    ("E4b", Exp_lower.code_version, Exp_lower.e4_double);
+    ("E4c", Exp_lower.code_version, Exp_lower.e4_bridge);
+    ("E5", Exp_mis.code_version, Exp_mis.e5);
+    ("E6", Exp_ccds.code_version, Exp_ccds.e6);
+    ("E7", Exp_mis.code_version, Exp_mis.e7);
+    ("E8a", Exp_subroutines.code_version, Exp_subroutines.e8_bb);
+    ("E8b", Exp_subroutines.code_version, Exp_subroutines.e8_dd);
+    ("A1", Exp_ccds.code_version, Exp_ccds.a1);
+    ("A2", Exp_mis.code_version, Exp_mis.a2);
+    ("A3", Exp_broadcast.code_version, Exp_broadcast.a3);
+    ("A4", Exp_repair.code_version, Exp_repair.a4);
+    ("A5", Exp_tdma.code_version, Exp_tdma.a5);
+    ("A6", Exp_params.code_version, Exp_params.a6);
+    ("A7", Exp_broadcast.code_version, Exp_broadcast.a7);
+    ("A8", Exp_quality.code_version, Exp_quality.a8);
   ]
 
-let ids = List.map fst experiments
+let ids = List.map (fun (k, _, _) -> k) experiments
+
+(* (id, code_version) pairs for the live registry — what [store gc]
+   keeps. *)
+let versions = List.map (fun (k, v, _) -> (k, v)) experiments
+
+let wrap k v f scale =
+  Harness.begin_experiment ~id:k ~scale ~version:v;
+  f scale
 
 let find id =
   let canon s = String.lowercase_ascii s in
   List.find_map
-    (fun (k, f) -> if canon k = canon id then Some f else None)
+    (fun (k, v, f) -> if canon k = canon id then Some (wrap k v f) else None)
     experiments
 
-let run_all scale =
-  List.map (fun (_, f) -> f scale) experiments
+let code_version id =
+  let canon s = String.lowercase_ascii s in
+  List.find_map
+    (fun (k, v, _) -> if canon k = canon id then Some v else None)
+    experiments
+
+let run_all scale = List.map (fun (k, v, f) -> wrap k v f scale) experiments

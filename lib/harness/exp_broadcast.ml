@@ -14,6 +14,12 @@ module Detector = Rn_detect.Detector
 module Verify = Rn_verify.Verify
 open Harness
 
+(* Store cache key version for every experiment in this file: bump
+   whenever a cell function's semantics, sweep structure, or result
+   type changes, so stale cached cells are never replayed (see
+   EXPERIMENTS.md, "The result store"). *)
+let code_version = 1
+
 (* A7 — multihop broadcast under unreliability.  The dual graph line of
    work starts from the observation (the paper's references [10, 11])
    that broadcast is strictly *harder* with unreliable links: gray edges
@@ -84,12 +90,22 @@ let a3 scale =
   let n = match scale with Quick -> 128 | Full -> 256 in
   let dual = geometric ~seed:13 ~n ~degree:12 () in
   let det = Detector.perfect (Dual.g dual) in
-  let ccds =
-    Core.Ccds.run ~seed:5
-      ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
-      ~detector:(Detector.static det) dual
+  (* The backbone CCDS run is its own cell so warm runs replay it too. *)
+  let in_backbone =
+    match
+      run_cells
+        (fun () ->
+          let ccds =
+            Core.Ccds.run ~seed:5
+              ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+              ~detector:(Detector.static det) dual
+          in
+          Array.map (fun o -> o = Some 1) ccds.Core.Radio.outputs)
+        [ () ]
+    with
+    | [ a ] -> a
+    | _ -> assert false
   in
-  let in_backbone = Array.map (fun o -> o = Some 1) ccds.Core.Radio.outputs in
   let backbone_size =
     Array.fold_left (fun c b -> if b then c + 1 else c) 0 in_backbone
   in

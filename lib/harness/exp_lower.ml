@@ -12,6 +12,12 @@ module Table = Rn_util.Table
 module Rng = Rn_util.Rng
 open Harness
 
+(* Store cache key version for every experiment in this file: bump
+   whenever a cell function's semantics, sweep structure, or result
+   type changes, so stale cached cells are never replayed (see
+   EXPERIMENTS.md, "The result store"). *)
+let code_version = 1
+
 let e4_single scale =
   let betas = match scale with Quick -> [ 8; 16; 32; 64 ] | Full -> [ 8; 16; 32; 64; 128; 256 ] in
   let t = Table.create [ "beta"; "mean (permutation)"; "mean (memoryless)"; "p90 worst target" ] in

@@ -15,6 +15,12 @@ module Verify = Rn_verify.Verify
 module R = Core.Radio
 open Harness
 
+(* Store cache key version for every experiment in this file: bump
+   whenever a cell function's semantics, sweep structure, or result
+   type changes, so stale cached cells are never replayed (see
+   EXPERIMENTS.md, "The result store"). *)
+let code_version = 1
+
 let a6 scale =
   let n = match scale with Quick -> 64 | Full -> 96 in
   let trials = match scale with Quick -> 10 | Full -> 25 in

@@ -14,6 +14,12 @@ module Verify = Rn_verify.Verify
 module R = Core.Radio
 open Harness
 
+(* Store cache key version for every experiment in this file: bump
+   whenever a cell function's semantics, sweep structure, or result
+   type changes, so stale cached cells are never replayed (see
+   EXPERIMENTS.md, "The result store"). *)
+let code_version = 1
+
 (* Pick up to [k] covered victims with spare degree and demote the links
    to their masters; returns the damaged network (keeping G connected). *)
 let damage ~k dual old_outputs old_masters =

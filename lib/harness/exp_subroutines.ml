@@ -8,6 +8,12 @@ module Dual = Rn_graph.Dual
 module Detector = Rn_detect.Detector
 open Harness
 
+(* Store cache key version for every experiment in this file: bump
+   whenever a cell function's semantics, sweep structure, or result
+   type changes, so stale cached cells are never replayed (see
+   EXPERIMENTS.md, "The result store"). *)
+let code_version = 1
+
 (* Honest (uncapped) 2^delta schedule lengths for the subroutine study. *)
 let sub_params = { Core.Params.default with bb_cap = 8 }
 

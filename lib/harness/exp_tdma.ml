@@ -18,6 +18,12 @@ module Verify = Rn_verify.Verify
 module R = Core.Radio
 open Harness
 
+(* Store cache key version for every experiment in this file: bump
+   whenever a cell function's semantics, sweep structure, or result
+   type changes, so stale cached cells are never replayed (see
+   EXPERIMENTS.md, "The result store"). *)
+let code_version = 1
+
 let a5 scale =
   let sizes = match scale with Quick -> [ 32; 64; 128 ] | Full -> [ 32; 64; 128; 256; 512 ] in
   let t = Table.create [ "n"; "algorithm"; "adversary"; "rounds"; "ok" ] in

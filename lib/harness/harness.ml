@@ -13,6 +13,7 @@ module Detector = Rn_detect.Detector
 type scale = Quick | Full
 
 let reps = function Quick -> 3 | Full -> 5
+let scale_name = function Quick -> "quick" | Full -> "full"
 
 (* --- parallel execution ---
 
@@ -27,12 +28,135 @@ let default_jobs = ref 1
 let set_jobs j = default_jobs := max 1 j
 let jobs () = !default_jobs
 
+(* --- the result store (crash-safe caching and resume) ---
+
+   The same determinism invariant makes cells perfectly cacheable: a
+   cell result is a pure function of (experiment id, scale, position in
+   the sweep, the experiment's declared code_version, and the engine
+   semantics digest).  When a store is configured, [run_cells] looks
+   every cell up before computing it, and appends each fresh result to
+   the journal the moment it is computed — so a killed sweep resumes
+   from the finished cells, and a warm re-run replays entirely from
+   disk.  Cell payloads are [Marshal]ed, which round-trips the plain
+   int/float/bool/list/tuple data cells return exactly; anyone changing
+   a cell's semantics or result type MUST bump that experiment's
+   [code_version] (see EXPERIMENTS.md).
+
+   A cell that raises (or overruns the per-cell time budget) is recorded
+   as [Failed] — which [Store.find] treats as a miss, so it is resumable
+   — and the rest of the sweep still runs and caches; [run_cells] raises
+   {!Cell_failed} only after the whole batch has been driven. *)
+
+module Store = Rn_util.Store
+
+type store_cfg = {
+  store : Store.t;
+  retry : int;  (* extra attempts after a cell raises *)
+  timeout : float option;  (* per-cell wall-clock budget, seconds *)
+}
+
+let store_cfg : store_cfg option ref = ref None
+
+let set_store ?(retry = 0) ?timeout store =
+  store_cfg := Some { store; retry = max 0 retry; timeout }
+
+let clear_store () = store_cfg := None
+
+(* Cumulative cache statistics for the current process (atomic: cells
+   run on Pool worker domains). *)
+let store_hits = Atomic.make 0
+let store_misses = Atomic.make 0
+let store_failures = Atomic.make 0
+
+let reset_store_counters () =
+  Atomic.set store_hits 0;
+  Atomic.set store_misses 0;
+  Atomic.set store_failures 0
+
+let store_counters () =
+  (Atomic.get store_hits, Atomic.get store_misses, Atomic.get store_failures)
+
+(* Per-experiment key context, set by the registry wrapper in [All]
+   before the experiment function runs.  [batch] numbers the successive
+   [run_cells] calls inside one experiment so every cell gets a stable
+   coordinate; the sweep structure is deterministic, so coordinates are
+   reproducible run to run (changing the structure is a code_version
+   bump). *)
+let exp_ctx : (string * string * int) option ref = ref None
+let batch = ref 0
+
+let begin_experiment ~id ~scale ~version =
+  exp_ctx := Some (id, scale_name scale, version);
+  batch := 0
+
+exception Cell_failed of { exp : string; failed : int; total : int }
+exception Cell_timeout of float
+
+let with_timeout timeout f =
+  match timeout with
+  | None -> f ()
+  | Some limit ->
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    if Unix.gettimeofday () -. t0 >= limit then raise (Cell_timeout limit) else v
+
+(* Compute one uncached cell, retrying raises up to [retry] times (the
+   cell is deterministic, so a retry rederives nothing: same key, same
+   result — retries exist for the timeout path and for genuinely flaky
+   environments). *)
+let compute_cell cfg f c =
+  let rec attempt a =
+    match with_timeout cfg.timeout (fun () -> f c) with
+    | v -> Ok v
+    | exception _ when a < cfg.retry -> attempt (a + 1)
+    | exception e -> Error (Printexc.to_string e)
+  in
+  attempt 0
+
+let run_cells_cached cfg (exp, scale, version) ~jobs:j f cells =
+  let b = !batch in
+  incr batch;
+  let env = Rn_sim.Engine.semantics_digest in
+  let key i =
+    {
+      Store.exp;
+      scale;
+      coord = Printf.sprintf "b%d.c%d" b i;
+      code_version = version;
+      env;
+    }
+  in
+  let run_one (i, c) =
+    let k = key i in
+    match Store.find cfg.store k with
+    | Some payload ->
+      Atomic.incr store_hits;
+      Ok (Marshal.from_string payload 0)
+    | None -> (
+      match compute_cell cfg f c with
+      | Ok v ->
+        Atomic.incr store_misses;
+        Store.put cfg.store k Store.Done (Marshal.to_string v []);
+        Ok v
+      | Error msg ->
+        Atomic.incr store_failures;
+        Store.put cfg.store k Store.Failed msg;
+        Error msg)
+  in
+  let out = Rn_util.Pool.map ~jobs:j run_one (List.mapi (fun i c -> (i, c)) cells) in
+  let failed = List.length (List.filter Result.is_error out) in
+  if failed > 0 then raise (Cell_failed { exp; failed; total = List.length out });
+  List.map (function Ok v -> v | Error _ -> assert false) out
+
 (* [run_cells f cells] maps [f] over the cells, in parallel when the jobs
    setting (or [?jobs]) exceeds 1, preserving input order.  [~jobs:1] is
-   exactly [List.map]. *)
+   exactly [List.map].  With a store configured (and an experiment
+   context set), cached cells are replayed instead of recomputed. *)
 let run_cells ?jobs f cells =
   let j = match jobs with Some j -> j | None -> !default_jobs in
-  Rn_util.Pool.map ~jobs:j f cells
+  match (!store_cfg, !exp_ctx) with
+  | Some cfg, Some ctx -> run_cells_cached cfg ctx ~jobs:j f cells
+  | _ -> Rn_util.Pool.map ~jobs:j f cells
 
 (* [run_reps scale f] runs [f rep] for [rep = 1 .. reps scale] and returns
    the results in rep order. *)

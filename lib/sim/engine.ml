@@ -69,6 +69,14 @@ type stats = {
   silent_rounds : int; (* rounds with zero broadcasters (fast-forwardable) *)
 }
 
+(* Bump whenever the observable round semantics change (delivery rule,
+   adversary derivation, RNG streams, ...): cached experiment cells are
+   keyed on [semantics_digest], so a bump invalidates every stored
+   result computed under the old semantics.  Version 3 is the PR 2
+   activity-scaled loop with per-round adversary RNG derivation. *)
+let semantics_version = 3
+let semantics_digest = Printf.sprintf "eng%d" semantics_version
+
 module Make (M : MESSAGE) = struct
   type receive = Own | Silence | Recv of M.t
 

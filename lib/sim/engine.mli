@@ -31,6 +31,15 @@ type stats = {
           stretches of them when no fiber is live *)
 }
 
+(** Monotone version of the observable round semantics; bumped whenever
+    the delivery rule, adversary derivation, or RNG streams change. *)
+val semantics_version : int
+
+(** Cheap digest of the engine configuration space, folded into
+    {!Rn_util.Store} cache keys so that stored cell results computed
+    under different engine semantics never collide. *)
+val semantics_digest : string
+
 module Make (M : MESSAGE) : sig
   (** What a process sees at the end of a round: its own broadcast, silence
       (zero or ≥ 2 reachable broadcasters — indistinguishable), or a

@@ -1,13 +1,20 @@
 #!/bin/sh
 # Compare a fresh bench JSON report against the committed baseline.
 #
-#   scripts/bench_check.sh FRESH.json BASELINE.json [TOLERANCE]
+#   scripts/bench_check.sh FRESH.json BASELINE.json [TOLERANCE] [SLACK]
 #
-# Fails (exit 1) only if some experiment's fresh wall-clock exceeds the
-# baseline by BOTH a multiplicative factor (default 4x — CI runners are
-# noisy and share cores) AND an absolute slack of 1 second (so
-# sub-second experiments never trip on scheduler jitter).  Experiments
-# present in only one file are reported but not fatal: the suite grows.
+# Exits non-zero (1) ONLY on a genuine regression: an experiment present
+# in BOTH reports whose fresh wall-clock exceeds the baseline by BOTH a
+# multiplicative factor (default 4x — CI runners are noisy and share
+# cores) AND an absolute slack (default 1s, so sub-second experiments
+# never trip on scheduler jitter).  Everything else is warn-and-skip:
+#
+#   - experiments only in the fresh report (new benches)       -> skipped
+#   - experiments only in the baseline (removed/renamed)       -> skipped
+#   - duplicated ids within a report (first occurrence wins)   -> warned
+#
+# Usage errors and missing/empty reports exit 2, so a broken pipeline is
+# distinguishable from a perf regression.
 #
 # Requires only POSIX sh + awk; the JSON is one entry per line by
 # construction (bench/main.ml write_json).
@@ -15,14 +22,14 @@
 set -eu
 
 if [ $# -lt 2 ]; then
-  echo "usage: $0 FRESH.json BASELINE.json [TOLERANCE]" >&2
+  echo "usage: $0 FRESH.json BASELINE.json [TOLERANCE] [SLACK]" >&2
   exit 2
 fi
 
 fresh=$1
 base=$2
 tol=${3:-4.0}
-slack=1.0
+slack=${4:-1.0}
 
 for f in "$fresh" "$base"; do
   if [ ! -f "$f" ]; then
@@ -31,45 +38,62 @@ for f in "$fresh" "$base"; do
   fi
 done
 
-extract() {
-  # "  {\"id\": \"E2\", \"seconds\": 24.346}," -> "E2 24.346"
-  awk 'match($0, /"id": "[^"]*", "seconds": [0-9.]+/) {
-         s = substr($0, RSTART, RLENGTH);
-         gsub(/"id": "|", "seconds": /, " ", s);
-         gsub(/"/, "", s);
-         print s
-       }' "$1"
-}
-
-extract "$fresh" > /tmp/bench_fresh.$$
-extract "$base" > /tmp/bench_base.$$
-trap 'rm -f /tmp/bench_fresh.$$ /tmp/bench_base.$$' EXIT
-
-fail=0
-while read -r id secs; do
-  basev=$(awk -v id="$id" '$1 == id { print $2 }' /tmp/bench_base.$$)
-  if [ -z "$basev" ]; then
-    echo "bench_check: $id: new experiment (no baseline), skipping"
-    continue
-  fi
-  verdict=$(awk -v f="$secs" -v b="$basev" -v tol="$tol" -v slack="$slack" \
-    'BEGIN { print (f > b * tol && f - b > slack) ? "REGRESSION" : "ok" }')
-  if [ "$verdict" = "REGRESSION" ]; then
-    echo "bench_check: $id: REGRESSION: ${secs}s vs baseline ${basev}s (tol ${tol}x + ${slack}s)"
-    fail=1
-  else
-    echo "bench_check: $id: ok (${secs}s vs ${basev}s)"
-  fi
-done < /tmp/bench_fresh.$$
-
-while read -r id _; do
-  if ! awk -v id="$id" '$1 == id { found = 1 } END { exit !found }' /tmp/bench_fresh.$$; then
-    echo "bench_check: $id: in baseline but not in fresh run"
-  fi
-done < /tmp/bench_base.$$
-
-if [ "$fail" -ne 0 ]; then
-  echo "bench_check: FAILED" >&2
-  exit 1
-fi
-echo "bench_check: all experiments within tolerance"
+awk -v tol="$tol" -v slack="$slack" '
+  FNR == 1 { filenum++ }
+  # collect {"id": "E2", "seconds": 24.346} entries from either file;
+  # the baseline is passed first (filenum 1), the fresh report second
+  match($0, /"id": *"[^"]*", *"seconds": *[0-9.eE+-]+/) {
+    s = substr($0, RSTART, RLENGTH)
+    sub(/^"id": *"/, "", s)
+    id = s; sub(/".*/, "", id)
+    secs = s; sub(/^[^,]*, *"seconds": */, "", secs)
+    if (filenum == 1) {
+      if (id in baseline) {
+        print "bench_check: " id ": duplicate baseline entry, keeping first (" baseline[id] "s)"
+      } else {
+        baseline[id] = secs + 0
+      }
+    } else {
+      if (id in seen_fresh) {
+        print "bench_check: " id ": duplicate fresh entry, keeping first (" seen_fresh[id] "s)"
+      } else {
+        seen_fresh[id] = secs + 0
+        order[++n_fresh] = id
+      }
+    }
+  }
+  END {
+    if (n_fresh == 0) {
+      print "bench_check: no experiment entries found in fresh report" > "/dev/stderr"
+      exit 2
+    }
+    fails = 0; compared = 0; skipped = 0
+    for (i = 1; i <= n_fresh; i++) {
+      id = order[i]; f = seen_fresh[id]
+      if (!(id in baseline)) {
+        print "bench_check: " id ": new experiment (no baseline), skipping"
+        skipped++
+        continue
+      }
+      b = baseline[id]
+      compared++
+      if (f > b * tol && f - b > slack) {
+        printf "bench_check: %s: REGRESSION: %.3fs vs baseline %.3fs (tol %sx + %ss)\n", id, f, b, tol, slack
+        fails++
+      } else {
+        printf "bench_check: %s: ok (%.3fs vs %.3fs)\n", id, f, b
+      }
+    }
+    for (id in baseline) {
+      if (!(id in seen_fresh)) {
+        print "bench_check: " id ": in baseline but not in fresh run (removed/renamed), skipping"
+        skipped++
+      }
+    }
+    printf "bench_check: %d compared, %d skipped, %d regression(s)\n", compared, skipped, fails
+    if (fails > 0) {
+      print "bench_check: FAILED" > "/dev/stderr"
+      exit 1
+    }
+  }
+' "$base" "$fresh"
