@@ -141,6 +141,45 @@ let run_microbenches () =
   print_newline ();
   estimates
 
+(* Monotonic wall-clock timing (bechamel's clock, ns).  gettimeofday is
+   subject to NTP slews/jumps, which corrupted speedup tables on long
+   runs. *)
+let timed f =
+  let t0 = Mclock.now () in
+  let v = f () in
+  let t1 = Mclock.now () in
+  (v, Int64.to_float (Int64.sub t1 t0) /. 1e9)
+
+(* Tracing-overhead check: the same MIS workload with instrumentation
+   fully off vs fully on (metrics registry enabled and an event sink
+   attached).  The "off" number also guards the disabled hot path — the
+   engine samples the enabled flags once per run, so a regression here
+   means that stopped being free.  Reported to the JSON file as
+   pseudo-experiments "trace-off"/"trace-on" so scripts/bench_check.sh
+   compares both against the baseline. *)
+let trace_overhead () =
+  let runs = 5 in
+  let workload sink () =
+    for seed = 1 to runs do
+      ignore
+        (Core.Mis.run ~seed
+           ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+           ?sink ~detector:(Detector.static det64) dual64)
+    done
+  in
+  workload None () (* warm-up *);
+  let (), t_off = timed (workload None) in
+  Rn_util.Metrics.set_enabled true;
+  let sink = Rn_sim.Events.create ~capacity:(1 lsl 18) () in
+  let (), t_on = timed (workload (Some sink)) in
+  Rn_util.Metrics.set_enabled false;
+  Rn_util.Metrics.reset ();
+  Printf.printf
+    "--- tracing overhead (MIS n=64 x%d): off %.3f s, on %.3f s (+%.1f%%) ---\n\n" runs t_off
+    t_on
+    (100.0 *. (t_on -. t_off) /. t_off);
+  [ ("trace-off", t_off); ("trace-on", t_on) ]
+
 (* --jobs N: worker domains for the experiment sweeps (default: cores - 1,
    capped).  With jobs > 1 every experiment is run twice — once parallel,
    once sequential — and the wall-clock speedup is reported per
@@ -156,15 +195,6 @@ let parse_jobs () =
     | [] -> Rn_util.Pool.recommended_jobs ()
   in
   find (Array.to_list Sys.argv)
-
-(* Monotonic wall-clock timing (bechamel's clock, ns).  gettimeofday is
-   subject to NTP slews/jumps, which corrupted speedup tables on long
-   runs. *)
-let timed f =
-  let t0 = Mclock.now () in
-  let v = f () in
-  let t1 = Mclock.now () in
-  (v, Int64.to_float (Int64.sub t1 t0) /. 1e9)
 
 let parse_json_out () =
   let rec find = function
@@ -215,6 +245,7 @@ let () =
   let store_dir = parse_store () in
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
   let micro = run_microbenches () in
+  let trace_entries = trace_overhead () in
   if profile then Rn_util.Timing.set_enabled true;
   Printf.printf
     "--- experiment suite (%s scale, %d jobs; see DESIGN.md / EXPERIMENTS.md) ---\n\n"
@@ -284,5 +315,6 @@ let () =
     end);
   if profile then Rn_util.Timing.print_report ();
   match json_out with
-  | Some path -> write_json ~path ~full ~jobs ~micro ~experiments:(List.rev !wallclocks)
+  | Some path ->
+    write_json ~path ~full ~jobs ~micro ~experiments:(trace_entries @ List.rev !wallclocks)
   | None -> ()

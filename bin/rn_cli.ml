@@ -156,16 +156,236 @@ let bridge_cmd =
        ~doc:"Run the tau=1 CCDS on the Section 7 two-clique bridge network.")
     Term.(const run_bridge $ beta_arg $ seed_arg)
 
+(* --- trace command --- *)
+
+module Events = Rn_sim.Events
+
+let rounds_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b when a <= b -> Ok (a, b)
+      | _ -> Error (`Msg "expected LO:HI round range with LO <= HI"))
+    | _ -> Error (`Msg "expected LO:HI round range")
+  in
+  Arg.conv (parse, fun ppf (a, b) -> Fmt.pf ppf "%d:%d" a b)
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("chrome", Events.Chrome); ("jsonl", Events.Jsonl); ("sexp", Events.Sexp_format) ])
+        Events.Chrome
+    & info [ "format" ]
+        ~doc:"Trace format: chrome (Perfetto-loadable JSON), jsonl, or sexp.")
+
+let trace_out_arg =
+  Arg.(value & opt string "trace.json" & info [ "out" ] ~docv:"FILE" ~doc:"Trace output file.")
+
+let capacity_arg =
+  Arg.(
+    value & opt int 65536
+    & info [ "capacity" ]
+        ~doc:"Ring-buffer size: the newest N events are kept, older ones evicted.")
+
+let rounds_filter_arg =
+  Arg.(
+    value
+    & opt (some rounds_conv) None
+    & info [ "rounds" ] ~docv:"LO:HI" ~doc:"Record only rounds in the inclusive range.")
+
+let procs_filter_arg =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "procs" ] ~docv:"IDS"
+        ~doc:"Record process events only for these ids (round-scoped events always pass).")
+
+let sample_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "sample" ] ~docv:"K" ~doc:"Record only rounds where round mod K = 0.")
+
+let trace_algo_arg =
+  Arg.(
+    value
+    & pos 0 (enum [ ("mis", `Mis); ("ccds", `Ccds); ("tdma", `Tdma) ]) `Mis
+    & info [] ~docv:"ALGO" ~doc:"Algorithm to trace: mis, ccds, or tdma.")
+
+let run_trace algo n degree seed tau b adversary out format capacity rounds procs sample =
+  let dual, det = build_instance ~seed ~n ~degree ~tau in
+  Printf.printf "instance: %s, Delta=%d\n" (Format.asprintf "%a" Dual.pp dual)
+    (Dual.max_degree_g dual);
+  let sink = Events.create ~capacity ?rounds ?procs ~sample () in
+  let detector = Detector.static det in
+  let name, summary =
+    match algo with
+    | `Mis ->
+      let r = Core.Mis.run ~seed ?b_bits:b ~adversary ~sink ~detector dual in
+      ("mis", (r.R.rounds, r.R.stats, r.R.timed_out))
+    | `Ccds ->
+      if tau > 0 then
+        failwith "the banned-list CCDS requires a 0-complete detector (--tau 0)";
+      let r = Core.Ccds.run ~seed ?b_bits:b ~adversary ~sink ~detector dual in
+      ("ccds", (r.R.rounds, r.R.stats, r.R.timed_out))
+    | `Tdma ->
+      let r = Core.Tdma_ccds.run ~seed ?b_bits:b ~adversary ~sink ~detector dual in
+      ("tdma", (r.R.rounds, r.R.stats, r.R.timed_out))
+  in
+  summarize_engine name summary;
+  let evs = Events.events sink in
+  let oc = open_out out in
+  output_string oc (Events.export format evs);
+  close_out oc;
+  Printf.printf "trace: wrote %d events to %s (%s; emitted=%d evicted=%d filtered=%d)\n"
+    (List.length evs) out
+    (Events.format_name format)
+    (Events.emitted sink) (Events.evicted sink) (Events.filtered sink)
+
+let trace_run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a built-in algorithm with structured event tracing and write the trace to a \
+          file (Chrome format loads in Perfetto / chrome://tracing).")
+    Term.(
+      const run_trace $ trace_algo_arg $ n_arg $ degree_arg $ seed_arg $ tau_arg $ b_arg
+      $ adversary_arg $ trace_out_arg $ trace_format_arg $ capacity_arg $ rounds_filter_arg
+      $ procs_filter_arg $ sample_arg)
+
+let kind_order =
+  [
+    ("wake", 0); ("broadcast", 1); ("deliver", 2); ("collide", 3); ("gray", 4); ("decide", 5);
+    ("skip", 6);
+  ]
+
+let run_trace_inspect file rounds proc top =
+  let content = In_channel.with_open_text file In_channel.input_all in
+  let evs = Events.of_string content in
+  let evs =
+    match rounds with
+    | None -> evs
+    | Some (a, b) -> List.filter (fun e -> e.Events.round >= a && e.Events.round <= b) evs
+  in
+  let evs =
+    match proc with
+    | None -> evs
+    | Some p -> List.filter (fun e -> e.Events.proc = p) evs
+  in
+  let lo, hi =
+    List.fold_left
+      (fun (lo, hi) e -> (min lo e.Events.round, max hi e.Events.round))
+      (max_int, min_int) evs
+  in
+  if evs = [] then print_endline "0 events match"
+  else begin
+    Printf.printf "%d events, rounds %d..%d\n" (List.length evs) lo hi;
+    (* Event counts per kind, in engine order. *)
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let k = Events.kind_name e.Events.kind in
+        Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0))
+      evs;
+    List.iter
+      (fun (k, _) ->
+        match Hashtbl.find_opt counts k with
+        | Some c -> Printf.printf "  %-10s %d\n" k c
+        | None -> ())
+      kind_order;
+    match proc with
+    | Some p ->
+      (* Per-process timeline. *)
+      Printf.printf "timeline for proc %d:\n" p;
+      List.iter (fun e -> Format.printf "  %a@." Events.pp_event e) evs
+    | None ->
+      (* Busiest rounds by broadcasters, then collision hotspots. *)
+      let per_round = Hashtbl.create 64 in
+      let bump r i =
+        let b, d, c = Option.value (Hashtbl.find_opt per_round r) ~default:(0, 0, 0) in
+        Hashtbl.replace per_round r
+          (match i with
+          | `B -> (b + 1, d, c)
+          | `D -> (b, d + 1, c)
+          | `C -> (b, d, c + 1))
+      in
+      let per_proc_coll = Hashtbl.create 64 in
+      List.iter
+        (fun e ->
+          match e.Events.kind with
+          | Events.Broadcast _ -> bump e.Events.round `B
+          | Events.Deliver _ -> bump e.Events.round `D
+          | Events.Collide _ ->
+            bump e.Events.round `C;
+            Hashtbl.replace per_proc_coll e.Events.proc
+              (1 + Option.value (Hashtbl.find_opt per_proc_coll e.Events.proc) ~default:0)
+          | _ -> ())
+        evs;
+      let top_by f tbl =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+        |> List.sort (fun (ka, a) (kb, b) ->
+               let c = compare (f b) (f a) in
+               if c <> 0 then c else compare ka kb)
+        |> List.filteri (fun i _ -> i < top)
+      in
+      let busiest = top_by (fun (b, _, _) -> b) per_round in
+      if busiest <> [] then begin
+        Printf.printf "busiest rounds (by broadcasters):\n";
+        List.iter
+          (fun (r, (b, d, c)) ->
+            Printf.printf "  r%-6d %d broadcasts, %d deliveries, %d collisions\n" r b d c)
+          busiest
+      end;
+      let hot = top_by Fun.id per_proc_coll in
+      if hot <> [] then begin
+        Printf.printf "collision hotspots (by receiver):\n";
+        List.iter (fun (p, c) -> Printf.printf "  p%-6d %d collisions\n" p c) hot
+      end
+  end
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file to inspect.")
+
+let proc_filter_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "proc" ] ~docv:"ID" ~doc:"Show the timeline of this process only.")
+
+let top_arg =
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Rows in the top-K tables.")
+
+let trace_inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Query a trace file written by 'trace run' (any format): kind counts, busiest \
+          rounds, collision hotspots, per-process timelines.")
+    Term.(const run_trace_inspect $ trace_file_arg $ rounds_filter_arg $ proc_filter_arg $ top_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Structured event tracing: record and query engine event traces.")
+    [ trace_run_cmd; trace_inspect_cmd ]
+
 (* --- experiment command --- *)
 
 module Store = Rn_util.Store
 
 (* Store diagnostics go to stderr: the rendered tables on stdout must be
    byte-identical whether cells were computed or replayed from the
-   cache (and identical to --no-cache). *)
-let run_experiments ids full jobs profile store_dir no_cache retry cell_timeout =
+   cache (and identical to --no-cache).  Per-experiment metrics
+   (--metrics) keep that property because each cell's snapshot rides in
+   its store payload: a warm sweep reports the metrics recorded when the
+   cell was computed. *)
+let run_experiments ids full jobs profile metrics store_dir no_cache retry cell_timeout =
   Rn_harness.Harness.set_jobs jobs;
   if profile then Rn_util.Timing.set_enabled true;
+  if metrics then begin
+    Rn_util.Metrics.set_enabled true;
+    Rn_harness.Harness.reset_experiment_metrics ()
+  end;
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
   let ids = if ids = [] then Rn_harness.All.ids else ids in
   let store =
@@ -202,9 +422,25 @@ let run_experiments ids full jobs profile store_dir no_cache retry cell_timeout 
     Printf.eprintf "[store] hits=%d misses=%d failed=%d dir=%s\n%!" hits misses failures
       store_dir;
     Store.write_last_run ~dir:store_dir ~hits ~misses ~failures;
+    (* Slowest freshly-computed cells, for the nightly trace-the-slow-
+       cells job (and for humans hunting sweep bottlenecks). *)
+    (match Rn_harness.Harness.slowest_cells ~k:10 () with
+    | [] -> ()
+    | slow ->
+      let path = Filename.concat store_dir "slowest.txt" in
+      let oc = open_out path in
+      List.iter (fun (label, t) -> Printf.fprintf oc "%.3f %s\n" t label) slow;
+      close_out oc;
+      Printf.eprintf "[store] slowest cells -> %s\n%!" path);
     Rn_harness.Harness.clear_store ();
     Store.close s
   | None -> ());
+  if metrics then begin
+    List.iter
+      (fun (id, snap) ->
+        Format.printf "=== metrics: %s ===@\n%a@\n" id Rn_util.Metrics.pp_snapshot snap)
+      (Rn_harness.Harness.experiment_metrics ())
+  end;
   if profile then Rn_util.Timing.print_report ();
   if !any_failed then exit 1
 
@@ -229,6 +465,14 @@ let profile_arg =
         ~doc:
           "Print engine round-loop section timings (wake/collect/adversary/deliver/resume) \
            aggregated over all runs; see EXPERIMENTS.md for how to read the report.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Enable the metrics registry and print per-experiment aggregated counters and \
+           histograms (engine.*, store.*, cell.*) after the tables.")
 
 let store_arg =
   Arg.(
@@ -264,8 +508,8 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's experiment tables (see DESIGN.md).")
     Term.(
-      const run_experiments $ ids_arg $ full_arg $ jobs_arg $ profile_arg $ store_arg
-      $ no_cache_arg $ retry_arg $ cell_timeout_arg)
+      const run_experiments $ ids_arg $ full_arg $ jobs_arg $ profile_arg $ metrics_arg
+      $ store_arg $ no_cache_arg $ retry_arg $ cell_timeout_arg)
 
 (* --- store command --- *)
 
@@ -283,29 +527,71 @@ let per_group records =
     records;
   Hashtbl.fold (fun g c acc -> (g, c) :: acc) tbl [] |> List.sort compare
 
-let run_store_stats dir =
+(* Minimal JSON string escaping for the --json output (keys here are
+   identifiers; only journal problem messages could be exotic). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let run_store_stats dir json =
   let scan = Store.scan_file (Store.journal_path dir) in
-  Printf.printf "store %s: %d records, journal %d bytes (%d intact)\n" dir
-    (List.length scan.Store.good) scan.Store.total_bytes scan.Store.good_bytes;
-  List.iter
-    (fun m -> Printf.printf "  journal: %s\n" m)
-    scan.Store.problems;
-  List.iter
-    (fun ((exp, v, scale, env), (ok, fl)) ->
-      Printf.printf "  %-4s v%d %-5s %-6s %d ok%s\n" exp v scale env ok
-        (if fl > 0 then Printf.sprintf ", %d failed" fl else ""))
-    (per_group scan.Store.good);
-  match Store.read_last_run ~dir with
-  | Some (h, m, f) ->
-    let total = h + m in
-    let pct = if total = 0 then 0.0 else 100.0 *. float_of_int h /. float_of_int total in
-    Printf.printf "last run: hits=%d misses=%d failed=%d (%.1f%% hits)\n" h m f pct
-  | None -> ()
+  if json then begin
+    let groups =
+      List.map
+        (fun ((exp, v, scale, env), (ok, fl)) ->
+          Printf.sprintf
+            {|{"exp":"%s","version":%d,"scale":"%s","env":"%s","ok":%d,"failed":%d}|}
+            (json_escape exp) v (json_escape scale) (json_escape env) ok fl)
+        (per_group scan.Store.good)
+    in
+    let problems = List.map (fun m -> "\"" ^ json_escape m ^ "\"") scan.Store.problems in
+    let last_run =
+      match Store.read_last_run ~dir with
+      | Some (h, m, f) -> Printf.sprintf {|{"hits":%d,"misses":%d,"failures":%d}|} h m f
+      | None -> "null"
+    in
+    Printf.printf
+      {|{"dir":"%s","records":%d,"journal_bytes":%d,"intact_bytes":%d,"problems":[%s],"groups":[%s],"last_run":%s}|}
+      (json_escape dir)
+      (List.length scan.Store.good)
+      scan.Store.total_bytes scan.Store.good_bytes (String.concat "," problems)
+      (String.concat "," groups) last_run;
+    print_newline ()
+  end
+  else begin
+    Printf.printf "store %s: %d records, journal %d bytes (%d intact)\n" dir
+      (List.length scan.Store.good) scan.Store.total_bytes scan.Store.good_bytes;
+    List.iter
+      (fun m -> Printf.printf "  journal: %s\n" m)
+      scan.Store.problems;
+    List.iter
+      (fun ((exp, v, scale, env), (ok, fl)) ->
+        Printf.printf "  %-4s v%d %-5s %-6s %d ok%s\n" exp v scale env ok
+          (if fl > 0 then Printf.sprintf ", %d failed" fl else ""))
+      (per_group scan.Store.good);
+    match Store.read_last_run ~dir with
+    | Some (h, m, f) ->
+      let total = h + m in
+      let pct = if total = 0 then 0.0 else 100.0 *. float_of_int h /. float_of_int total in
+      Printf.printf "last run: hits=%d misses=%d failed=%d (%.1f%% hits)\n" h m f pct
+    | None -> ()
+  end
 
 let run_store_gc dir =
   let s = Store.open_ dir in
   let live = Rn_harness.All.versions in
-  let env = Rn_sim.Engine.semantics_digest in
+  (* Must match the env the harness keys cells under (payload-format
+     tag included), or gc would prune every live record. *)
+  let env = Rn_harness.Harness.cell_env in
   let keep (r : Store.record_) =
     r.key.env = env
     && List.exists (fun (id, v) -> id = r.key.exp && v = r.key.code_version) live
@@ -324,6 +610,9 @@ let run_store_verify dir =
     exit 1
   end
 
+let store_json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
 let store_cmd =
   let sub name doc f =
     Cmd.v (Cmd.info name ~doc) Term.(const f $ store_dir_pos)
@@ -331,7 +620,10 @@ let store_cmd =
   Cmd.group
     (Cmd.info "store" ~doc:"Inspect and maintain the experiment result store.")
     [
-      sub "stats" "Record counts per experiment/version and last-run hit rates." run_store_stats;
+      Cmd.v
+        (Cmd.info "stats"
+           ~doc:"Record counts per experiment/version and last-run hit rates.")
+        Term.(const run_store_stats $ store_dir_pos $ store_json_arg);
       sub "gc" "Prune records with a stale code_version or engine digest." run_store_gc;
       sub "verify" "Re-hash every journal record and check integrity." run_store_verify;
     ]
@@ -473,7 +765,7 @@ let main =
        ~doc:"Dual graph radio network algorithms (Censor-Hillel et al., PODC 2011).")
     [
       mis_cmd; ccds_cmd; bridge_cmd; experiment_cmd; list_cmd; figures_cmd; broadcast_cmd;
-      repair_cmd; scenario_cmd; store_cmd;
+      repair_cmd; scenario_cmd; store_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main)

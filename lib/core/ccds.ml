@@ -219,7 +219,7 @@ let body ?(on_decide = fun _ -> ()) (params : Params.t) ctx =
 
 (* Standalone runner: processes output their CCDS membership. *)
 let run ?(params = Params.default) ?(adversary = Rn_sim.Adversary.silent)
-    ?(seed = 0) ?b_bits ~detector dual =
+    ?(seed = 0) ?b_bits ?sink ~detector dual =
   Params.validate params;
-  let cfg = R.config ~adversary ~seed ?b_bits ~detector dual in
+  let cfg = R.config ~adversary ~seed ?b_bits ?sink ~detector dual in
   R.run cfg (fun ctx -> body ~on_decide:(fun v -> R.output ctx v) params ctx)

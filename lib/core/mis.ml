@@ -121,7 +121,7 @@ let body ?(filter = Radio.recv_from_detector) ?(label_lds = false)
 (* Standalone runner: processes output 1 on joining and 0 on learning of a
    detector-neighbour in the MIS. *)
 let run ?(params = Params.default) ?(adversary = Rn_sim.Adversary.silent)
-    ?(seed = 0) ?b_bits ~detector dual =
+    ?(seed = 0) ?b_bits ?sink ~detector dual =
   Params.validate params;
-  let cfg = R.config ~adversary ~seed ?b_bits ~detector dual in
+  let cfg = R.config ~adversary ~seed ?b_bits ?sink ~detector dual in
   R.run cfg (fun ctx -> body ~on_decide:(fun v -> R.output ctx v) params ctx)

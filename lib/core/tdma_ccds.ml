@@ -189,7 +189,7 @@ let body ?(on_decide = fun _ -> ()) (_params : Params.t) ctx =
   }
 
 let run ?(params = Params.default) ?(adversary = Rn_sim.Adversary.silent)
-    ?(seed = 0) ?b_bits ~detector dual =
+    ?(seed = 0) ?b_bits ?sink ~detector dual =
   Params.validate params;
-  let cfg = R.config ~adversary ~seed ?b_bits ~detector dual in
+  let cfg = R.config ~adversary ~seed ?b_bits ?sink ~detector dual in
   R.run cfg (fun ctx -> body ~on_decide:(fun v -> R.output ctx v) params ctx)

@@ -20,6 +20,7 @@ val run :
   ?adversary:Rn_sim.Adversary.t ->
   ?seed:int ->
   ?b_bits:int ->
+  ?sink:Rn_sim.Events.sink ->
   detector:Rn_detect.Detector.dynamic ->
   Rn_graph.Dual.t ->
   outcome Radio.result

@@ -6,6 +6,8 @@ module Rng = Rn_util.Rng
 module Table = Rn_util.Table
 module Stats = Rn_util.Stats
 module Fit = Rn_util.Fit
+module Metrics = Rn_util.Metrics
+module Timing = Rn_util.Timing
 module Gen = Rn_graph.Gen
 module Dual = Rn_graph.Dual
 module Detector = Rn_detect.Detector
@@ -62,19 +64,46 @@ let set_store ?(retry = 0) ?timeout store =
 
 let clear_store () = store_cfg := None
 
-(* Cumulative cache statistics for the current process (atomic: cells
-   run on Pool worker domains). *)
-let store_hits = Atomic.make 0
-let store_misses = Atomic.make 0
-let store_failures = Atomic.make 0
+(* Cumulative cache statistics for the current process, expressed as
+   registry counters so they flow through the same snapshot/merge/export
+   pipeline as everything else.  Metrics cells are atomic, so recording
+   from Pool worker domains is safe; recording is unconditional (these
+   counters predate the registry and the CLI always reports them). *)
+let m_store_hits = Metrics.counter "store.hits"
+let m_store_misses = Metrics.counter "store.misses"
+let m_store_failures = Metrics.counter "store.failures"
 
 let reset_store_counters () =
-  Atomic.set store_hits 0;
-  Atomic.set store_misses 0;
-  Atomic.set store_failures 0
+  Metrics.reset_counter m_store_hits;
+  Metrics.reset_counter m_store_misses;
+  Metrics.reset_counter m_store_failures
 
 let store_counters () =
-  (Atomic.get store_hits, Atomic.get store_misses, Atomic.get store_failures)
+  (Metrics.value m_store_hits, Metrics.value m_store_misses, Metrics.value m_store_failures)
+
+(* Store cache-key environment: the engine semantics digest plus a
+   payload-format tag.  Since the observability PR a cell payload is a
+   Marshal'ed (result, metrics snapshot) pair, not a bare result; the
+   "+obs1" tag keeps cells cached under the old format from being
+   replayed into the new decoder.  [rn_cli store gc] must use the same
+   value. *)
+let cell_env = Rn_sim.Engine.semantics_digest ^ "+obs1"
+
+(* Wall time of freshly computed (non-cached) cells, for the nightly
+   "trace the slowest cells" report. *)
+let cell_times : (string * float) list ref = ref []
+let cell_times_lock = Mutex.create ()
+
+let note_cell_time label secs =
+  Mutex.protect cell_times_lock (fun () -> cell_times := (label, secs) :: !cell_times)
+
+let slowest_cells ?(k = 10) () =
+  Mutex.protect cell_times_lock (fun () ->
+      List.filteri
+        (fun i _ -> i < k)
+        (List.sort (fun (_, a) (_, b) -> compare (b : float) a) !cell_times))
+
+let reset_cell_times () = Mutex.protect cell_times_lock (fun () -> cell_times := [])
 
 (* Per-experiment key context, set by the registry wrapper in [All]
    before the experiment function runs.  [batch] numbers the successive
@@ -88,6 +117,34 @@ let batch = ref 0
 let begin_experiment ~id ~scale ~version =
   exp_ctx := Some (id, scale_name scale, version);
   batch := 0
+
+(* Per-experiment metrics: each cell's scoped snapshot is merged into
+   its experiment's aggregate, both on compute and on cache replay (the
+   snapshot rides in the store payload, so a warm sweep reports the same
+   metrics as the cold one that populated it). *)
+let exp_metrics : (string, Metrics.snapshot) Hashtbl.t = Hashtbl.create 16
+let exp_metrics_lock = Mutex.create ()
+
+(* Takes the experiment id explicitly rather than reading [exp_ctx]:
+   this runs on Pool worker domains, where only values captured before
+   the map started are safe to read. *)
+let record_exp_metrics ~exp snap =
+  Mutex.protect exp_metrics_lock (fun () ->
+      let cur =
+        match Hashtbl.find_opt exp_metrics exp with
+        | Some s -> s
+        | None -> Metrics.of_counters []
+      in
+      Hashtbl.replace exp_metrics exp (Metrics.merge cur snap))
+
+(* Aggregated per-experiment metrics, sorted by experiment id. *)
+let experiment_metrics () =
+  Mutex.protect exp_metrics_lock (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) exp_metrics []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let reset_experiment_metrics () =
+  Mutex.protect exp_metrics_lock (fun () -> Hashtbl.reset exp_metrics)
 
 exception Cell_failed of { exp : string; failed : int; total : int }
 exception Cell_timeout of float
@@ -113,10 +170,14 @@ let compute_cell cfg f c =
   in
   attempt 0
 
+(* Each cell's gauge for its own wall time; captured into the cell's
+   scoped snapshot, so per-experiment aggregates carry a max cell time. *)
+let m_cell_us = Metrics.gauge "cell.us"
+
 let run_cells_cached cfg (exp, scale, version) ~jobs:j f cells =
   let b = !batch in
   incr batch;
-  let env = Rn_sim.Engine.semantics_digest in
+  let env = cell_env in
   let key i =
     {
       Store.exp;
@@ -130,16 +191,31 @@ let run_cells_cached cfg (exp, scale, version) ~jobs:j f cells =
     let k = key i in
     match Store.find cfg.store k with
     | Some payload ->
-      Atomic.incr store_hits;
-      Ok (Marshal.from_string payload 0)
+      Metrics.incr m_store_hits;
+      let v, (snap : Metrics.snapshot) = Marshal.from_string payload 0 in
+      record_exp_metrics ~exp snap;
+      Ok v
     | None -> (
-      match compute_cell cfg f c with
+      (* Scoped: the snapshot holds exactly what this cell recorded on
+         this domain, independent of what other cells do concurrently —
+         so the payload is deterministic at any [--jobs]. *)
+      let (result, dt), snap =
+        Metrics.scoped (fun () ->
+            let t0 = Timing.now () in
+            let r = compute_cell cfg f c in
+            let dt = Timing.now () -. t0 in
+            Metrics.set m_cell_us (int_of_float (dt *. 1e6));
+            (r, dt))
+      in
+      match result with
       | Ok v ->
-        Atomic.incr store_misses;
-        Store.put cfg.store k Store.Done (Marshal.to_string v []);
+        Metrics.incr m_store_misses;
+        note_cell_time (Printf.sprintf "%s/%s/%s" exp scale k.Store.coord) dt;
+        record_exp_metrics ~exp snap;
+        Store.put cfg.store k Store.Done (Marshal.to_string (v, snap) []);
         Ok v
       | Error msg ->
-        Atomic.incr store_failures;
+        Metrics.incr m_store_failures;
         Store.put cfg.store k Store.Failed msg;
         Error msg)
   in
@@ -156,7 +232,19 @@ let run_cells ?jobs f cells =
   let j = match jobs with Some j -> j | None -> !default_jobs in
   match (!store_cfg, !exp_ctx) with
   | Some cfg, Some ctx -> run_cells_cached cfg ctx ~jobs:j f cells
-  | _ -> Rn_util.Pool.map ~jobs:j f cells
+  | _ -> (
+    (* No store: still feed per-experiment metrics when the registry is
+       on and we know which experiment is running ([--metrics] without
+       [--no-cache] goes through the cached path above). *)
+    match !exp_ctx with
+    | Some (exp, _, _) when Metrics.enabled () ->
+      Rn_util.Pool.map ~jobs:j
+        (fun c ->
+          let v, snap = Metrics.scoped (fun () -> f c) in
+          record_exp_metrics ~exp snap;
+          v)
+        cells
+    | _ -> Rn_util.Pool.map ~jobs:j f cells)
 
 (* [run_reps scale f] runs [f rep] for [rep = 1 .. reps scale] and returns
    the results in rep order. *)

@@ -41,9 +41,26 @@
 module Bitset = Rn_util.Bitset
 module Rng = Rn_util.Rng
 module Timing = Rn_util.Timing
+module Metrics = Rn_util.Metrics
 module Graph = Rn_graph.Graph
 module Dual = Rn_graph.Dual
 module Detector = Rn_detect.Detector
+
+(* Engine-level metrics, recorded at the end of each [run] when the
+   registry is enabled ([Metrics.enabled] is sampled once per run, like
+   [Timing.enabled], so a disabled registry costs one atomic read per
+   simulation).  Registration is idempotent, so these module-level
+   handles are shared by every [Make] instantiation. *)
+let m_runs = Metrics.counter "engine.runs"
+let m_rounds = Metrics.counter "engine.rounds"
+let m_sends = Metrics.counter "engine.sends"
+let m_deliveries = Metrics.counter "engine.deliveries"
+let m_collisions = Metrics.counter "engine.collisions"
+let m_bits_sent = Metrics.counter "engine.bits_sent"
+let m_silent_rounds = Metrics.counter "engine.silent_rounds"
+let m_timeouts = Metrics.counter "engine.timeouts"
+let m_round_bcast = Metrics.histogram "engine.round_broadcasters"
+let m_run_rounds = Metrics.histogram "engine.run_rounds"
 
 module type MESSAGE = sig
   type t
@@ -102,14 +119,15 @@ module Make (M : MESSAGE) = struct
     stop : stop_condition;
     max_rounds : int;
     observer : (view -> unit) option;
+    sink : Events.sink option; (* structured event trace destination *)
   }
 
   let config ?(adversary = Adversary.silent) ?(seed = 0) ?b_bits ?(delta_bound = 0)
-      ?wake ?(stop = All_done) ?(max_rounds = 2_000_000) ?observer ~detector dual =
+      ?wake ?(stop = All_done) ?(max_rounds = 2_000_000) ?observer ?sink ~detector dual =
     let delta_bound =
       if delta_bound > 0 then delta_bound else Dual.max_degree_g dual
     in
-    { dual; detector; adversary; seed; b_bits; delta_bound; wake; stop; max_rounds; observer }
+    { dual; detector; adversary; seed; b_bits; delta_bound; wake; stop; max_rounds; observer; sink }
 
   type ctx = {
     me : int;
@@ -208,6 +226,15 @@ module Make (M : MESSAGE) = struct
     let bits_sent = ref 0 and silent_rounds = ref 0 in
     let n_finished = ref 0 and n_decided = ref 0 in
     let current_detector = detector_query cfg.detector round_counter in
+    (* Event tracing: sampled once per run.  [emit] only ever appends to
+       the sink's ring buffer — it reads no RNG and mutates no engine
+       state, so a traced run is byte-identical to an untraced one. *)
+    let tracing, emit =
+      match cfg.sink with
+      | Some s -> (true, fun e -> Events.emit s e)
+      | None -> (false, fun (_ : Events.event) -> ())
+    in
+    let met = Metrics.enabled () in
     let mk_ctx v =
       {
         me = v;
@@ -227,7 +254,9 @@ module Make (M : MESSAGE) = struct
             | None ->
               outputs.(v) <- Some value;
               decided.(v) <- Some !round_counter;
-              incr n_decided);
+              incr n_decided;
+              if tracing then
+                emit { Events.round = !round_counter; proc = v; kind = Decide { value } });
       }
     in
     (* Live worklist: [active.(0 .. n_active-1)] are the fibers holding a
@@ -345,17 +374,19 @@ module Make (M : MESSAGE) = struct
        they are consumed by the resume phase). *)
     let receives = Array.make nn Silence in
     let g = Dual.g dual in
+    (* Returns the encoded size so the broadcast event can carry it. *)
     let validate_send v =
       incr sends_total;
       let m = match sends.(v) with Some m -> m | None -> assert false in
       let sz = M.size_bits ~n:nn m in
       bits_sent := !bits_sent + sz;
-      match cfg.b_bits with
+      (match cfg.b_bits with
       | Some b when sz > b ->
         invalid_arg
           (Format.asprintf "Engine: process %d sent %d bits > b=%d in round %d: %a" v sz b
              !round_counter M.pp m)
-      | _ -> ()
+      | _ -> ());
+      sz
     in
     let stop_now () =
       match cfg.stop with
@@ -388,7 +419,9 @@ module Make (M : MESSAGE) = struct
              let skipped = target - !round_counter in
              silent_rounds := !silent_rounds + skipped;
              ff_skipped := !ff_skipped + skipped;
-             round_counter := target
+             round_counter := target;
+             if tracing then
+               emit { Events.round = target; proc = -1; kind = Skip { rounds = skipped } }
            end
          end;
          if not (stop_now ()) then begin
@@ -406,6 +439,7 @@ module Make (M : MESSAGE) = struct
            while !wake_ptr < nn && wake.(wake_order.(!wake_ptr)) = r do
              let v = wake_order.(!wake_ptr) in
              incr wake_ptr;
+             if tracing then emit { Events.round = r; proc = v; kind = Wake };
              start v
            done;
            if !n_joining > 0 then begin
@@ -432,7 +466,12 @@ module Make (M : MESSAGE) = struct
                a
              end
            in
-           Array.iter validate_send broadcasters;
+           Array.iter
+             (fun v ->
+               let sz = validate_send v in
+               if tracing then emit { Events.round = r; proc = v; kind = Broadcast { bits = sz } })
+             broadcasters;
+           if met then Metrics.observe m_round_bcast !n_bcast;
            p_stop Timing.Collect;
            if !n_bcast = 0 then incr silent_rounds
            else begin
@@ -442,6 +481,18 @@ module Make (M : MESSAGE) = struct
              Bitset.clear gray_active;
              Rng.derive_into adv_rng ~parent:adv_root r;
              Adversary.choose cfg.adversary ~round:r ~broadcasters dual adv_rng gray_active;
+             if tracing then
+               emit
+                 {
+                   Events.round = r;
+                   proc = -1;
+                   kind =
+                     Gray
+                       {
+                         active = Bitset.cardinal gray_active;
+                         total = Dual.gray_count dual;
+                       };
+                 };
              p_stop Timing.Adversary;
              (* 4. Deliveries along E plus activated gray edges. *)
              p_start ();
@@ -463,13 +514,28 @@ module Make (M : MESSAGE) = struct
                       (match sends.(recv_from.(v)) with
                       | Some m -> receives.(v) <- Recv m
                       | None -> assert false);
-                      incr deliveries
+                      incr deliveries;
+                      if tracing then
+                        emit { Events.round = r; proc = v; kind = Deliver { src = recv_from.(v) } }
                     end
-                    else incr collisions
+                    else begin
+                      incr collisions;
+                      if tracing then
+                        emit { Events.round = r; proc = v; kind = Collide { senders = recv_count.(v) } }
+                    end
                   | Idling _ ->
                     (* Parked listeners discard the message, but the
                        delivery (or collision) still happened. *)
-                    if recv_count.(v) = 1 then incr deliveries else incr collisions
+                    if recv_count.(v) = 1 then begin
+                      incr deliveries;
+                      if tracing then
+                        emit { Events.round = r; proc = v; kind = Deliver { src = recv_from.(v) } }
+                    end
+                    else begin
+                      incr collisions;
+                      if tracing then
+                        emit { Events.round = r; proc = v; kind = Collide { senders = recv_count.(v) } }
+                    end
                   | No_fiber -> ());
                recv_count.(v) <- 0;
                recv_from.(v) <- -1
@@ -522,6 +588,17 @@ module Make (M : MESSAGE) = struct
       Timing.add_rounds (!round_counter - !ff_skipped);
       Timing.add_silent_skipped !ff_skipped
     end;
+    if met then begin
+      Metrics.incr m_runs;
+      Metrics.add m_rounds !round_counter;
+      Metrics.add m_sends !sends_total;
+      Metrics.add m_deliveries !deliveries;
+      Metrics.add m_collisions !collisions;
+      Metrics.add m_bits_sent !bits_sent;
+      Metrics.add m_silent_rounds !silent_rounds;
+      if !timed_out then Metrics.incr m_timeouts;
+      Metrics.observe m_run_rounds !round_counter
+    end;
     {
       outputs;
       returns;
@@ -544,7 +621,13 @@ module Make (M : MESSAGE) = struct
      (its per-round derived draws in broadcaster-free rounds are discarded,
      which is exactly the invariant that makes [run]'s skip sound).  Kept
      as the differential-testing oracle for [run]; see
-     test/test_engine_equiv.ml. *)
+     test/test_engine_equiv.ml.
+
+     [cfg.sink] is ignored here on purpose: event emission is untestable
+     by differencing (it is defined as having no observable effect on the
+     result), and keeping the oracle free of instrumentation means the
+     equivalence tests also certify that tracing never leaks into [run]'s
+     semantics. *)
   let run_reference cfg body =
     let dual = cfg.dual in
     let nn = Dual.n dual in

@@ -65,11 +65,14 @@ module Make (M : MESSAGE) : sig
     stop : stop_condition;
     max_rounds : int;
     observer : (view -> unit) option;
+    sink : Events.sink option;
+        (** structured event trace destination; emission has no
+            observable effect on the run ({!run_reference} ignores it) *)
   }
 
   (** Build a config with sensible defaults: silent adversary, seed 0,
       [delta_bound] defaulting to the true max degree of [G], synchronous
-      wake-up, stop at [All_done], 2M-round safety cap. *)
+      wake-up, stop at [All_done], 2M-round safety cap, no tracing. *)
   val config :
     ?adversary:Adversary.t ->
     ?seed:int ->
@@ -79,6 +82,7 @@ module Make (M : MESSAGE) : sig
     ?stop:stop_condition ->
     ?max_rounds:int ->
     ?observer:(view -> unit) ->
+    ?sink:Events.sink ->
     detector:Rn_detect.Detector.dynamic ->
     Rn_graph.Dual.t ->
     config
@@ -139,7 +143,14 @@ module Make (M : MESSAGE) : sig
       RNG is derived per round from the seed, which is what makes the skip
       sound.  If the detector declares [stabilizes_at], queries after the
       stabilisation round are served from a cache — detectors whose [at]
-      violates the declared stabilisation get the cached value.  *)
+      violates the declared stabilisation get the cached value.
+
+      When [config.sink] is set, one {!Events.event} is emitted per wake,
+      broadcast, delivery, collision, gray-edge resolution, first
+      decision, and fast-forward jump.  Emission reads no RNG and mutates
+      no engine state, so the result is byte-identical to an untraced
+      run.  When {!Rn_util.Metrics.enabled} (sampled once per run),
+      engine-level [engine.*] counters and histograms are recorded. *)
   val run : config -> (ctx -> 'a) -> 'a result
 
   (** Straightforward O(n)-scans-per-round implementation of exactly the

@@ -1,0 +1,362 @@
+(* Structured per-round event records.
+
+   The engine emits one [event] per observable micro-step of a round —
+   wake, broadcast, delivery, collision, the adversary's gray-edge
+   resolution, a process's first decision, and fast-forwarded silent
+   stretches — into a bounded ring buffer ([sink]).  Emission never
+   touches the engine's RNG or control flow, so a traced run is
+   byte-identical to an untraced one (test_metrics proves this by
+   qcheck).
+
+   The sink is deliberately bounded: a hot run emits O(sends +
+   deliveries) events, so the ring keeps the newest [capacity] events
+   and counts evictions instead of growing without limit.  Round-range
+   and process filters plus round sampling cut volume at the source.
+
+   Three export formats, each with a parser so traces round-trip:
+
+   - JSONL: one self-contained object per line, greppable, streams.
+   - Chrome trace-event JSON: loadable in Perfetto / chrome://tracing;
+     one track (tid) per process, round-scoped events on their own
+     process row; [ts] is round * 10 us.
+   - sexp: matches the repo's scenario tooling.
+
+   The JSON "parsers" here only read what the exporters write (flat
+   objects, int fields, one line per event) — they are codecs for our
+   own files, not general JSON. *)
+
+module Sexp = Rn_util.Sexp
+
+type kind =
+  | Wake
+  | Broadcast of { bits : int }
+  | Deliver of { src : int }
+  | Collide of { senders : int }
+  | Gray of { active : int; total : int }
+  | Decide of { value : int }
+  | Skip of { rounds : int }
+
+(* [proc] is the process id, or -1 for round-scoped events (gray-edge
+   resolution, fast-forward skips). *)
+type event = { round : int; proc : int; kind : kind }
+
+let kind_name = function
+  | Wake -> "wake"
+  | Broadcast _ -> "broadcast"
+  | Deliver _ -> "deliver"
+  | Collide _ -> "collide"
+  | Gray _ -> "gray"
+  | Decide _ -> "decide"
+  | Skip _ -> "skip"
+
+(* --- the ring-buffer sink --- *)
+
+type sink = {
+  cap : int;
+  buf : event array;
+  mutable start : int; (* index of the oldest event *)
+  mutable len : int;
+  round_lo : int;
+  round_hi : int;
+  procs : int list option;
+  sample : int;
+  mutable emitted : int; (* accepted into the ring *)
+  mutable evicted : int; (* overwritten oldest events *)
+  mutable filtered : int; (* rejected by filters/sampling *)
+}
+
+let dummy = { round = 0; proc = -1; kind = Wake }
+
+let create ?(capacity = 65536) ?rounds ?procs ?(sample = 1) () =
+  if capacity < 1 then invalid_arg "Events.create: capacity < 1";
+  if sample < 1 then invalid_arg "Events.create: sample < 1";
+  let round_lo, round_hi = match rounds with Some (a, b) -> (a, b) | None -> (min_int, max_int) in
+  {
+    cap = capacity;
+    buf = Array.make capacity dummy;
+    start = 0;
+    len = 0;
+    round_lo;
+    round_hi;
+    procs;
+    sample;
+    emitted = 0;
+    evicted = 0;
+    filtered = 0;
+  }
+
+let keep t e =
+  e.round >= t.round_lo
+  && e.round <= t.round_hi
+  && (t.sample = 1 || e.round mod t.sample = 0)
+  && match t.procs with Some ps when e.proc >= 0 -> List.mem e.proc ps | _ -> true
+
+let emit t e =
+  if keep t e then begin
+    t.buf.((t.start + t.len) mod t.cap) <- e;
+    if t.len = t.cap then begin
+      t.start <- (t.start + 1) mod t.cap;
+      t.evicted <- t.evicted + 1
+    end
+    else t.len <- t.len + 1;
+    t.emitted <- t.emitted + 1
+  end
+  else t.filtered <- t.filtered + 1
+
+let events t = List.init t.len (fun i -> t.buf.((t.start + i) mod t.cap))
+let length t = t.len
+let emitted t = t.emitted
+let evicted t = t.evicted
+let filtered t = t.filtered
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.emitted <- 0;
+  t.evicted <- 0;
+  t.filtered <- 0
+
+(* --- JSONL --- *)
+
+let extras_of_kind = function
+  | Wake -> []
+  | Broadcast { bits } -> [ ("bits", bits) ]
+  | Deliver { src } -> [ ("src", src) ]
+  | Collide { senders } -> [ ("senders", senders) ]
+  | Gray { active; total } -> [ ("active", active); ("total", total) ]
+  | Decide { value } -> [ ("value", value) ]
+  | Skip { rounds } -> [ ("rounds", rounds) ]
+
+let kind_of_fields name field =
+  match name with
+  | "wake" -> Wake
+  | "broadcast" -> Broadcast { bits = field "bits" }
+  | "deliver" -> Deliver { src = field "src" }
+  | "collide" -> Collide { senders = field "senders" }
+  | "gray" -> Gray { active = field "active"; total = field "total" }
+  | "decide" -> Decide { value = field "value" }
+  | "skip" -> Skip { rounds = field "rounds" }
+  | k -> failwith (Printf.sprintf "Events: unknown event kind %S" k)
+
+let jsonl_of_event e =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf {|{"round":%d,"proc":%d,"kind":"%s"|} e.round e.proc (kind_name e.kind));
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf {|,"%s":%d|} k v)) (extras_of_kind e.kind);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let to_jsonl evs =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (jsonl_of_event e);
+      Buffer.add_char b '\n')
+    evs;
+  Buffer.contents b
+
+(* Extract ["key": 123] from a line of our own JSON output. *)
+let int_field line key =
+  let pat = Printf.sprintf {|"%s":|} key in
+  match
+    let rec find i =
+      if i + String.length pat > String.length line then None
+      else if String.sub line i (String.length pat) = pat then Some (i + String.length pat)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some i ->
+    let j = ref i in
+    if !j < String.length line && line.[!j] = '-' then Stdlib.incr j;
+    while !j < String.length line && line.[!j] >= '0' && line.[!j] <= '9' do
+      Stdlib.incr j
+    done;
+    if !j = i then None else int_of_string_opt (String.sub line i (!j - i))
+
+let str_field line key =
+  let pat = Printf.sprintf {|"%s":"|} key in
+  let rec find i =
+    if i + String.length pat > String.length line then None
+    else if String.sub line i (String.length pat) = pat then Some (i + String.length pat)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> (
+    match String.index_from_opt line i '"' with
+    | None -> None
+    | Some j -> Some (String.sub line i (j - i)))
+
+let fail_line line = failwith (Printf.sprintf "Events: malformed event line %S" line)
+
+let event_of_json_line line =
+  let field k =
+    match int_field line k with Some v -> v | None -> fail_line line
+  in
+  match (str_field line "kind", int_field line "round", int_field line "proc") with
+  | Some kind, Some round, Some proc -> { round; proc; kind = kind_of_fields kind field }
+  | _ -> fail_line line
+
+let of_jsonl s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map event_of_json_line
+
+(* --- Chrome trace-event JSON (Perfetto / chrome://tracing) --- *)
+
+(* One simulated round is 10 us of trace time; broadcasts render as 8 us
+   slices so they are visible, everything else as instants. *)
+let chrome_ts round = (round - 1) * 10
+
+let chrome_of_event e =
+  let name = kind_name e.kind in
+  let pid, tid = if e.proc < 0 then (1, 0) else (0, e.proc) in
+  let args =
+    String.concat ","
+      (Printf.sprintf {|"round":%d|} e.round
+      :: Printf.sprintf {|"proc":%d|} e.proc
+      :: List.map (fun (k, v) -> Printf.sprintf {|"%s":%d|} k v) (extras_of_kind e.kind))
+  in
+  match e.kind with
+  | Broadcast _ ->
+    Printf.sprintf
+      {|{"name":"%s","cat":"rn","ph":"X","ts":%d,"dur":8,"pid":%d,"tid":%d,"args":{%s}}|}
+      name (chrome_ts e.round) pid tid args
+  | _ ->
+    Printf.sprintf
+      {|{"name":"%s","cat":"rn","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{%s}}|}
+      name (chrome_ts e.round) pid tid args
+
+let to_chrome evs =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b {|{"displayTimeUnit":"ms","traceEvents":[|};
+  Buffer.add_char b '\n';
+  (* Track-name metadata: one named thread per process seen, plus the
+     round-scoped track. *)
+  let procs = List.sort_uniq compare (List.filter_map (fun e -> if e.proc >= 0 then Some e.proc else None) evs) in
+  let meta =
+    Printf.sprintf {|{"name":"process_name","ph":"M","pid":0,"args":{"name":"processes"}}|}
+    :: Printf.sprintf {|{"name":"process_name","ph":"M","pid":1,"args":{"name":"round"}}|}
+    :: Printf.sprintf {|{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"adversary/engine"}}|}
+    :: List.map
+         (fun p ->
+           Printf.sprintf {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"proc %d"}}|} p p)
+         procs
+  in
+  let lines = meta @ List.map chrome_of_event evs in
+  List.iteri
+    (fun i l ->
+      Buffer.add_string b l;
+      if i < List.length lines - 1 then Buffer.add_char b ',';
+      Buffer.add_char b '\n')
+    lines;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+(* Chrome lines name the kind via "name" and carry round/proc (plus the
+   kind's extra fields) in "args"; field extraction works on the whole
+   line since keys don't collide. *)
+let event_of_chrome_line line =
+  let field k =
+    match int_field line k with Some v -> v | None -> fail_line line
+  in
+  match (str_field line "name", int_field line "round", int_field line "proc") with
+  | Some kind, Some round, Some proc -> { round; proc; kind = kind_of_fields kind field }
+  | _ -> fail_line line
+
+let of_chrome s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l ->
+         (* keep only real event lines; skip metadata and the wrapper *)
+         let has sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length l && (String.sub l i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has {|"cat":"rn"|})
+  |> List.map event_of_chrome_line
+
+(* --- sexp --- *)
+
+let sexp_of_event e =
+  let entry k v = Sexp.List [ Sexp.Atom k; Sexp.Atom (string_of_int v) ] in
+  Sexp.List
+    (entry "round" e.round :: entry "proc" e.proc
+    :: Sexp.List [ Sexp.Atom "kind"; Sexp.Atom (kind_name e.kind) ]
+    :: List.map (fun (k, v) -> entry k v) (extras_of_kind e.kind))
+
+let to_sexp evs =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "(events";
+  List.iter
+    (fun e ->
+      Buffer.add_string b "\n ";
+      Buffer.add_string b (Sexp.to_string (sexp_of_event e)))
+    evs;
+  Buffer.add_string b ")\n";
+  Buffer.contents b
+
+let event_of_sexp sx =
+  let fail () = failwith "Events: malformed event sexp" in
+  let entries = match sx with Sexp.List l -> l | Sexp.Atom _ -> fail () in
+  let lookup k =
+    List.find_map
+      (function Sexp.List [ Sexp.Atom k'; v ] when k' = k -> Some v | _ -> None)
+      entries
+  in
+  let int_f k = match lookup k with Some v -> (match Sexp.as_int v with Some i -> i | None -> fail ()) | None -> fail () in
+  let kind = match lookup "kind" with Some (Sexp.Atom k) -> k | _ -> fail () in
+  { round = int_f "round"; proc = int_f "proc"; kind = kind_of_fields kind int_f }
+
+let of_sexp s =
+  match Sexp.parse_string s with
+  | Sexp.List (Sexp.Atom "events" :: evs) -> List.map event_of_sexp evs
+  | _ -> failwith "Events: expected an (events ...) sexp"
+
+(* --- format dispatch --- *)
+
+type format = Jsonl | Chrome | Sexp_format
+
+let format_name = function Jsonl -> "jsonl" | Chrome -> "chrome" | Sexp_format -> "sexp"
+
+let export format evs =
+  match format with Jsonl -> to_jsonl evs | Chrome -> to_chrome evs | Sexp_format -> to_sexp evs
+
+(* Sniff which of the three exporters produced a file. *)
+let detect_format s =
+  let rec first_non_ws i =
+    if i >= String.length s then None
+    else match s.[i] with ' ' | '\t' | '\n' | '\r' -> first_non_ws (i + 1) | c -> Some c
+  in
+  match first_non_ws 0 with
+  | Some '(' -> Sexp_format
+  | Some '{' ->
+    let head = String.sub s 0 (min 200 (String.length s)) in
+    let has sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length head && (String.sub head i n = sub || go (i + 1)) in
+      go 0
+    in
+    if has "traceEvents" then Chrome else Jsonl
+  | _ -> Jsonl
+
+let of_string s =
+  match detect_format s with
+  | Jsonl -> of_jsonl s
+  | Chrome -> of_chrome s
+  | Sexp_format -> of_sexp s
+
+let pp_event ppf e =
+  Format.fprintf ppf "r%d %s" e.round
+    (if e.proc >= 0 then Printf.sprintf "p%d %s" e.proc (kind_name e.kind) else kind_name e.kind);
+  match e.kind with
+  | Wake -> ()
+  | Broadcast { bits } -> Format.fprintf ppf " bits=%d" bits
+  | Deliver { src } -> Format.fprintf ppf " from=%d" src
+  | Collide { senders } -> Format.fprintf ppf " senders=%d" senders
+  | Gray { active; total } -> Format.fprintf ppf " %d/%d gray edges reliable" active total
+  | Decide { value } -> Format.fprintf ppf " value=%d" value
+  | Skip { rounds } -> Format.fprintf ppf " fast-forwarded %d silent rounds" rounds

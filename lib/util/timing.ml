@@ -35,7 +35,12 @@ let add_float a x =
   in
   go ()
 
-let now () = Unix.gettimeofday ()
+(* Monotonic clock (CLOCK_MONOTONIC via the C stub): immune to the NTP
+   slews and wall-clock jumps that gettimeofday is subject to, and the
+   same clock family bench has used since PR 2. *)
+external monotonic_ns : unit -> int64 = "rn_monotonic_ns"
+
+let now () = Int64.to_float (monotonic_ns ()) /. 1e9
 
 let record sec dt =
   let i = index sec in
@@ -64,6 +69,18 @@ let snapshot () =
     rounds = Atomic.get rounds_total;
     silent = Atomic.get silent_skipped;
   }
+
+(* Fold the section profile into the metrics snapshot format, so one
+   aggregation path (merge/sexp/tables) serves both layers.  Seconds
+   become integer nanoseconds: metrics values are exact ints. *)
+let metrics_snapshot () =
+  let s = snapshot () in
+  let ns t = int_of_float (t *. 1e9) in
+  Metrics.of_counters
+    (List.concat_map
+       (fun (l, n, t) -> [ ("timing." ^ l ^ ".entries", n); ("timing." ^ l ^ ".ns", ns t) ])
+       s.sections
+    @ [ ("timing.rounds", s.rounds); ("timing.silent_skipped", s.silent) ])
 
 let pp_report ppf s =
   let open Format in

@@ -4,9 +4,9 @@
     domains.  Disabled by default: the engine samples [enabled] once per
     [run], so the instrumentation is free unless switched on.
 
-    The clock is [Unix.gettimeofday]; differences of nearby samples
-    resolve to roughly a quarter microsecond, which is plenty to tell
-    which phase of the round loop dominates. *)
+    The clock is [CLOCK_MONOTONIC] (nanosecond resolution, immune to
+    NTP slews and wall-clock jumps — the same clock family bench uses),
+    which is plenty to tell which phase of the round loop dominates. *)
 
 type section = Wake | Collect | Adversary | Deliver | Resume
 
@@ -17,7 +17,8 @@ val set_enabled : bool -> unit
 (** Clear all counters. *)
 val reset : unit -> unit
 
-(** Current time in seconds (wall clock). *)
+(** Current time in seconds on the monotonic clock (arbitrary epoch:
+    only differences are meaningful). *)
 val now : unit -> float
 
 (** [record sec dt] adds [dt] seconds and one entry to [sec]. *)
@@ -36,5 +37,12 @@ type snapshot = {
 }
 
 val snapshot : unit -> snapshot
+
+(** The section profile folded into the {!Metrics} snapshot format
+    ([timing.<section>.entries], [timing.<section>.ns],
+    [timing.rounds], [timing.silent_skipped]), so profiler output can
+    be merged and exported through the one metrics pipeline. *)
+val metrics_snapshot : unit -> Metrics.snapshot
+
 val pp_report : Format.formatter -> snapshot -> unit
 val print_report : unit -> unit

@@ -18,6 +18,12 @@
 #
 # Requires only POSIX sh + awk; the JSON is one entry per line by
 # construction (bench/main.ml write_json).
+#
+# The report also carries two tracing-overhead pseudo-experiments,
+# "trace-off" and "trace-on" (the same MIS workload with the event sink
+# and metrics registry off/on), so a regression in the observability
+# hot path trips the same gate as any other experiment.  Baselines
+# predating them are handled by the one-sided skip above.
 
 set -eu
 

@@ -213,7 +213,7 @@ let test_failure_is_resumable () =
         Alcotest.(check int) "total" 3 total);
       (* the failed cell is recorded but not replayable *)
       let k = { Store.exp = "TSTFAIL"; scale = "quick"; coord = "b0.c1";
-                code_version = 1; env = Rn_sim.Engine.semantics_digest } in
+                code_version = 1; env = Harness.cell_env } in
       Alcotest.(check bool) "failure recorded" true (Store.find_failed s k <> None);
       Alcotest.(check bool) "failure is a cache miss" true (Store.find s k = None);
       (* a later run retries only the failed cell *)
