@@ -180,6 +180,67 @@ let trace_overhead () =
     (100.0 *. (t_on -. t_off) /. t_off);
   [ ("trace-off", t_off); ("trace-on", t_on) ]
 
+(* Kernel-path timings, reported as pseudo-experiments so
+   scripts/bench_check.sh gates them against the committed baseline:
+
+     dense-delivery-n4096  a 60-round half-duty workload on a degree-1536
+                           circulant — every round is dense, so this is
+                           the word-parallel delivery kernel end to end;
+     world-gen-n32k        one connected geometric world at n=32768 —
+                           the hash-grid O(n)-expected construction path.
+
+   The committed baselines are the pre-kernel scalar/naive timings, so a
+   regression here means the fast paths stopped engaging. *)
+module Beacon_msg = struct
+  type t = int
+
+  let size_bits ~n:_ _ = 16
+  let pp = Fmt.int
+end
+
+module Beacon_engine = Rn_sim.Engine.Make (Beacon_msg)
+
+let kernel_perf () =
+  let g =
+    (* circulant: node i adjacent to i±1..i±k (mod n); a deterministic
+       dense world that keeps the kernel's density test on *)
+    let n = 4096 and k = 768 in
+    let es = ref [] in
+    for u = 0 to n - 1 do
+      for j = 1 to k do
+        let v = (u + j) mod n in
+        es := (min u v, max u v) :: !es
+      done
+    done;
+    Rn_graph.Graph.of_edges n !es
+  in
+  let dual = Dual.classic g in
+  let det = Detector.static (Detector.perfect g) in
+  let dense () =
+    let cfg =
+      Beacon_engine.config ~seed:7 ~stop:(Rn_sim.Engine.At_round 60) ~detector:det dual
+    in
+    ignore
+      (Beacon_engine.run cfg (fun ctx ->
+           let me = Beacon_engine.me ctx in
+           for _ = 1 to 60 do
+             ignore (Beacon_engine.sync_p ctx 0.5 me)
+           done))
+  in
+  dense () (* warm-up: builds the adjacency-row cache *);
+  let (), t_dense = timed dense in
+  let (), t_gen =
+    timed (fun () ->
+        ignore
+          (Gen.geometric ~rng:(Rng.create 1)
+             (Gen.default_spec ~n:32768
+                ~side:(Gen.side_for_degree ~n:32768 ~target_degree:12)
+                ())))
+  in
+  Printf.printf "--- kernel paths: dense delivery %.3f s, world gen n=32k %.3f s ---\n\n"
+    t_dense t_gen;
+  [ ("dense-delivery-n4096", t_dense); ("world-gen-n32k", t_gen) ]
+
 (* --jobs N: worker domains for the experiment sweeps (default: cores - 1,
    capped).  With jobs > 1 every experiment is run twice — once parallel,
    once sequential — and the wall-clock speedup is reported per
@@ -246,6 +307,7 @@ let () =
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
   let micro = run_microbenches () in
   let trace_entries = trace_overhead () in
+  let kernel_entries = kernel_perf () in
   if profile then Rn_util.Timing.set_enabled true;
   Printf.printf
     "--- experiment suite (%s scale, %d jobs; see DESIGN.md / EXPERIMENTS.md) ---\n\n"
@@ -316,5 +378,6 @@ let () =
   if profile then Rn_util.Timing.print_report ();
   match json_out with
   | Some path ->
-    write_json ~path ~full ~jobs ~micro ~experiments:(trace_entries @ List.rev !wallclocks)
+    write_json ~path ~full ~jobs ~micro
+      ~experiments:(trace_entries @ kernel_entries @ List.rev !wallclocks)
   | None -> ()

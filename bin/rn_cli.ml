@@ -672,6 +672,84 @@ let figures_cmd =
     (Cmd.info "figures" ~doc:"Render the scaling figures (F1-F4) as SVG files.")
     Term.(const run_figures $ out_arg)
 
+(* --- scale command --- *)
+
+let run_scale full out =
+  let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
+  Rn_harness.Harness.print (Rn_harness.Exp_scale.run ?out scale)
+
+let scale_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR" ~doc:"Also write the S1 log-log figure (SVG) into DIR.")
+
+let scale_cmd =
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Wall-clock scaling sweep (S1): world-generation time and beacon-workload \
+          round throughput vs n, with fitted exponents. Quick stops at n=8192; --full \
+          goes to n=65536. Timings are machine-dependent, so this never touches the \
+          result store.")
+    Term.(const run_scale $ full_arg $ scale_out_arg)
+
+(* --- graph command --- *)
+
+let run_graph_stats file =
+  let t0 = Unix.gettimeofday () in
+  let scenario =
+    match Rn_harness.Scenario.parse (Rn_util.Sexp.parse_file file) with
+    | s -> s
+    | exception Rn_harness.Scenario.Scenario_error m ->
+      Printf.eprintf "scenario error: %s\n" m;
+      exit 1
+    | exception Rn_util.Sexp.Parse_error { pos; message } ->
+      Printf.eprintf "parse error at %d: %s\n" pos message;
+      exit 1
+  in
+  let dual = Rn_harness.Scenario.build_network scenario in
+  let build_s = Unix.gettimeofday () -. t0 in
+  let n = Dual.n dual in
+  let g = Dual.g dual and g' = Dual.g' dual in
+  let m = Rn_graph.Graph.edge_count g and m' = Rn_graph.Graph.edge_count g' in
+  let gray = Dual.gray_count dual in
+  Printf.printf "%s: n=%d |E|=%d |E'|=%d gray=%d (%.1f%% of E')\n" file n m m' gray
+    (if m' = 0 then 0.0 else 100.0 *. float_of_int gray /. float_of_int m');
+  Printf.printf "degree: G max=%d mean=%.1f, G' max=%d mean=%.1f\n" (Dual.max_degree_g dual)
+    (if n = 0 then 0.0 else 2.0 *. float_of_int m /. float_of_int n)
+    (Dual.max_degree_g' dual)
+    (if n = 0 then 0.0 else 2.0 *. float_of_int m' /. float_of_int n);
+  (* Power-of-two degree histogram over G, matching the metrics registry's
+     bucket geometry so the shapes are comparable across tools. *)
+  let hist =
+    Rn_util.Metrics.hist_of_values
+      (List.init n (fun v -> Rn_graph.Graph.degree g v))
+  in
+  Printf.printf "G degree histogram (bucket upper bound: count):\n";
+  List.iter (fun (ub, c) -> Printf.printf "  <=%-6d %d\n" ub c) hist.Rn_util.Metrics.buckets;
+  (match Dual.positions dual with
+  | Some _ -> Printf.printf "embedding: geometric, d=%.2f\n" (Dual.d dual)
+  | None -> Printf.printf "embedding: none\n");
+  Printf.printf "build time: %.3fs\n" build_s
+
+let scenario_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Scenario file (.sexp) naming the network to build.")
+
+let graph_cmd =
+  Cmd.group (Cmd.info "graph" ~doc:"Inspect network instances without running anything.")
+    [
+      Cmd.v
+        (Cmd.info "stats"
+           ~doc:
+             "Build the network of a scenario file and print its size, degree \
+              distribution, gray fraction, and build time.")
+        Term.(const run_graph_stats $ scenario_file_arg);
+    ]
+
 (* --- broadcast command --- *)
 
 let run_broadcast n degree seed adversary protocol =
@@ -765,7 +843,7 @@ let main =
        ~doc:"Dual graph radio network algorithms (Censor-Hillel et al., PODC 2011).")
     [
       mis_cmd; ccds_cmd; bridge_cmd; experiment_cmd; list_cmd; figures_cmd; broadcast_cmd;
-      repair_cmd; scenario_cmd; store_cmd; trace_cmd;
+      repair_cmd; scenario_cmd; store_cmd; trace_cmd; scale_cmd; graph_cmd;
     ]
 
 let () = exit (Cmd.eval main)

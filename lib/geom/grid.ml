@@ -1,0 +1,117 @@
+(* Uniform hash-grid over a point set, for neighbor queries bounded by a
+   fixed radius.
+
+   Bucketing n points into square cells of side [cell] makes "all pairs
+   within distance <= cell" an O(n)-expected enumeration for the bounded
+   densities the geometric generators produce: each point is compared
+   only against the points of its own cell and the eight surrounding
+   ones, instead of against all n - 1 others.  This is what turns world
+   construction (Gen.of_positions, Dual.make's embedding validation)
+   from O(n^2) into O(n) expected. *)
+
+type t = {
+  cell : float; (* cell side; also the largest radius fully covered *)
+  cols : int;
+  rows : int;
+  min_x : float;
+  min_y : float;
+  start : int array; (* cell id -> first index into [ids] (CSR layout) *)
+  ids : int array; (* point indices grouped by cell, ascending in a cell *)
+}
+
+let cell_size t = t.cell
+
+let build ~cell (pos : Point.t array) =
+  if not (Float.is_finite cell) || cell <= 0.0 then invalid_arg "Grid.build: cell <= 0";
+  let n = Array.length pos in
+  let min_x = ref infinity and min_y = ref infinity in
+  let max_x = ref neg_infinity and max_y = ref neg_infinity in
+  Array.iter
+    (fun (p : Point.t) ->
+      if p.Point.x < !min_x then min_x := p.Point.x;
+      if p.Point.y < !min_y then min_y := p.Point.y;
+      if p.Point.x > !max_x then max_x := p.Point.x;
+      if p.Point.y > !max_y then max_y := p.Point.y)
+    pos;
+  let min_x = if n = 0 then 0.0 else !min_x and min_y = if n = 0 then 0.0 else !min_y in
+  let span v lo = int_of_float ((v -. lo) /. cell) in
+  let cols = if n = 0 then 1 else 1 + span !max_x min_x in
+  let rows = if n = 0 then 1 else 1 + span !max_y min_y in
+  let ncells = cols * rows in
+  (* counting sort into CSR: one pass to count, one to place *)
+  let count = Array.make (ncells + 1) 0 in
+  let cell_of p =
+    let cx = span p.Point.x min_x and cy = span p.Point.y min_y in
+    (cy * cols) + cx
+  in
+  Array.iter (fun p -> count.(cell_of p + 1) <- count.(cell_of p + 1) + 1) pos;
+  for c = 1 to ncells do
+    count.(c) <- count.(c) + count.(c - 1)
+  done;
+  let start = Array.copy count in
+  let ids = Array.make n 0 in
+  (* placing in index order keeps each cell's ids ascending *)
+  Array.iteri
+    (fun i p ->
+      let c = cell_of p in
+      ids.(count.(c)) <- i;
+      count.(c) <- count.(c) + 1)
+    pos;
+  { cell; cols; rows; min_x; min_y; start; ids }
+
+(* [iter_pairs f grid pos] calls [f u v dist] once per unordered pair
+   with [u < v] and [dist <= cell] (plus some pairs slightly beyond,
+   up to cell * sqrt 8 — callers re-check the distance, which is passed
+   so they need not recompute it).  Each in-range pair is visited
+   exactly once: within a cell ids are ascending so i < j suffices, and
+   across cells only the four forward neighbors (E, SW, S, SE) are
+   scanned. *)
+let iter_pairs f t (pos : Point.t array) =
+  let cell_members c = (t.start.(c), t.start.(c + 1)) in
+  let emit i j =
+    let u = t.ids.(i) and v = t.ids.(j) in
+    let u, v = if u < v then (u, v) else (v, u) in
+    f u v (Point.dist pos.(u) pos.(v))
+  in
+  for cy = 0 to t.rows - 1 do
+    for cx = 0 to t.cols - 1 do
+      let c = (cy * t.cols) + cx in
+      let lo, hi = cell_members c in
+      (* within-cell pairs *)
+      for i = lo to hi - 1 do
+        for j = i + 1 to hi - 1 do
+          emit i j
+        done
+      done;
+      (* forward neighbor cells *)
+      List.iter
+        (fun (dx, dy) ->
+          let nx = cx + dx and ny = cy + dy in
+          if nx >= 0 && nx < t.cols && ny < t.rows then begin
+            let lo', hi' = cell_members ((ny * t.cols) + nx) in
+            for i = lo to hi - 1 do
+              for j = lo' to hi' - 1 do
+                emit i j
+              done
+            done
+          end)
+        [ (1, 0); (-1, 1); (0, 1); (1, 1) ]
+    done
+  done
+
+(* [iter_within f grid pos i r]: every j <> i with dist(i, j) <= r,
+   requiring r <= cell.  Scans the 3x3 cell neighborhood of i. *)
+let iter_within f t (pos : Point.t array) i r =
+  if r > t.cell +. 1e-12 then invalid_arg "Grid.iter_within: radius exceeds cell size";
+  let p = pos.(i) in
+  let cx = int_of_float ((p.Point.x -. t.min_x) /. t.cell) in
+  let cy = int_of_float ((p.Point.y -. t.min_y) /. t.cell) in
+  for ny = max 0 (cy - 1) to min (t.rows - 1) (cy + 1) do
+    for nx = max 0 (cx - 1) to min (t.cols - 1) (cx + 1) do
+      let c = (ny * t.cols) + nx in
+      for k = t.start.(c) to t.start.(c + 1) - 1 do
+        let j = t.ids.(k) in
+        if j <> i && Point.dist p pos.(j) <= r then f j
+      done
+    done
+  done

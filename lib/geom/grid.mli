@@ -1,0 +1,21 @@
+(** Uniform hash-grid over a point set: O(n)-expected enumeration of all
+    pairs within a fixed radius, replacing O(n²) pairwise scans in world
+    construction. *)
+
+type t
+
+(** [build ~cell pos] buckets the points into square cells of side
+    [cell].  Raises [Invalid_argument] unless [cell > 0] and finite. *)
+val build : cell:float -> Point.t array -> t
+
+val cell_size : t -> float
+
+(** [iter_pairs f grid pos] calls [f u v dist] exactly once per
+    unordered pair [u < v] lying in the same or adjacent cells — a
+    superset of all pairs with [dist <= cell_size].  [dist] is the exact
+    Euclidean distance; callers filter on it. *)
+val iter_pairs : (int -> int -> float -> unit) -> t -> Point.t array -> unit
+
+(** [iter_within f grid pos i r] calls [f j] for every [j <> i] with
+    [dist(i, j) <= r].  Requires [r <= cell_size]. *)
+val iter_within : (int -> unit) -> t -> Point.t array -> int -> float -> unit

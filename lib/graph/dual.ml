@@ -9,6 +9,8 @@
    Geometric instances additionally carry the plane embedding; the paper
    requires dist(u,v) <= 1 => (u,v) ∈ E and (u,v) ∈ E' => dist(u,v) <= d. *)
 
+module Bitset = Rn_util.Bitset
+
 type t = {
   g : Graph.t;  (* reliable links E *)
   g' : Graph.t; (* E' = E ∪ gray *)
@@ -16,6 +18,10 @@ type t = {
   gray_adj : (int * int) array array; (* node -> [(neighbor, gray edge id)] *)
   pos : Rn_geom.Point.t array option; (* plane embedding, if geometric *)
   d : float; (* max distance of a G' edge (paper's constant d) *)
+  gray_masks : Bitset.t array option Atomic.t;
+      (* lazy: node -> bitset of incident gray edge ids, for the
+         word-parallel delivery kernel; same build-once / atomic-publish
+         discipline as [Graph]'s row cache *)
 }
 
 let g t = t.g
@@ -29,36 +35,100 @@ let d t = t.d
 
 let make ?pos ?(d = 2.0) ~g ~gray () =
   let n = Graph.n g in
-  let canon (u, v) = if u < v then (u, v) else (v, u) in
-  let gray =
-    List.sort_uniq compare (List.map canon gray)
-    |> List.filter (fun (u, v) -> not (Graph.mem_edge g u v))
+  (* Canonicalise/dedup as packed ints, like [Graph.of_edges]: the sort
+     is the construction hot spot at experiment sizes, and ascending
+     packed order is exactly the lexicographic order the dense gray-edge
+     ids must follow (adversary policies draw per edge id). *)
+  let gray_packed =
+    let a =
+      Array.of_list
+        (List.map
+           (fun (u, v) ->
+             if u = v || u < 0 || v < 0 || u >= n || v >= n then
+               invalid_arg "Dual.make: bad gray edge";
+             if u < v then (u * n) + v else (v * n) + u)
+           gray)
+    in
+    Array.sort compare a;
+    let k = ref 0 in
+    Array.iteri
+      (fun i e ->
+        if (i = 0 || a.(i - 1) <> e) && not (Graph.mem_edge g (e / n) (e mod n)) then begin
+          a.(!k) <- e;
+          incr k
+        end)
+      a;
+    Array.sub a 0 !k
   in
-  let gray = Array.of_list gray in
-  let g' = Graph.union g (Graph.of_edges n (Array.to_list gray)) in
+  let gray = Array.map (fun e -> (e / n, e mod n)) gray_packed in
+  let g' = Graph.union g (Graph.of_packed n gray_packed) in
   (match pos with
   | Some p ->
     if Array.length p <> n then invalid_arg "Dual.make: positions arity";
     (* Model constraints: unit-distance pairs must be reliable links and no
-       G' edge may exceed distance d. *)
-    for u = 0 to n - 1 do
-      for v = u + 1 to n - 1 do
-        let dist = Rn_geom.Point.dist p.(u) p.(v) in
+       G' edge may exceed distance d.  The first only concerns pairs at
+       distance <= 1, which a unit hash-grid enumerates in O(n) expected;
+       the second only concerns the m' edges of G' — neither needs the
+       full O(n^2) pair scan. *)
+    let grid = Rn_geom.Grid.build ~cell:1.0 p in
+    Rn_geom.Grid.iter_pairs
+      (fun u v dist ->
         if dist <= 1.0 && not (Graph.mem_edge g u v) then
-          invalid_arg "Dual.make: unit-distance pair missing from E";
-        if Graph.mem_edge g' u v && dist > d +. 1e-9 then
-          invalid_arg "Dual.make: G' edge longer than d"
-      done
-    done
+          invalid_arg "Dual.make: unit-distance pair missing from E")
+      grid p;
+    Graph.iter_edges
+      (fun u v ->
+        if Rn_geom.Point.dist p.(u) p.(v) > d +. 1e-9 then
+          invalid_arg "Dual.make: G' edge longer than d")
+      g'
   | None -> ());
-  let buckets = Array.make n [] in
-  Array.iteri
-    (fun id (u, v) ->
-      buckets.(u) <- (v, id) :: buckets.(u);
-      buckets.(v) <- (u, id) :: buckets.(v))
+  (* Counting fill instead of list buckets; iterating ids high-to-low
+     reproduces the historical row order (descending edge id), which
+     adversary policies may consume RNG draws in. *)
+  let gdeg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      gdeg.(u) <- gdeg.(u) + 1;
+      gdeg.(v) <- gdeg.(v) + 1)
     gray;
-  let gray_adj = Array.map Array.of_list buckets in
-  { g; g'; gray; gray_adj; pos; d }
+  let gray_adj = Array.init n (fun v -> Array.make gdeg.(v) (0, 0)) in
+  let fill = Array.make n 0 in
+  for id = Array.length gray - 1 downto 0 do
+    let u, v = gray.(id) in
+    gray_adj.(u).(fill.(u)) <- (v, id);
+    fill.(u) <- fill.(u) + 1;
+    gray_adj.(v).(fill.(v)) <- (u, id);
+    fill.(v) <- fill.(v) + 1
+  done;
+  { g; g'; gray; gray_adj; pos; d; gray_masks = Atomic.make None }
+
+let masks_lock = Mutex.create ()
+
+(* Gray incidence as bitsets over gray edge ids: [gray_mask t v] has bit
+   [id] set iff gray edge [id] touches [v].  Lets the delivery kernel
+   intersect a node's incident gray edges with the round's active set in
+   O(gray/word) instead of walking [gray_adj]. *)
+let gray_masks t =
+  match Atomic.get t.gray_masks with
+  | Some m -> m
+  | None ->
+    Mutex.protect masks_lock (fun () ->
+        match Atomic.get t.gray_masks with
+        | Some m -> m
+        | None ->
+          let ng = Array.length t.gray in
+          let m =
+            Array.map
+              (fun inc ->
+                let b = Bitset.create ng in
+                Array.iter (fun (_, id) -> Bitset.add b id) inc;
+                b)
+              t.gray_adj
+          in
+          Atomic.set t.gray_masks (Some m);
+          m)
+
+let gray_mask t v = (gray_masks t).(v)
 
 (* A dual graph with no unreliable links: the classic radio model G = G'. *)
 let classic g = make ~g ~gray:[] ()

@@ -30,11 +30,21 @@ val gray_count : t -> int
 (** Gray incidence of a node: [(neighbor, gray_edge_id)] pairs. *)
 val gray_adj : t -> int -> (int * int) array
 
+(** Gray incidence of a node as a bitset over gray edge ids, for the
+    word-parallel delivery kernel.  Built lazily on first use, published
+    atomically — safe to share across Pool domains.  Do not mutate. *)
+val gray_mask : t -> int -> Rn_util.Bitset.t
+
+(** The whole mask array, same rules as {!gray_mask}. *)
+val gray_masks : t -> Rn_util.Bitset.t array
+
 val positions : t -> Rn_geom.Point.t array option
 
 (** The paper's constant [d]: maximum length of a [G'] edge. *)
 val d : t -> float
 
+(** Both memoised at graph construction — O(1). *)
 val max_degree_g : t -> int
+
 val max_degree_g' : t -> int
 val pp : Format.formatter -> t -> unit

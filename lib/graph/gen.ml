@@ -26,8 +26,9 @@ let side_for_degree ~n ~target_degree =
   if n <= 1 || target_degree <= 0 then invalid_arg "Gen.side_for_degree";
   sqrt (Float.pi *. float_of_int (n - 1) /. float_of_int target_degree)
 
-(* Derive a dual graph from fixed positions. *)
-let of_positions ~rng ~d ~gray_p pos =
+(* Derive a dual graph from fixed positions — reference O(n^2) pairwise
+   scan, kept as the differential oracle for the grid path below. *)
+let of_positions_naive ~rng ~d ~gray_p pos =
   let n = Array.length pos in
   let reliable = ref [] and gray = ref [] in
   for u = 0 to n - 1 do
@@ -37,6 +38,36 @@ let of_positions ~rng ~d ~gray_p pos =
       else if dist <= d && Rng.bool rng gray_p then gray := (u, v) :: !gray
     done
   done;
+  let g = Graph.of_edges n !reliable in
+  Dual.make ~pos ~d ~g ~gray:!gray ()
+
+(* Derive a dual graph from fixed positions, O(n) expected for bounded
+   density: a hash-grid of cell max(d, 1) enumerates exactly the pairs
+   that can be reliable or gray-zone.
+
+   RNG-stream compatibility matters here: the naive scan draws one
+   Bernoulli per gray-zone pair in (u, v)-lexicographic order, and every
+   cached experiment table depends on that stream.  The grid visits
+   pairs in cell order, so gray-zone *candidates* are collected first
+   and sorted back to (u, v) order before any draw — the produced dual
+   graph is identical to the naive one, bit for bit. *)
+let of_positions ~rng ~d ~gray_p pos =
+  let n = Array.length pos in
+  let reliable = ref [] and cand = ref [] in
+  let grid = Rn_geom.Grid.build ~cell:(Float.max d 1.0) pos in
+  Rn_geom.Grid.iter_pairs
+    (fun u v dist ->
+      if dist <= 1.0 then reliable := (u, v) :: !reliable
+      else if dist <= d then cand := ((u * n) + v) :: !cand)
+    grid pos;
+  (* packed (u * n + v) candidates sort as unboxed ints, and ascending
+     packed order is (u, v)-lexicographic — the naive scan's draw order *)
+  let cand = Array.of_list !cand in
+  Array.sort compare cand;
+  let gray = ref [] in
+  Array.iter
+    (fun e -> if Rng.bool rng gray_p then gray := (e / n, e mod n) :: !gray)
+    cand;
   let g = Graph.of_edges n !reliable in
   Dual.make ~pos ~d ~g ~gray:!gray ()
 

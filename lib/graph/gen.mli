@@ -16,8 +16,15 @@ val default_spec :
 val side_for_degree : n:int -> target_degree:int -> float
 
 (** Dual graph induced by fixed positions: reliable at distance ≤ 1,
-    gray-zone pairs in (1, d] kept with probability [gray_p]. *)
+    gray-zone pairs in (1, d] kept with probability [gray_p].  O(n)
+    expected via a hash-grid; consumes the RNG stream in the same order
+    as {!of_positions_naive}, so the result is identical to it. *)
 val of_positions :
+  rng:Rn_util.Rng.t -> d:float -> gray_p:float -> Rn_geom.Point.t array -> Dual.t
+
+(** Reference O(n²) pairwise implementation of {!of_positions} — the
+    differential oracle for the grid path; use only in tests. *)
+val of_positions_naive :
   rng:Rn_util.Rng.t -> d:float -> gray_p:float -> Rn_geom.Point.t array -> Dual.t
 
 (** Random geometric dual graph resampled until [G] is connected.

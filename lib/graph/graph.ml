@@ -2,42 +2,139 @@
 
    Adjacency lists are sorted int arrays, giving O(log deg) membership
    tests and cache-friendly iteration — the simulator's inner loop walks
-   broadcaster adjacency every round. *)
+   broadcaster adjacency every round.
 
-type t = { n : int; adj : int array array; m : int }
+   [rows] is a lazily-built bitset view of the same adjacency (one
+   Bitset per node), used by the engine's word-parallel delivery kernel
+   on dense rounds.  It is built at most once, on first use, so sparse
+   workloads never pay its O(n^2 / word_size) memory; publication goes
+   through an [Atomic] so the cache is safe to share across Pool
+   domains (an atomic read sees either nothing or a fully-built
+   cache). *)
+
+module Bitset = Rn_util.Bitset
+
+type t = {
+  n : int;
+  adj : int array array;
+  m : int;
+  maxdeg : int; (* memoised: max degree is read in per-round paths *)
+  rows : Bitset.t array option Atomic.t;
+}
 
 let n t = t.n
 let edge_count t = t.m
 
+let max_deg_of adj = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 adj
+
+let make ~n ~adj ~m = { n; adj; m; maxdeg = max_deg_of adj; rows = Atomic.make None }
+
+(* The build lock is module-wide: row builds are rare (once per graph
+   that ever sees a dense round) and the double-check under the lock
+   keeps concurrent first uses from building twice. *)
+let rows_lock = Mutex.create ()
+
+let adj_rows t =
+  match Atomic.get t.rows with
+  | Some r -> r
+  | None ->
+    Mutex.protect rows_lock (fun () ->
+        match Atomic.get t.rows with
+        | Some r -> r
+        | None ->
+          let r =
+            Array.map
+              (fun a ->
+                let b = Bitset.create t.n in
+                Array.iter (Bitset.add b) a;
+                b)
+              t.adj
+          in
+          Atomic.set t.rows (Some r);
+          r)
+
+let adj_row t v = (adj_rows t).(v)
+
 let check_node t v =
   if v < 0 || v >= t.n then invalid_arg "Graph: node out of range"
 
-let of_edges n edges =
-  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+(* Edges are canonicalised and deduplicated as packed ints (u * n + v,
+   u < v): sorting an unboxed int array is several times faster than
+   [List.sort_uniq] on tuples, which dominates construction at the
+   experiment sizes.  A pleasant consequence of the lexicographic pack:
+   filling adjacency in sorted-edge order yields already-sorted rows
+   (for node w, all (y, w) edges precede all (w, x) ones and y < w < x
+   within each group ascending), so no per-node sort is needed. *)
+(* Build from strictly-ascending packed keys (u * n + v, u < v), the
+   first [m] entries of [packed].  Filling adjacency in sorted-edge
+   order yields already-sorted rows: for node w, all (y, w) edges
+   precede all (w, x) ones, and within each group the partner ascends
+   (y < w < x), so no per-node sort is needed. *)
+let build_packed n packed m =
   let deg = Array.make n 0 in
-  let canon (u, v) =
-    if u = v then invalid_arg "Graph.of_edges: self loop";
-    if u < 0 || u >= n || v < 0 || v >= n then
-      invalid_arg "Graph.of_edges: endpoint out of range";
-    if u < v then (u, v) else (v, u)
-  in
-  let edges = List.sort_uniq compare (List.map canon edges) in
-  List.iter
-    (fun (u, v) ->
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
-    edges;
+  for i = 0 to m - 1 do
+    let u = packed.(i) / n and v = packed.(i) mod n in
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1
+  done;
   let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
   let fill = Array.make n 0 in
-  List.iter
-    (fun (u, v) ->
-      adj.(u).(fill.(u)) <- v;
-      fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- u;
-      fill.(v) <- fill.(v) + 1)
-    edges;
-  Array.iter (fun a -> Array.sort compare a) adj;
-  { n; adj; m = List.length edges }
+  for i = 0 to m - 1 do
+    let u = packed.(i) / n and v = packed.(i) mod n in
+    adj.(u).(fill.(u)) <- v;
+    fill.(u) <- fill.(u) + 1;
+    adj.(v).(fill.(v)) <- u;
+    fill.(v) <- fill.(v) + 1
+  done;
+  make ~n ~adj ~m
+
+let check_packable n = if n > 0x3FFF_FFFF then invalid_arg "Graph: n too large to pack edges"
+
+let of_packed n packed =
+  if n < 0 then invalid_arg "Graph.of_packed: negative n";
+  check_packable n;
+  let m = Array.length packed in
+  for i = 0 to m - 1 do
+    let e = packed.(i) in
+    let u = e / n and v = e mod n in
+    if e < 0 || u >= v || v >= n then invalid_arg "Graph.of_packed: bad key";
+    if i > 0 && packed.(i - 1) >= e then invalid_arg "Graph.of_packed: keys not ascending"
+  done;
+  build_packed n packed m
+
+(* Edges are canonicalised and deduplicated as packed ints: sorting an
+   unboxed int array is several times faster than [List.sort_uniq] on
+   tuples, which dominates construction at the experiment sizes.  Input
+   that is already sorted (e.g. re-building from [edges t]) skips the
+   sort. *)
+let of_edges n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  check_packable n;
+  let packed =
+    Array.of_list
+      (List.map
+         (fun (u, v) ->
+           if u = v then invalid_arg "Graph.of_edges: self loop";
+           if u < 0 || u >= n || v < 0 || v >= n then
+             invalid_arg "Graph.of_edges: endpoint out of range";
+           if u < v then (u * n) + v else (v * n) + u)
+         edges)
+  in
+  let len = Array.length packed in
+  let sorted = ref true in
+  for i = 1 to len - 1 do
+    if packed.(i - 1) > packed.(i) then sorted := false
+  done;
+  if not !sorted then Array.sort compare packed;
+  let m = ref 0 in
+  Array.iteri
+    (fun i e ->
+      if i = 0 || packed.(i - 1) <> e then begin
+        packed.(!m) <- e;
+        incr m
+      end)
+    packed;
+  build_packed n packed !m
 
 let neighbors t v =
   check_node t v;
@@ -45,12 +142,7 @@ let neighbors t v =
 
 let degree t v = Array.length (neighbors t v)
 
-let max_degree t =
-  let best = ref 0 in
-  for v = 0 to t.n - 1 do
-    if degree t v > !best then best := degree t v
-  done;
-  !best
+let max_degree t = t.maxdeg
 
 let mem_edge t u v =
   check_node t u;
@@ -134,7 +226,7 @@ let union a b =
   in
   let adj = Array.init a.n (fun v -> merge a.adj.(v) b.adj.(v)) in
   let m = Array.fold_left (fun acc l -> acc + Array.length l) 0 adj / 2 in
-  { n = a.n; adj; m }
+  make ~n:a.n ~adj ~m
 
 (* [is_subgraph a b]: every edge of [a] is an edge of [b]. *)
 let is_subgraph a b =

@@ -6,6 +6,12 @@ type t
     self-loops and out-of-range endpoints rejected. *)
 val of_edges : int -> (int * int) list -> t
 
+(** [of_packed n keys] builds a graph from edges encoded as strictly
+    ascending [u * n + v] keys with [u < v] — the fast path for builders
+    (e.g. {!Dual.make}) that already hold canonicalised sorted edges.
+    Raises [Invalid_argument] on malformed or out-of-order keys. *)
+val of_packed : int -> int array -> t
+
 val n : t -> int
 val edge_count : t -> int
 
@@ -13,8 +19,21 @@ val edge_count : t -> int
 val neighbors : t -> int -> int array
 
 val degree : t -> int -> int
+
+(** Memoised at construction — O(1). *)
 val max_degree : t -> int
+
 val mem_edge : t -> int -> int -> bool
+
+(** Bitset view of a node's adjacency, for word-parallel kernels.  The
+    per-node row cache is built lazily on first use (so sparse workloads
+    never pay its memory) and published atomically, making it safe to
+    share one graph across Pool domains.  Do not mutate the result. *)
+val adj_row : t -> int -> Rn_util.Bitset.t
+
+(** The whole row cache, same laziness and sharing rules as {!adj_row};
+    hoists the cache lookup out of per-broadcaster loops. *)
+val adj_rows : t -> Rn_util.Bitset.t array
 
 (** All edges with [u < v], lexicographic order. *)
 val edges : t -> (int * int) list

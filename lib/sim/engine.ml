@@ -120,14 +120,33 @@ module Make (M : MESSAGE) = struct
     max_rounds : int;
     observer : (view -> unit) option;
     sink : Events.sink option; (* structured event trace destination *)
+    kernel : [ `Auto | `On | `Off ];
+        (* dense-round delivery kernel: `Auto picks per round on a cost
+           model, `On forces it whenever legal, `Off never uses it.  A
+           sink always forces the scalar path (the kernel cannot emit
+           per-receiver events); results are identical either way. *)
   }
 
   let config ?(adversary = Adversary.silent) ?(seed = 0) ?b_bits ?(delta_bound = 0)
-      ?wake ?(stop = All_done) ?(max_rounds = 2_000_000) ?observer ?sink ~detector dual =
+      ?wake ?(stop = All_done) ?(max_rounds = 2_000_000) ?observer ?sink
+      ?(kernel = `Auto) ~detector dual =
     let delta_bound =
       if delta_bound > 0 then delta_bound else Dual.max_degree_g dual
     in
-    { dual; detector; adversary; seed; b_bits; delta_bound; wake; stop; max_rounds; observer; sink }
+    {
+      dual;
+      detector;
+      adversary;
+      seed;
+      b_bits;
+      delta_bound;
+      wake;
+      stop;
+      max_rounds;
+      observer;
+      sink;
+      kernel;
+    }
 
   type ctx = {
     me : int;
@@ -370,6 +389,17 @@ module Make (M : MESSAGE) = struct
     let bcast = Array.make (max 1 nn) 0 in
     let n_bcast = ref 0 in
     let gray_active = Bitset.create (max 1 (Dual.gray_count dual)) in
+    (* Word-parallel delivery kernel scratch.  On a dense round the
+       once/twice saturating accumulators classify every node at once —
+       receives = once ∧ ¬twice ∧ listeners, collisions = twice ∧
+       listeners — instead of per-edge touches.  A few words per 63
+       nodes each, cheap enough to preallocate unconditionally. *)
+    let k_once = Bitset.create nn in
+    let k_twice = Bitset.create nn in
+    let k_sync = Bitset.create nn in
+    let k_idle = Bitset.create nn in
+    let k_recv = Bitset.create nn in
+    let k_words = Bitset.word_count k_once in
     (* Receive buffer; all-[Silence] between rounds (entries are reset as
        they are consumed by the resume phase). *)
     let receives = Array.make nn Silence in
@@ -494,52 +524,137 @@ module Make (M : MESSAGE) = struct
                        };
                  };
              p_stop Timing.Adversary;
-             (* 4. Deliveries along E plus activated gray edges. *)
+             (* 4. Deliveries along E plus activated gray edges: scalar
+                per-edge touches on sparse rounds, the word-parallel
+                kernel on dense ones.  The kernel is only a faster
+                evaluation of the same collision rule — counts and
+                receives are identical by construction (certified by
+                test_kernel and test_engine_equiv) — but it cannot emit
+                per-receiver events, so a sink forces the scalar path. *)
              p_start ();
-             n_touched := 0;
-             Array.iter
-               (fun u ->
-                 Array.iter (fun v -> touch u v) (Graph.neighbors g u);
+             let use_kernel =
+               (not tracing)
+               &&
+               match cfg.kernel with
+               | `Off -> false
+               | `On -> true
+               | `Auto ->
+                 (* scalar cost ~ total broadcaster reach; kernel cost ~
+                    two word-sweeps per broadcaster plus rebuilding the
+                    listener masks from the worklist and the heap *)
+                 let reach = ref 0 in
+                 for i = 0 to !n_bcast - 1 do
+                   let u = bcast.(i) in
+                   reach := !reach + Graph.degree g u + Array.length (Dual.gray_adj dual u)
+                 done;
+                 !reach > (((2 * !n_bcast) + 8) * k_words) + !n_active + !heap_n
+             in
+             if use_kernel then begin
+               let rows = Graph.adj_rows g in
+               let ng = Dual.gray_count dual in
+               let gmask = if ng > 0 then Dual.gray_masks dual else [||] in
+               let gedges = Dual.gray_edges dual in
+               Bitset.clear k_once;
+               Bitset.clear k_twice;
+               Array.iter
+                 (fun u ->
+                   Bitset.acc2_or_into ~once:k_once ~twice:k_twice rows.(u);
+                   if ng > 0 && Array.length (Dual.gray_adj dual u) > 0 then
+                     Bitset.iter_inter
+                       (fun e ->
+                         let a, b = gedges.(e) in
+                         Bitset.acc2_add ~once:k_once ~twice:k_twice (a + b - u))
+                       gmask.(u) gray_active)
+                 broadcasters;
+               (* this round's listeners: live synced fibers that did not
+                  broadcast, plus parked idlers (who hear but discard) *)
+               Bitset.clear k_sync;
+               Bitset.clear k_idle;
+               for i = 0 to !n_active - 1 do
+                 let v = active.(i) in
+                 if sends.(v) = None then Bitset.add k_sync v
+               done;
+               for i = 0 to !heap_n - 1 do
+                 Bitset.add k_idle heap_v.(i)
+               done;
+               let any_recv = ref false in
+               for w = 0 to k_words - 1 do
+                 let once = Bitset.get_word k_once w in
+                 let twice = Bitset.get_word k_twice w in
+                 let sy = Bitset.get_word k_sync w in
+                 let listen = sy lor Bitset.get_word k_idle w in
+                 let recv = once land lnot twice in
+                 deliveries := !deliveries + Bitset.popcount_word (recv land listen);
+                 collisions := !collisions + Bitset.popcount_word (twice land listen);
+                 let rs = recv land sy in
+                 if rs <> 0 then any_recv := true;
+                 Bitset.set_word k_recv w rs
+               done;
+               (* second sweep hands each receiving synced fiber its
+                  sender's message; the sender is unique because an
+                  exactly-one-sender node lies in exactly one
+                  broadcaster's reach set.  Skipped outright when nobody
+                  received (the common case under heavy contention). *)
+               if !any_recv then
                  Array.iter
-                   (fun (v, e) -> if Bitset.mem gray_active e then touch u v)
-                   (Dual.gray_adj dual u))
-               broadcasters;
+                   (fun u ->
+                     let m = match sends.(u) with Some m -> m | None -> assert false in
+                     Bitset.iter_inter (fun v -> receives.(v) <- Recv m) rows.(u) k_recv;
+                     if ng > 0 && Array.length (Dual.gray_adj dual u) > 0 then
+                       Bitset.iter_inter
+                         (fun e ->
+                           let a, b = gedges.(e) in
+                           let v = a + b - u in
+                           if Bitset.mem k_recv v then receives.(v) <- Recv m)
+                         gmask.(u) gray_active)
+                   broadcasters
+             end
+             else begin
+               n_touched := 0;
+               Array.iter
+                 (fun u ->
+                   Array.iter (fun v -> touch u v) (Graph.neighbors g u);
+                   Array.iter
+                     (fun (v, e) -> if Bitset.mem gray_active e then touch u v)
+                     (Dual.gray_adj dual u))
+                 broadcasters;
+               for i = 0 to !n_touched - 1 do
+                 let v = touched.(i) in
+                 (if sends.(v) = None then
+                    match pending.(v) with
+                    | Synced _ ->
+                      if recv_count.(v) = 1 then begin
+                        (match sends.(recv_from.(v)) with
+                        | Some m -> receives.(v) <- Recv m
+                        | None -> assert false);
+                        incr deliveries;
+                        if tracing then
+                          emit { Events.round = r; proc = v; kind = Deliver { src = recv_from.(v) } }
+                      end
+                      else begin
+                        incr collisions;
+                        if tracing then
+                          emit { Events.round = r; proc = v; kind = Collide { senders = recv_count.(v) } }
+                      end
+                    | Idling _ ->
+                      (* Parked listeners discard the message, but the
+                         delivery (or collision) still happened. *)
+                      if recv_count.(v) = 1 then begin
+                        incr deliveries;
+                        if tracing then
+                          emit { Events.round = r; proc = v; kind = Deliver { src = recv_from.(v) } }
+                      end
+                      else begin
+                        incr collisions;
+                        if tracing then
+                          emit { Events.round = r; proc = v; kind = Collide { senders = recv_count.(v) } }
+                      end
+                    | No_fiber -> ());
+                 recv_count.(v) <- 0;
+                 recv_from.(v) <- -1
+               done
+             end;
              Array.iter (fun v -> receives.(v) <- Own) broadcasters;
-             for i = 0 to !n_touched - 1 do
-               let v = touched.(i) in
-               (if sends.(v) = None then
-                  match pending.(v) with
-                  | Synced _ ->
-                    if recv_count.(v) = 1 then begin
-                      (match sends.(recv_from.(v)) with
-                      | Some m -> receives.(v) <- Recv m
-                      | None -> assert false);
-                      incr deliveries;
-                      if tracing then
-                        emit { Events.round = r; proc = v; kind = Deliver { src = recv_from.(v) } }
-                    end
-                    else begin
-                      incr collisions;
-                      if tracing then
-                        emit { Events.round = r; proc = v; kind = Collide { senders = recv_count.(v) } }
-                    end
-                  | Idling _ ->
-                    (* Parked listeners discard the message, but the
-                       delivery (or collision) still happened. *)
-                    if recv_count.(v) = 1 then begin
-                      incr deliveries;
-                      if tracing then
-                        emit { Events.round = r; proc = v; kind = Deliver { src = recv_from.(v) } }
-                    end
-                    else begin
-                      incr collisions;
-                      if tracing then
-                        emit { Events.round = r; proc = v; kind = Collide { senders = recv_count.(v) } }
-                    end
-                  | No_fiber -> ());
-               recv_count.(v) <- 0;
-               recv_from.(v) <- -1
-             done;
              p_stop Timing.Deliver
            end;
            (* 5. Resume every live fiber with its receive, then unpark the

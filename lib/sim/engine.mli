@@ -68,6 +68,14 @@ module Make (M : MESSAGE) : sig
     sink : Events.sink option;
         (** structured event trace destination; emission has no
             observable effect on the run ({!run_reference} ignores it) *)
+    kernel : [ `Auto | `On | `Off ];
+        (** dense-round delivery kernel: [`Auto] chooses per round on a
+            cost model (scalar per-edge touches for sparse rounds, the
+            word-parallel once/twice kernel when the broadcasters' total
+            reach exceeds the kernel's word-sweep cost); [`On] forces
+            the kernel whenever legal, [`Off] never uses it.  An
+            attached [sink] always forces the scalar path.  The choice
+            is pure evaluation strategy — results are identical. *)
   }
 
   (** Build a config with sensible defaults: silent adversary, seed 0,
@@ -83,6 +91,7 @@ module Make (M : MESSAGE) : sig
     ?max_rounds:int ->
     ?observer:(view -> unit) ->
     ?sink:Events.sink ->
+    ?kernel:[ `Auto | `On | `Off ] ->
     detector:Rn_detect.Detector.dynamic ->
     Rn_graph.Dual.t ->
     config

@@ -36,20 +36,61 @@ let clear t = Array.fill t.words 0 (Array.length t.words) 0
 
 let copy t = { words = Array.copy t.words; capacity = t.capacity }
 
-let popcount_word w =
-  let rec loop acc w = if w = 0 then acc else loop (acc + (w land 1)) (w lsr 1) in
-  loop 0 w
+(* SWAR popcount over two 32-bit halves: OCaml ints are 63-bit, so the
+   usual 64-bit mask constants do not fit as literals. *)
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (* OCaml ints are wider than 32 bits, so the byte-sum multiply keeps
+     carries a 32-bit truncation would drop — mask to the low byte. *)
+  ((x * 0x01010101) lsr 24) land 0xFF
+
+let popcount_word w = popcount32 (w land 0xFFFFFFFF) + popcount32 ((w lsr 32) land 0x7FFFFFFF)
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
 
+(* Index of the lowest set bit of [w] ([w] must be nonzero): isolate it
+   with [w land -w] and count the ones below it.  Wraparound at the sign
+   bit is fine — two's complement makes [min_int - 1 = max_int], whose 62
+   set bits are exactly the index of bit 62. *)
+let lowest_bit w = popcount_word ((w land -w) - 1)
+
 let iter f t =
   for w = 0 to Array.length t.words - 1 do
-    let word = t.words.(w) in
-    if word <> 0 then
-      for b = 0 to bits_per_word - 1 do
-        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
-      done
+    let word = ref t.words.(w) in
+    let base = w * bits_per_word in
+    while !word <> 0 do
+      f (base + lowest_bit !word);
+      word := !word land (!word - 1)
+    done
   done
+
+(* Members of [a ∧ b] in increasing order, without materialising the
+   intersection.  Capacities must match. *)
+let iter_inter f a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.iter_inter";
+  for w = 0 to Array.length a.words - 1 do
+    let word = ref (Array.unsafe_get a.words w land Array.unsafe_get b.words w) in
+    let base = w * bits_per_word in
+    while !word <> 0 do
+      f (base + lowest_bit !word);
+      word := !word land (!word - 1)
+    done
+  done
+
+(* First member of [a ∧ b], or [-1] when the intersection is empty. *)
+let find_inter a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.find_inter";
+  let res = ref (-1) in
+  let w = ref 0 in
+  let nw = Array.length a.words in
+  while !res < 0 && !w < nw do
+    let word = a.words.(!w) land b.words.(!w) in
+    if word <> 0 then res := (!w * bits_per_word) + lowest_bit word;
+    incr w
+  done;
+  !res
 
 let fold f t init =
   let acc = ref init in
@@ -74,6 +115,51 @@ let inter_into ~into src =
   for w = 0 to Array.length into.words - 1 do
     into.words.(w) <- into.words.(w) land src.words.(w)
   done
+
+let diff_into ~into src =
+  if into.capacity <> src.capacity then invalid_arg "Bitset.diff_into";
+  for w = 0 to Array.length into.words - 1 do
+    into.words.(w) <- into.words.(w) land lnot src.words.(w)
+  done
+
+(* Two-accumulator saturating add: after feeding sender reach sets
+   through [acc2_or_into]/[acc2_add], [once] holds the nodes reached by
+   at least one sender and [twice] those reached by at least two.  The
+   update is per word [twice |= once land src; once |= src] — a
+   commutative fold, so sender order is irrelevant. *)
+let acc2_or_into ~once ~twice src =
+  if once.capacity <> src.capacity || twice.capacity <> src.capacity then
+    invalid_arg "Bitset.acc2_or_into";
+  (* unsafe accesses: equal capacities imply equal word counts, and this
+     is the delivery kernel's innermost loop *)
+  for w = 0 to Array.length once.words - 1 do
+    let s = Array.unsafe_get src.words w in
+    if s <> 0 then begin
+      let o = Array.unsafe_get once.words w in
+      Array.unsafe_set twice.words w (Array.unsafe_get twice.words w lor (o land s));
+      Array.unsafe_set once.words w (o lor s)
+    end
+  done
+
+let acc2_add ~once ~twice i =
+  check once i;
+  if twice.capacity <> once.capacity then invalid_arg "Bitset.acc2_add";
+  let w = i / bits_per_word and b = 1 lsl (i mod bits_per_word) in
+  twice.words.(w) <- twice.words.(w) lor (once.words.(w) land b);
+  once.words.(w) <- once.words.(w) lor b
+
+(* Word-level view for kernels: [word_count] words of [bits_per_word]
+   bits each; [get_word]/[set_word] read and write them directly.  Bits
+   at index [>= capacity] in the top word must stay zero — [set_word]
+   masks them off. *)
+let word_count t = Array.length t.words
+let get_word t i = t.words.(i)
+
+let set_word t i w =
+  let lo = i * bits_per_word in
+  let valid = t.capacity - lo in
+  if valid <= 0 then invalid_arg "Bitset.set_word";
+  t.words.(i) <- (if valid >= bits_per_word then w else w land ((1 lsl valid) - 1))
 
 let diff a b =
   if a.capacity <> b.capacity then invalid_arg "Bitset.diff";
