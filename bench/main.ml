@@ -241,6 +241,53 @@ let kernel_perf () =
     t_dense t_gen;
   [ ("dense-delivery-n4096", t_dense); ("world-gen-n32k", t_gen) ]
 
+(* Scale-path timings, gated like the kernel entries:
+
+     sharded-delivery-n65536  the S1 beacon workload at n=65536 with the
+                              delivery scatter sharded across two pool
+                              domains — the intra-run sharding path end
+                              to end (scatter, merge, classify, receive);
+     world-alloc-n1m          one connected n=10^6 geometric world built
+                              through the packed-CSR + off-heap-bitset
+                              construction path — the memory half of the
+                              million-node milestone.
+
+   A regression in either means the sharded scatter or the packed world
+   build stopped carrying its weight. *)
+let scale_perf () =
+  let dual =
+    Gen.geometric ~rng:(Rng.create 21)
+      (Gen.default_spec ~n:65536 ~side:(Gen.side_for_degree ~n:65536 ~target_degree:16) ())
+  in
+  let det = Detector.static (Detector.perfect (Dual.g dual)) in
+  let sharded () =
+    let cfg =
+      Beacon_engine.config ~seed:9 ~stop:(Rn_sim.Engine.At_round 32)
+        ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+        ~shards:2 ~detector:det dual
+    in
+    ignore
+      (Beacon_engine.run cfg (fun ctx ->
+           let me = Beacon_engine.me ctx in
+           for _ = 1 to 32 do
+             ignore (Beacon_engine.sync_p ctx 0.25 me)
+           done))
+  in
+  sharded () (* warm-up *);
+  let (), t_shard = timed sharded in
+  let (), t_world =
+    timed (fun () ->
+        ignore
+          (Gen.geometric ~rng:(Rng.create 2)
+             (Gen.default_spec ~n:1_000_000
+                ~side:(Gen.side_for_degree ~n:1_000_000 ~target_degree:20)
+                ())))
+  in
+  Printf.printf
+    "--- scale paths: sharded delivery n=64k %.3f s, world alloc n=1m %.3f s ---\n\n" t_shard
+    t_world;
+  [ ("sharded-delivery-n65536", t_shard); ("world-alloc-n1m", t_world) ]
+
 (* --jobs N: worker domains for the experiment sweeps (default: cores - 1,
    capped).  With jobs > 1 every experiment is run twice — once parallel,
    once sequential — and the wall-clock speedup is reported per
@@ -308,6 +355,7 @@ let () =
   let micro = run_microbenches () in
   let trace_entries = trace_overhead () in
   let kernel_entries = kernel_perf () in
+  let scale_entries = scale_perf () in
   if profile then Rn_util.Timing.set_enabled true;
   Printf.printf
     "--- experiment suite (%s scale, %d jobs; see DESIGN.md / EXPERIMENTS.md) ---\n\n"
@@ -379,5 +427,5 @@ let () =
   match json_out with
   | Some path ->
     write_json ~path ~full ~jobs ~micro
-      ~experiments:(trace_entries @ kernel_entries @ List.rev !wallclocks)
+      ~experiments:(trace_entries @ kernel_entries @ scale_entries @ List.rev !wallclocks)
   | None -> ()

@@ -674,9 +674,40 @@ let figures_cmd =
 
 (* --- scale command --- *)
 
-let run_scale full out =
+let run_scale full out sizes shards kernel check =
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
-  Rn_harness.Harness.print (Rn_harness.Exp_scale.run ?out scale)
+  if shards < 1 then begin
+    Printf.eprintf "rn_cli scale: --shards must be >= 1\n";
+    exit 2
+  end;
+  let kernel =
+    match kernel with
+    | "auto" -> `Auto
+    | "on" -> `On
+    | "off" -> `Off
+    | s ->
+      Printf.eprintf "rn_cli scale: bad --kernel %S (want auto|on|off)\n" s;
+      exit 2
+  in
+  let sizes =
+    match sizes with
+    | None -> None
+    | Some csv -> (
+      match
+        List.map
+          (fun s ->
+            let v = int_of_string (String.trim s) in
+            if v < 2 then failwith "too small";
+            v)
+          (String.split_on_char ',' csv)
+      with
+      | l -> Some l
+      | exception _ ->
+        Printf.eprintf "rn_cli scale: bad --sizes %S (want a CSV of ints >= 2)\n" csv;
+        exit 2)
+  in
+  Rn_harness.Harness.print
+    (Rn_harness.Exp_scale.run ?out ?sizes ~shards ~kernel ~check scale)
 
 let scale_out_arg =
   Arg.(
@@ -684,15 +715,46 @@ let scale_out_arg =
     & opt (some string) None
     & info [ "out" ] ~docv:"DIR" ~doc:"Also write the S1 log-log figure (SVG) into DIR.")
 
+let scale_sizes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sizes" ] ~docv:"CSV"
+        ~doc:"Override the size grid with a comma-separated list of n values.")
+
+let scale_shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard each round's delivery scatter across N domains. Results are \
+           byte-identical at any shard count.")
+
+let scale_kernel_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "kernel" ] ~docv:"MODE"
+        ~doc:"Delivery kernel mode: auto (cost model), on, or off (scalar path).")
+
+let scale_check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Print only the deterministic columns (counts, no timings), suitable for \
+           byte-comparison across --shards/--kernel settings.")
+
 let scale_cmd =
   Cmd.v
     (Cmd.info "scale"
        ~doc:
          "Wall-clock scaling sweep (S1): world-generation time and beacon-workload \
           round throughput vs n, with fitted exponents. Quick stops at n=8192; --full \
-          goes to n=65536. Timings are machine-dependent, so this never touches the \
+          goes to n=1048576. Timings are machine-dependent, so this never touches the \
           result store.")
-    Term.(const run_scale $ full_arg $ scale_out_arg)
+    Term.(
+      const run_scale $ full_arg $ scale_out_arg $ scale_sizes_arg $ scale_shards_arg
+      $ scale_kernel_arg $ scale_check_arg)
 
 (* --- graph command --- *)
 

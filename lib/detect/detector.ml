@@ -15,26 +15,46 @@ module Rng = Rn_util.Rng
 module Graph = Rn_graph.Graph
 module Dual = Rn_graph.Dual
 
-type t = { sets : Bitset.t array }
+(* Rows are built lazily: a detector over n nodes holds n bitsets of n
+   bits, which at a million nodes is ~125 GB if materialised up front —
+   but scale workloads (beacon bodies) never read their detector sets at
+   all, and algorithmic bodies only read the rows of nodes that actually
+   consult them.  [sets] caches built rows; [build] produces one on
+   first use.  Rows are forced from algorithm fibers, which all run on
+   the engine's domain, so the cache needs no lock. *)
+type t = { n : int; sets : Bitset.t option array; build : int -> Bitset.t }
 
-let n t = Array.length t.sets
+let n t = t.n
 
-let set t u = t.sets.(u)
+let set t u =
+  match t.sets.(u) with
+  | Some s -> s
+  | None ->
+    let s = t.build u in
+    t.sets.(u) <- Some s;
+    s
 
-let mem t u v = Bitset.mem t.sets.(u) v
+let mem t u v = Bitset.mem (set t u) v
 
-let of_sets sets = { sets }
+let of_sets sets =
+  {
+    n = Array.length sets;
+    sets = Array.map Option.some sets;
+    build = (fun _ -> invalid_arg "Detector.of_sets: no builder");
+  }
 
 (* The perfect (0-complete) detector: L_u = N_G(u). *)
 let perfect g =
   let n = Graph.n g in
-  let sets =
-    Array.init n (fun u ->
+  {
+    n;
+    sets = Array.make n None;
+    build =
+      (fun u ->
         let s = Bitset.create n in
-        Array.iter (Bitset.add s) (Graph.neighbors g u);
-        s)
-  in
-  { sets }
+        Graph.iter_neighbors (Bitset.add s) g u;
+        s);
+  }
 
 (* Where detector mistakes are drawn from. *)
 type mistake_pool =
@@ -59,7 +79,7 @@ let tau_complete ~rng ~tau ?(pool = Gray_only) dual =
         (fun w ->
           if w = u || Graph.mem_edge g u w then
             invalid_arg "Detector.tau_complete: planted mistake not a non-neighbor";
-          Bitset.add base.sets.(u) w)
+          Bitset.add (set base u) w)
         ws
     done
   | Gray_only | Any_non_neighbor ->
@@ -79,7 +99,7 @@ let tau_complete ~rng ~tau ?(pool = Gray_only) dual =
         let shuffled = Array.copy candidates in
         Rng.shuffle_in_place rng shuffled;
         for k = 0 to picks - 1 do
-          Bitset.add base.sets.(u) shuffled.(k)
+          Bitset.add (set base u) shuffled.(k)
         done
       end
     done);
@@ -89,13 +109,13 @@ let tau_complete ~rng ~tau ?(pool = Gray_only) dual =
    the node itself, and has at most τ extras. *)
 let is_tau_complete t ~tau g =
   let nn = Graph.n g in
-  Array.length t.sets = nn
+  t.n = nn
   &&
   let ok = ref true in
   for u = 0 to nn - 1 do
-    if Bitset.mem t.sets.(u) u then ok := false;
-    Array.iter (fun v -> if not (Bitset.mem t.sets.(u) v) then ok := false) (Graph.neighbors g u);
-    let extras = Bitset.cardinal t.sets.(u) - Graph.degree g u in
+    if Bitset.mem (set t u) u then ok := false;
+    Graph.iter_neighbors (fun v -> if not (Bitset.mem (set t u) v) then ok := false) g u;
+    let extras = Bitset.cardinal (set t u) - Graph.degree g u in
     if extras > tau then ok := false
   done;
   !ok
@@ -106,7 +126,7 @@ let h_graph t =
   let nn = n t in
   let es = ref [] in
   for u = 0 to nn - 1 do
-    Bitset.iter (fun v -> if u < v && mem t v u then es := (u, v) :: !es) t.sets.(u)
+    Bitset.iter (fun v -> if u < v && mem t v u then es := (u, v) :: !es) (set t u)
   done;
   Graph.of_edges nn !es
 

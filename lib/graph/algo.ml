@@ -13,13 +13,13 @@ let bfs_dist g src =
   Queue.add src q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    Array.iter
+    Graph.iter_neighbors
       (fun v ->
         if dist.(v) = unreachable then begin
           dist.(v) <- dist.(u) + 1;
           Queue.add v q
         end)
-      (Graph.neighbors g u)
+      g u
   done;
   dist
 
@@ -33,13 +33,13 @@ let bfs_dist_restricted g src ~allow =
     Queue.add src q;
     while not (Queue.is_empty q) do
       let u = Queue.pop q in
-      Array.iter
+      Graph.iter_neighbors
         (fun v ->
           if allow v && dist.(v) = unreachable then begin
             dist.(v) <- dist.(u) + 1;
             Queue.add v q
           end)
-        (Graph.neighbors g u)
+        g u
     done
   end;
   dist

@@ -6,16 +6,25 @@
    and the simulator indexes them densely so an adversary policy can
    activate them with a boolean per edge.
 
+   Gray edges are kept packed ([u * n + v], ascending, so the array index
+   IS the dense edge id) and gray incidence in CSR form — at a million
+   nodes the gray set runs to tens of millions of edges, where an array
+   of (neighbor, id) tuple arrays would cost gigabytes of boxed pairs.
+   [g'] is materialised lazily: the delivery engine never touches it
+   (it works off G plus the gray set), so scale runs skip its cost
+   entirely while verification-style callers still get it on demand.
+
    Geometric instances additionally carry the plane embedding; the paper
    requires dist(u,v) <= 1 => (u,v) ∈ E and (u,v) ∈ E' => dist(u,v) <= d. *)
 
 module Bitset = Rn_util.Bitset
 
 type t = {
-  g : Graph.t;  (* reliable links E *)
-  g' : Graph.t; (* E' = E ∪ gray *)
-  gray : (int * int) array; (* E' \ E, canonical u < v, indexable *)
-  gray_adj : (int * int) array array; (* node -> [(neighbor, gray edge id)] *)
+  g : Graph.t; (* reliable links E *)
+  gprime : Graph.t option Atomic.t; (* lazy E' = E ∪ gray *)
+  gray_pk : int array; (* E' \ E as ascending u * n + v keys; index = edge id *)
+  goff : int array; (* n + 1 CSR offsets into [gid] *)
+  gid : int array; (* incident gray edge ids, descending id within each row *)
   pos : Rn_geom.Point.t array option; (* plane embedding, if geometric *)
   d : float; (* max distance of a G' edge (paper's constant d) *)
   gray_masks : Bitset.t array option Atomic.t;
@@ -25,13 +34,136 @@ type t = {
 }
 
 let g t = t.g
-let g' t = t.g'
 let n t = Graph.n t.g
-let gray_edges t = t.gray
-let gray_count t = Array.length t.gray
-let gray_adj t v = t.gray_adj.(v)
+let gray_count t = Array.length t.gray_pk
 let positions t = t.pos
 let d t = t.d
+
+let gray_u t id = t.gray_pk.(id) / Graph.n t.g
+let gray_v t id = t.gray_pk.(id) mod Graph.n t.g
+
+(* The endpoint of gray edge [id] that is not [v]. *)
+let gray_other t id v =
+  let e = t.gray_pk.(id) in
+  let nn = Graph.n t.g in
+  (e / nn) + (e mod nn) - v
+
+let gray_edges t =
+  let nn = Graph.n t.g in
+  Array.map (fun e -> (e / nn, e mod nn)) t.gray_pk
+
+let gray_degree t v = t.goff.(v + 1) - t.goff.(v)
+
+(* Visit [(neighbor, edge id)] pairs of [v]'s gray incidence, descending
+   edge id — the historical row order, which adversary policies consume
+   RNG draws in. *)
+let iter_gray_adj f t v =
+  let nn = Graph.n t.g in
+  for i = t.goff.(v) to t.goff.(v + 1) - 1 do
+    let id = Array.unsafe_get t.gid i in
+    let e = Array.unsafe_get t.gray_pk id in
+    f ((e / nn) + (e mod nn) - v) id
+  done
+
+(* Compat view of one row as a materialised tuple array (tests, detector
+   construction); hot paths use {!iter_gray_adj}. *)
+let gray_adj t v =
+  let deg = gray_degree t v in
+  let a = Array.make deg (0, 0) in
+  let k = ref 0 in
+  iter_gray_adj
+    (fun w id ->
+      a.(!k) <- (w, id);
+      incr k)
+    t v;
+  a
+
+(* Shared lock for the lazy caches; builds are rare (at most one g' and
+   one mask cache per dual graph) and the double-check under the lock
+   keeps concurrent first uses from building twice. *)
+let lazy_lock = Mutex.create ()
+
+let g' t =
+  match Atomic.get t.gprime with
+  | Some g' -> g'
+  | None ->
+    Mutex.protect lazy_lock (fun () ->
+        match Atomic.get t.gprime with
+        | Some g' -> g'
+        | None ->
+          let g' = Graph.union t.g (Graph.of_packed (Graph.n t.g) t.gray_pk) in
+          Atomic.set t.gprime (Some g');
+          g')
+
+(* Build from already-canonical gray keys: strictly ascending packed
+   [u * n + v] with [u < v], disjoint from [g]'s edges.  This is the
+   allocation-lean path generators use; [make] funnels into it after
+   canonicalising its tuple list. *)
+let make_packed ?pos ?(d = 2.0) ~g ~gray_pk () =
+  let n = Graph.n g in
+  let ng = Array.length gray_pk in
+  for i = 0 to ng - 1 do
+    let e = gray_pk.(i) in
+    let u = e / n and v = e mod n in
+    if e < 0 || u >= v || v >= n then invalid_arg "Dual.make_packed: bad gray key";
+    if i > 0 && gray_pk.(i - 1) >= e then
+      invalid_arg "Dual.make_packed: keys not ascending";
+    if Graph.mem_edge g u v then invalid_arg "Dual.make_packed: gray edge already reliable"
+  done;
+  (match pos with
+  | Some p ->
+    if Array.length p <> n then invalid_arg "Dual.make: positions arity";
+    (* Model constraints: unit-distance pairs must be reliable links and no
+       G' edge may exceed distance d.  The first only concerns pairs at
+       distance <= 1, which a unit hash-grid enumerates in O(n) expected;
+       the second is checked edge-by-edge over E and the gray set, so the
+       lazy G' union is never forced here. *)
+    let grid = Rn_geom.Grid.build ~cell:1.0 p in
+    Rn_geom.Grid.iter_pairs
+      (fun u v dist ->
+        if dist <= 1.0 && not (Graph.mem_edge g u v) then
+          invalid_arg "Dual.make: unit-distance pair missing from E")
+      grid p;
+    let check_len u v =
+      if Rn_geom.Point.dist p.(u) p.(v) > d +. 1e-9 then
+        invalid_arg "Dual.make: G' edge longer than d"
+    in
+    Graph.iter_edges check_len g;
+    Array.iter (fun e -> check_len (e / n) (e mod n)) gray_pk
+  | None -> ());
+  (* Counting fill of the incidence CSR; iterating ids high-to-low
+     reproduces the historical row order (descending edge id), which
+     adversary policies may consume RNG draws in. *)
+  let goff = Array.make (n + 1) 0 in
+  Array.iter
+    (fun e ->
+      let u = e / n and v = e mod n in
+      goff.(u + 1) <- goff.(u + 1) + 1;
+      goff.(v + 1) <- goff.(v + 1) + 1)
+    gray_pk;
+  for v = 0 to n - 1 do
+    goff.(v + 1) <- goff.(v + 1) + goff.(v)
+  done;
+  let gid = Array.make (2 * ng) 0 in
+  let fill = Array.copy goff in
+  for id = ng - 1 downto 0 do
+    let e = gray_pk.(id) in
+    let u = e / n and v = e mod n in
+    gid.(fill.(u)) <- id;
+    fill.(u) <- fill.(u) + 1;
+    gid.(fill.(v)) <- id;
+    fill.(v) <- fill.(v) + 1
+  done;
+  {
+    g;
+    gprime = Atomic.make None;
+    gray_pk;
+    goff;
+    gid;
+    pos;
+    d;
+    gray_masks = Atomic.make None;
+  }
 
 let make ?pos ?(d = 2.0) ~g ~gray () =
   let n = Graph.n g in
@@ -39,7 +171,7 @@ let make ?pos ?(d = 2.0) ~g ~gray () =
      is the construction hot spot at experiment sizes, and ascending
      packed order is exactly the lexicographic order the dense gray-edge
      ids must follow (adversary policies draw per edge id). *)
-  let gray_packed =
+  let gray_pk =
     let a =
       Array.of_list
         (List.map
@@ -60,70 +192,29 @@ let make ?pos ?(d = 2.0) ~g ~gray () =
       a;
     Array.sub a 0 !k
   in
-  let gray = Array.map (fun e -> (e / n, e mod n)) gray_packed in
-  let g' = Graph.union g (Graph.of_packed n gray_packed) in
-  (match pos with
-  | Some p ->
-    if Array.length p <> n then invalid_arg "Dual.make: positions arity";
-    (* Model constraints: unit-distance pairs must be reliable links and no
-       G' edge may exceed distance d.  The first only concerns pairs at
-       distance <= 1, which a unit hash-grid enumerates in O(n) expected;
-       the second only concerns the m' edges of G' — neither needs the
-       full O(n^2) pair scan. *)
-    let grid = Rn_geom.Grid.build ~cell:1.0 p in
-    Rn_geom.Grid.iter_pairs
-      (fun u v dist ->
-        if dist <= 1.0 && not (Graph.mem_edge g u v) then
-          invalid_arg "Dual.make: unit-distance pair missing from E")
-      grid p;
-    Graph.iter_edges
-      (fun u v ->
-        if Rn_geom.Point.dist p.(u) p.(v) > d +. 1e-9 then
-          invalid_arg "Dual.make: G' edge longer than d")
-      g'
-  | None -> ());
-  (* Counting fill instead of list buckets; iterating ids high-to-low
-     reproduces the historical row order (descending edge id), which
-     adversary policies may consume RNG draws in. *)
-  let gdeg = Array.make n 0 in
-  Array.iter
-    (fun (u, v) ->
-      gdeg.(u) <- gdeg.(u) + 1;
-      gdeg.(v) <- gdeg.(v) + 1)
-    gray;
-  let gray_adj = Array.init n (fun v -> Array.make gdeg.(v) (0, 0)) in
-  let fill = Array.make n 0 in
-  for id = Array.length gray - 1 downto 0 do
-    let u, v = gray.(id) in
-    gray_adj.(u).(fill.(u)) <- (v, id);
-    fill.(u) <- fill.(u) + 1;
-    gray_adj.(v).(fill.(v)) <- (u, id);
-    fill.(v) <- fill.(v) + 1
-  done;
-  { g; g'; gray; gray_adj; pos; d; gray_masks = Atomic.make None }
-
-let masks_lock = Mutex.create ()
+  make_packed ?pos ~d ~g ~gray_pk ()
 
 (* Gray incidence as bitsets over gray edge ids: [gray_mask t v] has bit
    [id] set iff gray edge [id] touches [v].  Lets the delivery kernel
    intersect a node's incident gray edges with the round's active set in
-   O(gray/word) instead of walking [gray_adj]. *)
+   O(gray/word) instead of walking the incidence row. *)
 let gray_masks t =
   match Atomic.get t.gray_masks with
   | Some m -> m
   | None ->
-    Mutex.protect masks_lock (fun () ->
+    Mutex.protect lazy_lock (fun () ->
         match Atomic.get t.gray_masks with
         | Some m -> m
         | None ->
-          let ng = Array.length t.gray in
+          let ng = Array.length t.gray_pk in
+          let nn = Graph.n t.g in
           let m =
-            Array.map
-              (fun inc ->
+            Array.init nn (fun v ->
                 let b = Bitset.create ng in
-                Array.iter (fun (_, id) -> Bitset.add b id) inc;
+                for i = t.goff.(v) to t.goff.(v + 1) - 1 do
+                  Bitset.add b t.gid.(i)
+                done;
                 b)
-              t.gray_adj
           in
           Atomic.set t.gray_masks (Some m);
           m)
@@ -131,7 +222,7 @@ let gray_masks t =
 let gray_mask t v = (gray_masks t).(v)
 
 (* A dual graph with no unreliable links: the classic radio model G = G'. *)
-let classic g = make ~g ~gray:[] ()
+let classic g = make_packed ~g ~gray_pk:[||] ()
 
 (* Move reliable edges into the gray set — the Section 8 "link degrades"
    event.  G' is unchanged; only the reliability of the named links drops.
@@ -148,10 +239,10 @@ let demote_edges t edges =
     demoted;
   let keep e = not (List.mem e demoted) in
   let g1 = Graph.of_edges (n t) (List.filter keep (Graph.edges t.g)) in
-  make ~d:t.d ~g:g1 ~gray:(Array.to_list t.gray @ demoted) ()
+  make ~d:t.d ~g:g1 ~gray:(Array.to_list (gray_edges t) @ demoted) ()
 
 let max_degree_g t = Graph.max_degree t.g
-let max_degree_g' t = Graph.max_degree t.g'
+let max_degree_g' t = Graph.max_degree (g' t)
 
 let pp ppf t =
   Fmt.pf ppf "dual(n=%d, |E|=%d, gray=%d)" (n t) (Graph.edge_count t.g)

@@ -10,6 +10,13 @@ type t
 val make :
   ?pos:Rn_geom.Point.t array -> ?d:float -> g:Graph.t -> gray:(int * int) list -> unit -> t
 
+(** Allocation-lean construction from already-canonical gray keys:
+    strictly ascending packed [u * n + v] with [u < v], disjoint from
+    [g]'s edges (validated).  Same geometric validation as {!make}, done
+    edge-by-edge so [g'] is never materialised. *)
+val make_packed :
+  ?pos:Rn_geom.Point.t array -> ?d:float -> g:Graph.t -> gray_pk:int array -> unit -> t
+
 (** Classic radio model: [G = G'] (no gray edges). *)
 val classic : Graph.t -> t
 
@@ -19,16 +26,39 @@ val classic : Graph.t -> t
 val demote_edges : t -> (int * int) list -> t
 
 val g : t -> Graph.t
+
+(** [E' = E ∪ gray], materialised lazily on first use (the delivery
+    engine never needs it; verification passes do). *)
 val g' : t -> Graph.t
+
 val n : t -> int
 
-(** Gray edges, canonically ordered, densely indexed by position. *)
+(** Gray edges, canonically ordered, densely indexed by position, as a
+    freshly-allocated tuple array.  Hot paths should use the packed
+    accessors {!gray_u}/{!gray_v}/{!gray_other} instead. *)
 val gray_edges : t -> (int * int) array
 
 val gray_count : t -> int
 
-(** Gray incidence of a node: [(neighbor, gray_edge_id)] pairs. *)
+(** Endpoints of a gray edge by dense id, [gray_u t id < gray_v t id]. *)
+val gray_u : t -> int -> int
+
+val gray_v : t -> int -> int
+
+(** [gray_other t id v] is the endpoint of gray edge [id] that is not
+    [v] (one of whose endpoints [v] must be). *)
+val gray_other : t -> int -> int -> int
+
+(** Gray incidence of a node: [(neighbor, gray_edge_id)] pairs, as a
+    freshly-allocated array.  Hot paths should use {!iter_gray_adj}. *)
 val gray_adj : t -> int -> (int * int) array
+
+(** [iter_gray_adj f t v] calls [f neighbor edge_id] for each gray edge
+    incident to [v], in descending edge-id order — the order adversary
+    policies consume RNG draws in.  No allocation. *)
+val iter_gray_adj : (int -> int -> unit) -> t -> int -> unit
+
+val gray_degree : t -> int -> int
 
 (** Gray incidence of a node as a bitset over gray edge ids, for the
     word-parallel delivery kernel.  Built lazily on first use, published

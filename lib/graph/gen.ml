@@ -53,23 +53,51 @@ let of_positions_naive ~rng ~d ~gray_p pos =
    graph is identical to the naive one, bit for bit. *)
 let of_positions ~rng ~d ~gray_p pos =
   let n = Array.length pos in
-  let reliable = ref [] and cand = ref [] in
+  (* Growable unboxed buffers of packed (u * n + v) keys: at a million
+     nodes the reliable and gray-zone sets run to tens of millions of
+     pairs, where tuple lists cost gigabytes of boxed cells.  The
+     amortised-doubling push keeps peak memory at ~2x the final size. *)
+  let push bufref lenref e =
+    let buf = !bufref and len = !lenref in
+    let buf =
+      if len < Array.length buf then buf
+      else begin
+        let b = Array.make (2 * len) 0 in
+        Array.blit buf 0 b 0 len;
+        bufref := b;
+        b
+      end
+    in
+    buf.(len) <- e;
+    lenref := len + 1
+  in
+  let rel_buf = ref (Array.make 1024 0) and rel_len = ref 0 in
+  let cand_buf = ref (Array.make 1024 0) and cand_len = ref 0 in
   let grid = Rn_geom.Grid.build ~cell:(Float.max d 1.0) pos in
   Rn_geom.Grid.iter_pairs
     (fun u v dist ->
-      if dist <= 1.0 then reliable := (u, v) :: !reliable
-      else if dist <= d then cand := ((u * n) + v) :: !cand)
+      if dist <= 1.0 then push rel_buf rel_len ((u * n) + v)
+      else if dist <= d then push cand_buf cand_len ((u * n) + v))
     grid pos;
   (* packed (u * n + v) candidates sort as unboxed ints, and ascending
      packed order is (u, v)-lexicographic — the naive scan's draw order *)
-  let cand = Array.of_list !cand in
-  Array.sort compare cand;
-  let gray = ref [] in
+  let cand = Array.sub !cand_buf 0 !cand_len in
+  cand_buf := [||];
+  Array.sort (fun (x : int) y -> compare x y) cand;
+  (* Bernoulli draws in ascending order produce the gray keys already
+     ascending, exactly what [Dual.make_packed] wants. *)
+  let gray_len = ref 0 in
   Array.iter
-    (fun e -> if Rng.bool rng gray_p then gray := (e / n, e mod n) :: !gray)
+    (fun e ->
+      if Rng.bool rng gray_p then begin
+        cand.(!gray_len) <- e;
+        incr gray_len
+      end)
     cand;
-  let g = Graph.of_edges n !reliable in
-  Dual.make ~pos ~d ~g ~gray:!gray ()
+  let gray_pk = Array.sub cand 0 !gray_len in
+  let g = Graph.of_packed_unsorted n (Array.sub !rel_buf 0 !rel_len) in
+  rel_buf := [||];
+  Dual.make_packed ~pos ~d ~g ~gray_pk ()
 
 (* Random geometric dual graph, resampled until G is connected. *)
 let geometric ~rng spec =

@@ -1,8 +1,12 @@
 (* Immutable undirected graphs over nodes [0, n).
 
-   Adjacency lists are sorted int arrays, giving O(log deg) membership
-   tests and cache-friendly iteration — the simulator's inner loop walks
-   broadcaster adjacency every round.
+   Adjacency is stored in CSR form: one flat [nbr] array of length 2m
+   holding every row back-to-back (sorted within each row), indexed by an
+   [off] array of n+1 offsets.  Compared to an array-of-arrays this
+   drops n header words and n pointers — at a million nodes that is the
+   difference between the graph fitting comfortably in memory and the GC
+   chasing a million tiny arrays — and iteration over a row is a plain
+   int-array scan either way.
 
    [rows] is a lazily-built bitset view of the same adjacency (one
    Bitset per node), used by the engine's word-parallel delivery kernel
@@ -16,7 +20,8 @@ module Bitset = Rn_util.Bitset
 
 type t = {
   n : int;
-  adj : int array array;
+  off : int array; (* n + 1 row offsets into [nbr] *)
+  nbr : int array; (* length 2m; sorted within each row *)
   m : int;
   maxdeg : int; (* memoised: max degree is read in per-round paths *)
   rows : Bitset.t array option Atomic.t;
@@ -25,9 +30,12 @@ type t = {
 let n t = t.n
 let edge_count t = t.m
 
-let max_deg_of adj = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 adj
-
-let make ~n ~adj ~m = { n; adj; m; maxdeg = max_deg_of adj; rows = Atomic.make None }
+let make ~n ~off ~nbr ~m =
+  let maxdeg = ref 0 in
+  for v = 0 to n - 1 do
+    maxdeg := max !maxdeg (off.(v + 1) - off.(v))
+  done;
+  { n; off; nbr; m; maxdeg = !maxdeg; rows = Atomic.make None }
 
 (* The build lock is module-wide: row builds are rare (once per graph
    that ever sees a dense round) and the double-check under the lock
@@ -43,12 +51,12 @@ let adj_rows t =
         | Some r -> r
         | None ->
           let r =
-            Array.map
-              (fun a ->
+            Array.init t.n (fun v ->
                 let b = Bitset.create t.n in
-                Array.iter (Bitset.add b) a;
+                for i = t.off.(v) to t.off.(v + 1) - 1 do
+                  Bitset.add b t.nbr.(i)
+                done;
                 b)
-              t.adj
           in
           Atomic.set t.rows (Some r);
           r)
@@ -58,35 +66,31 @@ let adj_row t v = (adj_rows t).(v)
 let check_node t v =
   if v < 0 || v >= t.n then invalid_arg "Graph: node out of range"
 
-(* Edges are canonicalised and deduplicated as packed ints (u * n + v,
-   u < v): sorting an unboxed int array is several times faster than
-   [List.sort_uniq] on tuples, which dominates construction at the
-   experiment sizes.  A pleasant consequence of the lexicographic pack:
-   filling adjacency in sorted-edge order yields already-sorted rows
-   (for node w, all (y, w) edges precede all (w, x) ones and y < w < x
-   within each group ascending), so no per-node sort is needed. *)
 (* Build from strictly-ascending packed keys (u * n + v, u < v), the
    first [m] entries of [packed].  Filling adjacency in sorted-edge
    order yields already-sorted rows: for node w, all (y, w) edges
    precede all (w, x) ones, and within each group the partner ascends
    (y < w < x), so no per-node sort is needed. *)
 let build_packed n packed m =
-  let deg = Array.make n 0 in
+  let off = Array.make (n + 1) 0 in
   for i = 0 to m - 1 do
     let u = packed.(i) / n and v = packed.(i) mod n in
-    deg.(u) <- deg.(u) + 1;
-    deg.(v) <- deg.(v) + 1
+    off.(u + 1) <- off.(u + 1) + 1;
+    off.(v + 1) <- off.(v + 1) + 1
   done;
-  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
-  let fill = Array.make n 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v + 1) + off.(v)
+  done;
+  let nbr = Array.make (2 * m) 0 in
+  let fill = Array.copy off in
   for i = 0 to m - 1 do
     let u = packed.(i) / n and v = packed.(i) mod n in
-    adj.(u).(fill.(u)) <- v;
+    nbr.(fill.(u)) <- v;
     fill.(u) <- fill.(u) + 1;
-    adj.(v).(fill.(v)) <- u;
+    nbr.(fill.(v)) <- u;
     fill.(v) <- fill.(v) + 1
   done;
-  make ~n ~adj ~m
+  make ~n ~off ~nbr ~m
 
 let check_packable n = if n > 0x3FFF_FFFF then invalid_arg "Graph: n too large to pack edges"
 
@@ -101,6 +105,32 @@ let of_packed n packed =
     if i > 0 && packed.(i - 1) >= e then invalid_arg "Graph.of_packed: keys not ascending"
   done;
   build_packed n packed m
+
+let int_compare (x : int) y = if x < y then -1 else if x > y then 1 else 0
+
+(* Sort-dedup-build from an unvalidated packed key array; mutates
+   [packed] in place (the builders that use this hold a scratch buffer
+   anyway).  This is the memory-lean construction path: no tuple list,
+   no intermediate copies beyond the caller's buffer. *)
+let of_packed_unsorted n packed =
+  if n < 0 then invalid_arg "Graph.of_packed_unsorted: negative n";
+  check_packable n;
+  let len = Array.length packed in
+  for i = 0 to len - 1 do
+    let e = packed.(i) in
+    let u = e / n and v = e mod n in
+    if e < 0 || u >= v || v >= n then invalid_arg "Graph.of_packed_unsorted: bad key"
+  done;
+  Array.sort int_compare packed;
+  let m = ref 0 in
+  for i = 0 to len - 1 do
+    let e = packed.(i) in
+    if i = 0 || packed.(i - 1) <> e then begin
+      packed.(!m) <- e;
+      incr m
+    end
+  done;
+  build_packed n packed !m
 
 (* Edges are canonicalised and deduplicated as packed ints: sorting an
    unboxed int array is several times faster than [List.sort_uniq] on
@@ -125,7 +155,7 @@ let of_edges n edges =
   for i = 1 to len - 1 do
     if packed.(i - 1) > packed.(i) then sorted := false
   done;
-  if not !sorted then Array.sort compare packed;
+  if not !sorted then Array.sort int_compare packed;
   let m = ref 0 in
   Array.iteri
     (fun i e ->
@@ -136,41 +166,63 @@ let of_edges n edges =
     packed;
   build_packed n packed !m
 
+let degree t v =
+  check_node t v;
+  t.off.(v + 1) - t.off.(v)
+
+(* Allocates a fresh copy of the row (the CSR store is shared); hot
+   paths should use [iter_neighbors] instead. *)
 let neighbors t v =
   check_node t v;
-  t.adj.(v)
+  Array.sub t.nbr t.off.(v) (t.off.(v + 1) - t.off.(v))
 
-let degree t v = Array.length (neighbors t v)
+(* Visit a node's neighbors in increasing order, no allocation. *)
+let iter_neighbors f t v =
+  check_node t v;
+  for i = t.off.(v) to t.off.(v + 1) - 1 do
+    f (Array.unsafe_get t.nbr i)
+  done
+
+let fold_neighbors f t v init =
+  check_node t v;
+  let acc = ref init in
+  for i = t.off.(v) to t.off.(v + 1) - 1 do
+    acc := f (Array.unsafe_get t.nbr i) !acc
+  done;
+  !acc
 
 let max_degree t = t.maxdeg
 
 let mem_edge t u v =
   check_node t u;
   check_node t v;
-  let a = t.adj.(u) in
-  (* Binary search in the sorted adjacency array. *)
+  (* Binary search in the sorted CSR row. *)
   let rec bs lo hi =
     if lo >= hi then false
     else begin
       let mid = (lo + hi) / 2 in
-      if a.(mid) = v then true else if a.(mid) < v then bs (mid + 1) hi else bs lo mid
+      if t.nbr.(mid) = v then true
+      else if t.nbr.(mid) < v then bs (mid + 1) hi
+      else bs lo mid
     end
   in
-  bs 0 (Array.length a)
+  bs t.off.(u) t.off.(u + 1)
 
 let edges t =
   let acc = ref [] in
-  for u = 0 to t.n - 1 do
-    Array.iter (fun v -> if u < v then acc := (u, v) :: !acc) t.adj.(u)
+  for u = t.n - 1 downto 0 do
+    for i = t.off.(u + 1) - 1 downto t.off.(u) do
+      let v = t.nbr.(i) in
+      if u < v then acc := (u, v) :: !acc
+    done
   done;
-  List.rev !acc
+  !acc
 
 (* Same visiting order as [edges t], without building the list. *)
 let iter_edges f t =
   for u = 0 to t.n - 1 do
-    let a = t.adj.(u) in
-    for i = 0 to Array.length a - 1 do
-      let v = a.(i) in
+    for i = t.off.(u) to t.off.(u + 1) - 1 do
+      let v = t.nbr.(i) in
       if u < v then f u v
     done
   done
@@ -182,62 +234,75 @@ let fold_nodes f t init =
   done;
   !acc
 
-(* [union a b] has an edge wherever either graph does.  Both adjacency
-   lists are already sorted and duplicate-free, so a per-node merge avoids
-   the edge-list rebuild and re-sort of [of_edges]. *)
+(* [union a b] has an edge wherever either graph does.  Both CSR rows
+   are already sorted and duplicate-free, so a per-node merge avoids the
+   edge-list rebuild and re-sort of [of_edges]. *)
 let union a b =
   if a.n <> b.n then invalid_arg "Graph.union: size mismatch";
-  let merge x y =
-    let lx = Array.length x and ly = Array.length y in
-    if lx = 0 then Array.copy y
-    else if ly = 0 then Array.copy x
-    else begin
-      let buf = Array.make (lx + ly) 0 in
-      let i = ref 0 and j = ref 0 and k = ref 0 in
-      while !i < lx && !j < ly do
-        let xv = x.(!i) and yv = y.(!j) in
-        if xv < yv then begin
-          buf.(!k) <- xv;
-          incr i
-        end
-        else if yv < xv then begin
-          buf.(!k) <- yv;
-          incr j
-        end
-        else begin
-          buf.(!k) <- xv;
-          incr i;
-          incr j
-        end;
-        incr k
-      done;
-      while !i < lx do
-        buf.(!k) <- x.(!i);
+  let cap = Array.length a.nbr + Array.length b.nbr in
+  let nbr = Array.make (max cap 1) 0 in
+  let off = Array.make (a.n + 1) 0 in
+  let k = ref 0 in
+  for v = 0 to a.n - 1 do
+    let i = ref a.off.(v) and j = ref b.off.(v) in
+    let ihi = a.off.(v + 1) and jhi = b.off.(v + 1) in
+    while !i < ihi && !j < jhi do
+      let xv = a.nbr.(!i) and yv = b.nbr.(!j) in
+      if xv < yv then begin
+        nbr.(!k) <- xv;
+        incr i
+      end
+      else if yv < xv then begin
+        nbr.(!k) <- yv;
+        incr j
+      end
+      else begin
+        nbr.(!k) <- xv;
         incr i;
-        incr k
-      done;
-      while !j < ly do
-        buf.(!k) <- y.(!j);
-        incr j;
-        incr k
-      done;
-      if !k = lx + ly then buf else Array.sub buf 0 !k
-    end
-  in
-  let adj = Array.init a.n (fun v -> merge a.adj.(v) b.adj.(v)) in
-  let m = Array.fold_left (fun acc l -> acc + Array.length l) 0 adj / 2 in
-  make ~n:a.n ~adj ~m
+        incr j
+      end;
+      incr k
+    done;
+    while !i < ihi do
+      nbr.(!k) <- a.nbr.(!i);
+      incr i;
+      incr k
+    done;
+    while !j < jhi do
+      nbr.(!k) <- b.nbr.(!j);
+      incr j;
+      incr k
+    done;
+    off.(v + 1) <- !k
+  done;
+  let nbr = if !k = cap then nbr else Array.sub nbr 0 (max !k 1) in
+  make ~n:a.n ~off ~nbr ~m:(!k / 2)
 
 (* [is_subgraph a b]: every edge of [a] is an edge of [b]. *)
 let is_subgraph a b =
-  a.n = b.n && List.for_all (fun (u, v) -> mem_edge b u v) (edges a)
+  if a.n <> b.n then false
+  else begin
+    let ok = ref true in
+    iter_edges (fun u v -> if not (mem_edge b u v) then ok := false) a;
+    !ok
+  end
 
 (* [induced t keep] restricts to nodes where [keep] holds (same node ids). *)
 let induced t keep =
-  let es =
-    List.filter (fun (u, v) -> keep u && keep v) (edges t)
-  in
-  of_edges t.n es
+  let buf = ref [] in
+  let cnt = ref 0 in
+  iter_edges
+    (fun u v ->
+      if keep u && keep v then begin
+        buf := ((u * t.n) + v) :: !buf;
+        incr cnt
+      end)
+    t;
+  let packed = Array.make !cnt 0 in
+  (* [iter_edges] visits in ascending packed order and the list was
+     built by consing, so unreverse while filling. *)
+  List.iteri (fun i e -> packed.(!cnt - 1 - i) <- e) !buf;
+  build_packed t.n packed !cnt
 
 let pp ppf t =
   Fmt.pf ppf "graph(n=%d, m=%d)" t.n t.m

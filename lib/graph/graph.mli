@@ -12,12 +12,23 @@ val of_edges : int -> (int * int) list -> t
     Raises [Invalid_argument] on malformed or out-of-order keys. *)
 val of_packed : int -> int array -> t
 
+(** Like {!of_packed} but sorts and deduplicates the keys first,
+    mutating the input array in place — the memory-lean path for
+    generators that accumulate packed edges into a scratch buffer. *)
+val of_packed_unsorted : int -> int array -> t
+
 val n : t -> int
 val edge_count : t -> int
 
-(** Sorted adjacency array of a node (do not mutate). *)
+(** Sorted adjacency of a node, as a freshly-allocated array (the CSR
+    backing store is shared).  Hot paths should use {!iter_neighbors}. *)
 val neighbors : t -> int -> int array
 
+(** [iter_neighbors f t v] visits [v]'s neighbors in increasing order
+    without allocating. *)
+val iter_neighbors : (int -> unit) -> t -> int -> unit
+
+val fold_neighbors : (int -> 'a -> 'a) -> t -> int -> 'a -> 'a
 val degree : t -> int -> int
 
 (** Memoised at construction — O(1). *)

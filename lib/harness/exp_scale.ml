@@ -11,7 +11,11 @@
        constant expected per-node traffic should scale near-linearly in
        total work (rounds x n), i.e. per-round seconds ~ n^~1.
 
-   Run it via [rn_cli scale] (quick: n up to 8192; --full: up to 65536). *)
+   Run it via [rn_cli scale] (quick: n up to 8192; --full: up to a
+   million nodes).  [--shards N] shards each round's delivery across N
+   Pool domains; [--check] prints only the deterministic columns
+   (counts, no timings), which is what lets scripts/shard_smoke.sh
+   byte-compare tables across shard counts and kernel modes. *)
 
 module Rng = Rn_util.Rng
 module Table = Rn_util.Table
@@ -37,7 +41,11 @@ module E = Rn_sim.Engine.Make (M)
 
 let sizes = function
   | Quick -> [ 1024; 2048; 4096; 8192 ]
-  | Full -> [ 1024; 2048; 4096; 8192; 16384; 32768; 65536 ]
+  | Full ->
+    (* The top of the grid is the ROADMAP's million-node milestone: CSR
+       worlds, off-heap bitsets and lazy detector rows keep one point's
+       working set to a few hundred MB, so the full grid fits easily. *)
+    [ 1024; 2048; 4096; 8192; 16384; 32768; 65536; 131072; 262144; 524288; 1048576 ]
 
 (* Expected reliable degree must clear the geometric-connectivity
    threshold (~ln n) or [Gen.geometric]'s resampling loop dominates the
@@ -57,7 +65,9 @@ type row = {
   p50_bcast : int; (* per-round broadcaster histogram percentile *)
   p50_round_us : int; (* per-round wall-time histogram percentiles *)
   p95_round_us : int;
+  sends : int;
   deliveries : int;
+  collisions : int;
 }
 
 (* One grid point: generate the world, then run the beacon workload —
@@ -65,7 +75,7 @@ type row = {
    [beacon_rounds] rounds, which keeps expected per-neighbourhood
    traffic constant as n grows (throughput is then work-bound, not
    contention-bound). *)
-let measure n =
+let measure ?(shards = 1) ?(kernel = `Auto) n =
   let t0 = Timing.now () in
   let dual = geometric ~seed:(0x5CA1E + n) ~n ~degree:(degree_for n) () in
   let gen_s = Timing.now () -. t0 in
@@ -88,7 +98,7 @@ let measure n =
       E.config ~seed:(n lxor 0x5EED)
         ~stop:(Rn_sim.Engine.At_round beacon_rounds)
         ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
-        ~observer ~detector:det dual
+        ~observer ~kernel ~shards ~detector:det dual
     in
     E.run cfg (fun ctx ->
         let me = E.me ctx in
@@ -123,7 +133,9 @@ let measure n =
     p50_bcast = Metrics.percentile bcast_hist 0.5;
     p50_round_us = Metrics.percentile round_hist 0.5;
     p95_round_us = Metrics.percentile round_hist 0.95;
+    sends = res.E.stats.Rn_sim.Engine.sends;
     deliveries = res.E.stats.Rn_sim.Engine.deliveries;
+    collisions = res.E.stats.Rn_sim.Engine.collisions;
   }
 
 let figure rows =
@@ -138,9 +150,53 @@ let figure rows =
           rows)
 
 (* [run ?out scale]: measure the grid, render the table, and (with
-   [?out]) write the log-log figure next to the F* ones. *)
-let run ?out scale =
-  let rows = List.map measure (sizes scale) in
+   [?out]) write the log-log figure next to the F* ones.  [?sizes]
+   overrides the grid; [?shards]/[?kernel] select the delivery strategy;
+   [?check] renders only the deterministic columns so tables can be
+   byte-compared across strategies. *)
+let run ?out ?sizes:sizes_override ?(shards = 1) ?(kernel = `Auto) ?(check = false) scale =
+  let grid = match sizes_override with Some l -> l | None -> sizes scale in
+  let rows =
+    List.map
+      (fun n ->
+        let r = measure ~shards ~kernel n in
+        (* between points: retire the previous world before building the
+           next, so peak RSS holds one world, not two *)
+        Gc.full_major ();
+        r)
+      grid
+  in
+  if check then begin
+    (* Deterministic columns only: counts are byte-identical across
+       shard counts and kernel modes (that is the sharding contract),
+       timings are not.  Notes likewise carry no timing or strategy
+       detail — two check tables from different strategies must compare
+       equal byte-for-byte. *)
+    let t = Table.create [ "n"; "m"; "gray"; "sends"; "deliveries"; "collisions" ] in
+    List.iter
+      (fun r ->
+        Table.add_row t
+          [
+            Table.cell_int r.n;
+            Table.cell_int r.m;
+            Table.cell_int r.gray;
+            Table.cell_int r.sends;
+            Table.cell_int r.deliveries;
+            Table.cell_int r.collisions;
+          ])
+      rows;
+    {
+      id = "S1";
+      title = "Scaling: deterministic delivery counts (check mode)";
+      body = Table.render t;
+      notes =
+        [
+          Printf.sprintf "beacon workload: %d rounds, each process syncs w.p. %.2f"
+            beacon_rounds beacon_p;
+        ];
+    }
+  end
+  else begin
   let t =
     Table.create
       [
@@ -193,3 +249,4 @@ let run ?out scale =
     body = Table.render t;
     notes;
   }
+  end

@@ -52,8 +52,7 @@ let all_gray =
     choose =
       (fun ~round:_ ~broadcasters dual _ active ->
         Array.iter
-          (fun u ->
-            Array.iter (fun (_, e) -> Bitset.add active e) (Dual.gray_adj dual u))
+          (fun u -> Dual.iter_gray_adj (fun _ e -> Bitset.add active e) dual u)
           broadcasters);
   }
 
@@ -68,11 +67,11 @@ let bernoulli p =
       (fun ~round:_ ~broadcasters dual rng active ->
         Array.iter
           (fun u ->
-            Array.iter
-              (fun (v, e) ->
+            Dual.iter_gray_adj
+              (fun v e ->
                 if not (v < u && mem_sorted broadcasters v) then
                   if Rng.bool rng p then Bitset.add active e)
-              (Dual.gray_adj dual u))
+              dual u)
           broadcasters);
   }
 
@@ -87,9 +86,9 @@ let harassing p =
       (fun ~round:_ ~broadcasters dual rng active ->
         Array.iter
           (fun u ->
-            Array.iter
-              (fun (_, e) -> if Rng.bool rng p then Bitset.add active e)
-              (Dual.gray_adj dual u))
+            Dual.iter_gray_adj
+              (fun _ e -> if Rng.bool rng p then Bitset.add active e)
+              dual u)
           broadcasters);
   }
 
@@ -102,8 +101,7 @@ let spiteful =
       (fun ~round:_ ~broadcasters dual _ active ->
         if Array.length broadcasters >= 2 then
           Array.iter
-            (fun u ->
-              Array.iter (fun (_, e) -> Bitset.add active e) (Dual.gray_adj dual u))
+            (fun u -> Dual.iter_gray_adj (fun _ e -> Bitset.add active e) dual u)
             broadcasters);
   }
 
@@ -124,21 +122,21 @@ let jamming =
         let reliable_count = Array.make n 0 in
         Array.iter
           (fun u ->
-            Array.iter
+            Rn_graph.Graph.iter_neighbors
               (fun v -> reliable_count.(v) <- reliable_count.(v) + 1)
-              (Rn_graph.Graph.neighbors g u))
+              g u)
           broadcasters;
         for v = 0 to n - 1 do
           if (not bcast.(v)) && reliable_count.(v) = 1 then begin
             (* one gray broadcaster suffices to collide v *)
             let jammed = ref false in
-            Array.iter
-              (fun (w, e) ->
+            Dual.iter_gray_adj
+              (fun w e ->
                 if (not !jammed) && bcast.(w) then begin
                   Bitset.add active e;
                   jammed := true
                 end)
-              (Dual.gray_adj dual v)
+              dual v
           end
         done);
   }

@@ -39,6 +39,7 @@
    on message size in bits. *)
 
 module Bitset = Rn_util.Bitset
+module Pool = Rn_util.Pool
 module Rng = Rn_util.Rng
 module Timing = Rn_util.Timing
 module Metrics = Rn_util.Metrics
@@ -58,6 +59,7 @@ let m_deliveries = Metrics.counter "engine.deliveries"
 let m_collisions = Metrics.counter "engine.collisions"
 let m_bits_sent = Metrics.counter "engine.bits_sent"
 let m_silent_rounds = Metrics.counter "engine.silent_rounds"
+let m_sharded_rounds = Metrics.counter "engine.sharded_rounds"
 let m_timeouts = Metrics.counter "engine.timeouts"
 let m_round_bcast = Metrics.histogram "engine.round_broadcasters"
 let m_run_rounds = Metrics.histogram "engine.run_rounds"
@@ -125,11 +127,18 @@ module Make (M : MESSAGE) = struct
            model, `On forces it whenever legal, `Off never uses it.  A
            sink always forces the scalar path (the kernel cannot emit
            per-receiver events); results are identical either way. *)
+    shards : int;
+        (* intra-run delivery sharding: with [shards > 1] (and the
+           kernel not [`Off], no sink), each broadcasting round's
+           once/twice accumulation is partitioned across this many Pool
+           domains and merged in fixed shard order.  Pure evaluation
+           strategy — results are byte-identical at any shard count. *)
   }
 
   let config ?(adversary = Adversary.silent) ?(seed = 0) ?b_bits ?(delta_bound = 0)
       ?wake ?(stop = All_done) ?(max_rounds = 2_000_000) ?observer ?sink
-      ?(kernel = `Auto) ~detector dual =
+      ?(kernel = `Auto) ?(shards = 1) ~detector dual =
+    if shards < 1 then invalid_arg "Engine.config: shards < 1";
     let delta_bound =
       if delta_bound > 0 then delta_bound else Dual.max_degree_g dual
     in
@@ -146,6 +155,7 @@ module Make (M : MESSAGE) = struct
       observer;
       sink;
       kernel;
+      shards;
     }
 
   type ctx = {
@@ -400,6 +410,60 @@ module Make (M : MESSAGE) = struct
     let k_idle = Bitset.create nn in
     let k_recv = Bitset.create nn in
     let k_words = Bitset.word_count k_once in
+    (* Intra-run sharding: with [shards > 1], broadcasting rounds slice
+       the sorted broadcaster array into [shards] contiguous ranges and
+       scatter each slice's reach into a private accumulator pair on a
+       Pool domain.  The pool is created on the first sharded round and
+       shut down when the run ends; tracing and [`Off] fall back to one
+       shard (the scalar path emits per-receiver events, and [`Off]
+       promises no word-parallel evaluation at all). *)
+    let shards = if tracing || cfg.kernel = `Off then 1 else cfg.shards in
+    let shard_once =
+      if shards > 1 then Array.init shards (fun _ -> Bitset.create nn) else [||]
+    in
+    let shard_twice =
+      if shards > 1 then Array.init shards (fun _ -> Bitset.create nn) else [||]
+    in
+    let shard_ids = List.init shards Fun.id in
+    let pool = ref None in
+    let get_pool () =
+      match !pool with
+      | Some p -> p
+      | None ->
+        let p = Pool.create ~jobs:shards in
+        pool := Some p;
+        p
+    in
+    (* Shared by the dense kernel and the sharded path: once the round's
+       (once, twice) pair sits in [k_once]/[k_twice], classify every node
+       word-parallel — receives = once ∧ ¬twice ∧ listeners, collisions =
+       twice ∧ listeners — update the counters, leave the synced
+       receivers in [k_recv], and report whether there are any. *)
+    let kernel_classify () =
+      Bitset.clear k_sync;
+      Bitset.clear k_idle;
+      for i = 0 to !n_active - 1 do
+        let v = active.(i) in
+        if sends.(v) = None then Bitset.add k_sync v
+      done;
+      for i = 0 to !heap_n - 1 do
+        Bitset.add k_idle heap_v.(i)
+      done;
+      let any_recv = ref false in
+      for w = 0 to k_words - 1 do
+        let once = Bitset.get_word k_once w in
+        let twice = Bitset.get_word k_twice w in
+        let sy = Bitset.get_word k_sync w in
+        let listen = sy lor Bitset.get_word k_idle w in
+        let recv = once land lnot twice in
+        deliveries := !deliveries + Bitset.popcount_word (recv land listen);
+        collisions := !collisions + Bitset.popcount_word (twice land listen);
+        let rs = recv land sy in
+        if rs <> 0 then any_recv := true;
+        Bitset.set_word k_recv w rs
+      done;
+      !any_recv
+    in
     (* Receive buffer; all-[Silence] between rounds (entries are reset as
        they are consumed by the resume phase). *)
     let receives = Array.make nn Silence in
@@ -430,7 +494,10 @@ module Make (M : MESSAGE) = struct
     let t_mark = ref 0.0 in
     let p_start () = if prof then t_mark := Timing.now () in
     let p_stop sec = if prof then Timing.record sec (Timing.now () -. !t_mark) in
-    (try
+    Fun.protect
+      ~finally:(fun () -> match !pool with Some p -> Pool.shutdown p | None -> ())
+      (fun () ->
+    try
        while not (stop_now ()) do
          (* Fast-forward: with no fiber awaiting a receive and no observer,
             every round before the next wake or idle expiry is a no-op —
@@ -545,66 +612,96 @@ module Make (M : MESSAGE) = struct
                  let reach = ref 0 in
                  for i = 0 to !n_bcast - 1 do
                    let u = bcast.(i) in
-                   reach := !reach + Graph.degree g u + Array.length (Dual.gray_adj dual u)
+                   reach := !reach + Graph.degree g u + Dual.gray_degree dual u
                  done;
                  !reach > (((2 * !n_bcast) + 8) * k_words) + !n_active + !heap_n
              in
-             if use_kernel then begin
+             if shards > 1 then begin
+               (* Sharded scatter: each Pool domain walks its contiguous
+                  slice of the sorted broadcaster array and scatters that
+                  slice's reach — CSR neighbors plus this round's active
+                  gray edges — into its private (once, twice) pair.  The
+                  pair is a pure function of the contribution multiset,
+                  so merging the shards (in fixed order, though any order
+                  gives the same bytes) reproduces the single-domain
+                  accumulators exactly; certified against the kernel,
+                  scalar, and reference paths by test_shard. *)
+               if met then Metrics.incr m_sharded_rounds;
+               let nb = !n_bcast in
+               ignore
+                 (Pool.run (get_pool ())
+                    (fun s ->
+                      let once = shard_once.(s) and twice = shard_twice.(s) in
+                      Bitset.clear once;
+                      Bitset.clear twice;
+                      for i = s * nb / shards to (((s + 1) * nb) / shards) - 1 do
+                        let u = broadcasters.(i) in
+                        Graph.iter_neighbors
+                          (fun v -> Bitset.acc2_add ~once ~twice v)
+                          g u;
+                        if Dual.gray_degree dual u > 0 then
+                          Dual.iter_gray_adj
+                            (fun v e ->
+                              if Bitset.mem gray_active e then
+                                Bitset.acc2_add ~once ~twice v)
+                            dual u
+                      done)
+                    shard_ids);
+               Bitset.clear k_once;
+               Bitset.clear k_twice;
+               for s = 0 to shards - 1 do
+                 Bitset.acc2_merge_into ~once:k_once ~twice:k_twice
+                   ~src_once:shard_once.(s) ~src_twice:shard_twice.(s)
+               done;
+               (* second sweep as in the dense kernel, but walking CSR
+                  rows instead of bitset rows — the sharded path never
+                  materialises the O(n^2)-bit row cache, which is what
+                  lets it run at million-node sizes *)
+               if kernel_classify () then
+                 Array.iter
+                   (fun u ->
+                     let m = match sends.(u) with Some m -> m | None -> assert false in
+                     Graph.iter_neighbors
+                       (fun v -> if Bitset.mem k_recv v then receives.(v) <- Recv m)
+                       g u;
+                     if Dual.gray_degree dual u > 0 then
+                       Dual.iter_gray_adj
+                         (fun v e ->
+                           if Bitset.mem gray_active e && Bitset.mem k_recv v then
+                             receives.(v) <- Recv m)
+                         dual u)
+                   broadcasters
+             end
+             else if use_kernel then begin
                let rows = Graph.adj_rows g in
                let ng = Dual.gray_count dual in
                let gmask = if ng > 0 then Dual.gray_masks dual else [||] in
-               let gedges = Dual.gray_edges dual in
                Bitset.clear k_once;
                Bitset.clear k_twice;
                Array.iter
                  (fun u ->
                    Bitset.acc2_or_into ~once:k_once ~twice:k_twice rows.(u);
-                   if ng > 0 && Array.length (Dual.gray_adj dual u) > 0 then
+                   if ng > 0 && Dual.gray_degree dual u > 0 then
                      Bitset.iter_inter
                        (fun e ->
-                         let a, b = gedges.(e) in
-                         Bitset.acc2_add ~once:k_once ~twice:k_twice (a + b - u))
+                         Bitset.acc2_add ~once:k_once ~twice:k_twice
+                           (Dual.gray_other dual e u))
                        gmask.(u) gray_active)
                  broadcasters;
-               (* this round's listeners: live synced fibers that did not
-                  broadcast, plus parked idlers (who hear but discard) *)
-               Bitset.clear k_sync;
-               Bitset.clear k_idle;
-               for i = 0 to !n_active - 1 do
-                 let v = active.(i) in
-                 if sends.(v) = None then Bitset.add k_sync v
-               done;
-               for i = 0 to !heap_n - 1 do
-                 Bitset.add k_idle heap_v.(i)
-               done;
-               let any_recv = ref false in
-               for w = 0 to k_words - 1 do
-                 let once = Bitset.get_word k_once w in
-                 let twice = Bitset.get_word k_twice w in
-                 let sy = Bitset.get_word k_sync w in
-                 let listen = sy lor Bitset.get_word k_idle w in
-                 let recv = once land lnot twice in
-                 deliveries := !deliveries + Bitset.popcount_word (recv land listen);
-                 collisions := !collisions + Bitset.popcount_word (twice land listen);
-                 let rs = recv land sy in
-                 if rs <> 0 then any_recv := true;
-                 Bitset.set_word k_recv w rs
-               done;
                (* second sweep hands each receiving synced fiber its
                   sender's message; the sender is unique because an
                   exactly-one-sender node lies in exactly one
                   broadcaster's reach set.  Skipped outright when nobody
                   received (the common case under heavy contention). *)
-               if !any_recv then
+               if kernel_classify () then
                  Array.iter
                    (fun u ->
                      let m = match sends.(u) with Some m -> m | None -> assert false in
                      Bitset.iter_inter (fun v -> receives.(v) <- Recv m) rows.(u) k_recv;
-                     if ng > 0 && Array.length (Dual.gray_adj dual u) > 0 then
+                     if ng > 0 && Dual.gray_degree dual u > 0 then
                        Bitset.iter_inter
                          (fun e ->
-                           let a, b = gedges.(e) in
-                           let v = a + b - u in
+                           let v = Dual.gray_other dual e u in
                            if Bitset.mem k_recv v then receives.(v) <- Recv m)
                          gmask.(u) gray_active)
                    broadcasters
@@ -613,10 +710,10 @@ module Make (M : MESSAGE) = struct
                n_touched := 0;
                Array.iter
                  (fun u ->
-                   Array.iter (fun v -> touch u v) (Graph.neighbors g u);
-                   Array.iter
-                     (fun (v, e) -> if Bitset.mem gray_active e then touch u v)
-                     (Dual.gray_adj dual u))
+                   Graph.iter_neighbors (fun v -> touch u v) g u;
+                   Dual.iter_gray_adj
+                     (fun v e -> if Bitset.mem gray_active e then touch u v)
+                     dual u)
                  broadcasters;
                for i = 0 to !n_touched - 1 do
                  let v = touched.(i) in
@@ -868,10 +965,10 @@ module Make (M : MESSAGE) = struct
          Array.iter
            (fun u ->
              let m = match sends.(u) with Some m -> m | None -> assert false in
-             Array.iter (fun v -> touch v m) (Graph.neighbors g u);
-             Array.iter
-               (fun (v, e) -> if Bitset.mem gray_active e then touch v m)
-               (Dual.gray_adj dual u))
+             Graph.iter_neighbors (fun v -> touch v m) g u;
+             Dual.iter_gray_adj
+               (fun v e -> if Bitset.mem gray_active e then touch v m)
+               dual u)
            broadcasters;
          (* 5. Receives for every live fiber — parked idlers count towards
             deliveries/collisions but discard the payload. *)

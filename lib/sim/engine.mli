@@ -76,6 +76,16 @@ module Make (M : MESSAGE) : sig
             the kernel whenever legal, [`Off] never uses it.  An
             attached [sink] always forces the scalar path.  The choice
             is pure evaluation strategy — results are identical. *)
+    shards : int;
+        (** intra-run delivery sharding (≥ 1).  With [shards > 1] and
+            the kernel not [`Off] (and no [sink]), each broadcasting
+            round partitions the sorted broadcaster array into [shards]
+            contiguous slices, scatters every slice's reach into a
+            private once/twice accumulator pair on an {!Rn_util.Pool}
+            domain, and merges the pairs in fixed shard order.  The
+            accumulator pair is a pure function of the contribution
+            multiset, so results are byte-identical at any shard count
+            — pure evaluation strategy, like [kernel]. *)
   }
 
   (** Build a config with sensible defaults: silent adversary, seed 0,
@@ -92,6 +102,7 @@ module Make (M : MESSAGE) : sig
     ?observer:(view -> unit) ->
     ?sink:Events.sink ->
     ?kernel:[ `Auto | `On | `Off ] ->
+    ?shards:int ->
     detector:Rn_detect.Detector.dynamic ->
     Rn_graph.Dual.t ->
     config

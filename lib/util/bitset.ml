@@ -2,15 +2,30 @@
 
    Node sets in the simulator (banned lists, detector sets, reach sets) are
    dense integer sets bounded by the network size, for which an unboxed
-   int-array bitset is both faster and smaller than tree sets. *)
+   word-array bitset is both faster and smaller than tree sets.
 
-type t = { words : int array; capacity : int }
+   The words live in an off-heap [Bigarray] rather than an OCaml [int
+   array]: at million-node scale the engine holds thousands of row masks
+   and per-shard accumulators, and keeping them out of the scanned heap
+   means the GC never walks them and [Gc.compact] never copies them.  The
+   [int] Bigarray kind stores native OCaml ints, so every word still
+   carries [Sys.int_size] (= 63 on 64-bit) usable bits and all the SWAR
+   arithmetic below is unchanged from the int-array days. *)
+
+type words = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { words : words; capacity : int }
 
 let bits_per_word = Sys.int_size (* 63 on 64-bit *)
 
+let alloc_words n : words =
+  let w = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill w 0;
+  w
+
 let create capacity =
   if capacity < 0 then invalid_arg "Bitset.create";
-  { words = Array.make (Ilog.cdiv (max capacity 1) bits_per_word) 0; capacity }
+  { words = alloc_words (Ilog.cdiv (max capacity 1) bits_per_word); capacity }
 
 let capacity t = t.capacity
 
@@ -20,21 +35,24 @@ let check t i =
 let add t i =
   check t i;
   let w = i / bits_per_word and b = i mod bits_per_word in
-  t.words.(w) <- t.words.(w) lor (1 lsl b)
+  t.words.{w} <- t.words.{w} lor (1 lsl b)
 
 let remove t i =
   check t i;
   let w = i / bits_per_word and b = i mod bits_per_word in
-  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+  t.words.{w} <- t.words.{w} land lnot (1 lsl b)
 
 let mem t i =
   check t i;
   let w = i / bits_per_word and b = i mod bits_per_word in
-  t.words.(w) land (1 lsl b) <> 0
+  t.words.{w} land (1 lsl b) <> 0
 
-let clear t = Array.fill t.words 0 (Array.length t.words) 0
+let clear t = Bigarray.Array1.fill t.words 0
 
-let copy t = { words = Array.copy t.words; capacity = t.capacity }
+let copy t =
+  let words = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (Bigarray.Array1.dim t.words) in
+  Bigarray.Array1.blit t.words words;
+  { words; capacity = t.capacity }
 
 (* SWAR popcount over two 32-bit halves: OCaml ints are 63-bit, so the
    usual 64-bit mask constants do not fit as literals. *)
@@ -48,7 +66,12 @@ let popcount32 x =
 
 let popcount_word w = popcount32 (w land 0xFFFFFFFF) + popcount32 ((w lsr 32) land 0x7FFFFFFF)
 
-let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+let cardinal t =
+  let acc = ref 0 in
+  for w = 0 to Bigarray.Array1.dim t.words - 1 do
+    acc := !acc + popcount_word (Bigarray.Array1.unsafe_get t.words w)
+  done;
+  !acc
 
 (* Index of the lowest set bit of [w] ([w] must be nonzero): isolate it
    with [w land -w] and count the ones below it.  Wraparound at the sign
@@ -57,8 +80,8 @@ let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
 let lowest_bit w = popcount_word ((w land -w) - 1)
 
 let iter f t =
-  for w = 0 to Array.length t.words - 1 do
-    let word = ref t.words.(w) in
+  for w = 0 to Bigarray.Array1.dim t.words - 1 do
+    let word = ref t.words.{w} in
     let base = w * bits_per_word in
     while !word <> 0 do
       f (base + lowest_bit !word);
@@ -70,8 +93,10 @@ let iter f t =
    intersection.  Capacities must match. *)
 let iter_inter f a b =
   if a.capacity <> b.capacity then invalid_arg "Bitset.iter_inter";
-  for w = 0 to Array.length a.words - 1 do
-    let word = ref (Array.unsafe_get a.words w land Array.unsafe_get b.words w) in
+  for w = 0 to Bigarray.Array1.dim a.words - 1 do
+    let word =
+      ref (Bigarray.Array1.unsafe_get a.words w land Bigarray.Array1.unsafe_get b.words w)
+    in
     let base = w * bits_per_word in
     while !word <> 0 do
       f (base + lowest_bit !word);
@@ -84,9 +109,9 @@ let find_inter a b =
   if a.capacity <> b.capacity then invalid_arg "Bitset.find_inter";
   let res = ref (-1) in
   let w = ref 0 in
-  let nw = Array.length a.words in
+  let nw = Bigarray.Array1.dim a.words in
   while !res < 0 && !w < nw do
-    let word = a.words.(!w) land b.words.(!w) in
+    let word = a.words.{!w} land b.words.{!w} in
     if word <> 0 then res := (!w * bits_per_word) + lowest_bit word;
     incr w
   done;
@@ -106,20 +131,20 @@ let of_list capacity l =
 
 let union_into ~into src =
   if into.capacity <> src.capacity then invalid_arg "Bitset.union_into";
-  for w = 0 to Array.length into.words - 1 do
-    into.words.(w) <- into.words.(w) lor src.words.(w)
+  for w = 0 to Bigarray.Array1.dim into.words - 1 do
+    into.words.{w} <- into.words.{w} lor src.words.{w}
   done
 
 let inter_into ~into src =
   if into.capacity <> src.capacity then invalid_arg "Bitset.inter_into";
-  for w = 0 to Array.length into.words - 1 do
-    into.words.(w) <- into.words.(w) land src.words.(w)
+  for w = 0 to Bigarray.Array1.dim into.words - 1 do
+    into.words.{w} <- into.words.{w} land src.words.{w}
   done
 
 let diff_into ~into src =
   if into.capacity <> src.capacity then invalid_arg "Bitset.diff_into";
-  for w = 0 to Array.length into.words - 1 do
-    into.words.(w) <- into.words.(w) land lnot src.words.(w)
+  for w = 0 to Bigarray.Array1.dim into.words - 1 do
+    into.words.{w} <- into.words.{w} land lnot src.words.{w}
   done
 
 (* Two-accumulator saturating add: after feeding sender reach sets
@@ -132,12 +157,13 @@ let acc2_or_into ~once ~twice src =
     invalid_arg "Bitset.acc2_or_into";
   (* unsafe accesses: equal capacities imply equal word counts, and this
      is the delivery kernel's innermost loop *)
-  for w = 0 to Array.length once.words - 1 do
-    let s = Array.unsafe_get src.words w in
+  for w = 0 to Bigarray.Array1.dim once.words - 1 do
+    let s = Bigarray.Array1.unsafe_get src.words w in
     if s <> 0 then begin
-      let o = Array.unsafe_get once.words w in
-      Array.unsafe_set twice.words w (Array.unsafe_get twice.words w lor (o land s));
-      Array.unsafe_set once.words w (o lor s)
+      let o = Bigarray.Array1.unsafe_get once.words w in
+      Bigarray.Array1.unsafe_set twice.words w
+        (Bigarray.Array1.unsafe_get twice.words w lor (o land s));
+      Bigarray.Array1.unsafe_set once.words w (o lor s)
     end
   done
 
@@ -145,40 +171,68 @@ let acc2_add ~once ~twice i =
   check once i;
   if twice.capacity <> once.capacity then invalid_arg "Bitset.acc2_add";
   let w = i / bits_per_word and b = 1 lsl (i mod bits_per_word) in
-  twice.words.(w) <- twice.words.(w) lor (once.words.(w) land b);
-  once.words.(w) <- once.words.(w) lor b
+  twice.words.{w} <- twice.words.{w} lor (once.words.{w} land b);
+  once.words.{w} <- once.words.{w} lor b
+
+(* Merge one (once, twice) accumulator pair into another.  Because the
+   pair is a pure function of the *multiset* of contributions fed to it,
+   splitting the contributions across several private pairs and merging
+   them — in any order — yields exactly the single-pair result:
+   an element is in the merged [twice] iff it was reached twice within
+   one shard, or at least once in each of two shards. *)
+let acc2_merge_into ~once ~twice ~src_once ~src_twice =
+  if
+    once.capacity <> src_once.capacity
+    || twice.capacity <> src_twice.capacity
+    || once.capacity <> twice.capacity
+  then invalid_arg "Bitset.acc2_merge_into";
+  for w = 0 to Bigarray.Array1.dim once.words - 1 do
+    let o = Bigarray.Array1.unsafe_get once.words w in
+    let so = Bigarray.Array1.unsafe_get src_once.words w in
+    let st = Bigarray.Array1.unsafe_get src_twice.words w in
+    Bigarray.Array1.unsafe_set twice.words w
+      (Bigarray.Array1.unsafe_get twice.words w lor st lor (o land so));
+    Bigarray.Array1.unsafe_set once.words w (o lor so)
+  done
 
 (* Word-level view for kernels: [word_count] words of [bits_per_word]
    bits each; [get_word]/[set_word] read and write them directly.  Bits
    at index [>= capacity] in the top word must stay zero — [set_word]
    masks them off. *)
-let word_count t = Array.length t.words
-let get_word t i = t.words.(i)
+let word_count t = Bigarray.Array1.dim t.words
+let get_word t i = t.words.{i}
 
 let set_word t i w =
   let lo = i * bits_per_word in
   let valid = t.capacity - lo in
   if valid <= 0 then invalid_arg "Bitset.set_word";
-  t.words.(i) <- (if valid >= bits_per_word then w else w land ((1 lsl valid) - 1))
+  t.words.{i} <- (if valid >= bits_per_word then w else w land ((1 lsl valid) - 1))
 
 let diff a b =
   if a.capacity <> b.capacity then invalid_arg "Bitset.diff";
   let r = copy a in
-  for w = 0 to Array.length r.words - 1 do
-    r.words.(w) <- r.words.(w) land lnot b.words.(w)
+  for w = 0 to Bigarray.Array1.dim r.words - 1 do
+    r.words.{w} <- r.words.{w} land lnot b.words.{w}
   done;
   r
 
+(* Bigarrays carry custom compare, so polymorphic [=] on the words is a
+   contentwise comparison, same as it was for int arrays. *)
 let equal a b = a.capacity = b.capacity && a.words = b.words
 
 let subset a b =
   if a.capacity <> b.capacity then invalid_arg "Bitset.subset";
   let ok = ref true in
-  for w = 0 to Array.length a.words - 1 do
-    if a.words.(w) land lnot b.words.(w) <> 0 then ok := false
+  for w = 0 to Bigarray.Array1.dim a.words - 1 do
+    if a.words.{w} land lnot b.words.{w} <> 0 then ok := false
   done;
   !ok
 
-let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let is_empty t =
+  let ok = ref true in
+  for w = 0 to Bigarray.Array1.dim t.words - 1 do
+    if t.words.{w} <> 0 then ok := false
+  done;
+  !ok
 
 let pp ppf t = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (to_list t)

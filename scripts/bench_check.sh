@@ -11,7 +11,13 @@
 #
 #   - experiments only in the fresh report (new benches)       -> skipped
 #   - experiments only in the baseline (removed/renamed)       -> skipped
+#   - micro entries only in the baseline (or only fresh)       -> warned,
+#     never a failure (a renamed/removed micro-bench must not break CI)
 #   - duplicated ids within a report (first occurrence wins)   -> warned
+#
+# Micro-bench entries ({"name": ..., "ns_per_run": ...}) present in both
+# reports are gated like experiments, with the absolute slack read in
+# milliseconds-per-run (micro noise is large relative to ns counts).
 #
 # Usage errors and missing/empty reports exit 2, so a broken pipeline is
 # distinguishable from a perf regression.
@@ -46,6 +52,22 @@ done
 
 awk -v tol="$tol" -v slack="$slack" '
   FNR == 1 { filenum++ }
+  # collect {"name": "substrate/x", "ns_per_run": 123.4} micro entries
+  match($0, /"name": *"[^"]*", *"ns_per_run": *-?[0-9.eE+-]+/) {
+    s = substr($0, RSTART, RLENGTH)
+    sub(/^"name": *"/, "", s)
+    name = s; sub(/".*/, "", name)
+    ns = s; sub(/^[^,]*, *"ns_per_run": */, "", ns)
+    if (filenum == 1) {
+      if (!(name in base_micro)) base_micro[name] = ns + 0
+    } else {
+      if (!(name in fresh_micro)) {
+        fresh_micro[name] = ns + 0
+        micro_order[++n_micro] = name
+      }
+    }
+    next
+  }
   # collect {"id": "E2", "seconds": 24.346} entries from either file;
   # the baseline is passed first (filenum 1), the fresh report second
   match($0, /"id": *"[^"]*", *"seconds": *[0-9.eE+-]+/) {
@@ -93,6 +115,36 @@ awk -v tol="$tol" -v slack="$slack" '
     for (id in baseline) {
       if (!(id in seen_fresh)) {
         print "bench_check: " id ": in baseline but not in fresh run (removed/renamed), skipping"
+        skipped++
+      }
+    }
+    # micro entries: one-sided presence is a warning only (exit 0);
+    # both-sided uses the same tol with slack in ms/run.  ns_per_run of
+    # -1 marks a failed OLS fit (write_json), which is not comparable.
+    for (i = 1; i <= n_micro; i++) {
+      name = micro_order[i]; f = fresh_micro[name]
+      if (!(name in base_micro)) {
+        print "bench_check: micro " name ": new micro-bench (no baseline), skipping"
+        skipped++
+        continue
+      }
+      b = base_micro[name]
+      if (f < 0 || b < 0) {
+        print "bench_check: micro " name ": unusable estimate (fit failed), skipping"
+        skipped++
+        continue
+      }
+      compared++
+      if (f > b * tol && f - b > slack * 1e6) {
+        printf "bench_check: micro %s: REGRESSION: %.0fns vs baseline %.0fns (tol %sx + %sms)\n", name, f, b, tol, slack
+        fails++
+      } else {
+        printf "bench_check: micro %s: ok (%.0fns vs %.0fns)\n", name, f, b
+      }
+    }
+    for (name in base_micro) {
+      if (!(name in fresh_micro)) {
+        print "bench_check: micro " name ": in baseline but not in fresh run (removed/renamed), skipping"
         skipped++
       }
     }
