@@ -288,6 +288,91 @@ let scale_perf () =
     t_world;
   [ ("sharded-delivery-n65536", t_shard); ("world-alloc-n1m", t_world) ]
 
+(* Adversary-phase timings, gated like the kernel entries:
+
+     adversary-dense-n65536  spiteful on half-duty dense rounds plus
+                             jamming with a small broadcaster set on a
+                             degree-80 circulant dual at n=65536 — the
+                             word-parallel adversary kernel end to end
+                             (mask fills, once/twice victim finding);
+     jamming-scalar-n16384   the same jamming workload with the
+                             adversary kernel forced off — the scalar
+                             path's preallocated scratch (no per-round
+                             Array.make n allocations).
+
+   The committed baselines are the pre-kernel per-edge-callback timings
+   (2.946 s / 0.127 s on the CI reference box); the acceptance bar for
+   the dense entry is >= 3x under them, so a regression means the mask
+   path stopped engaging. *)
+let adversary_perf () =
+  (* the 1M-node scale entries run just before this one; compact so the
+     timings measure the adversary paths, not leftover heap pressure *)
+  Gc.compact ();
+  (* circulant dual: reliable ring i +/- 1..rel_k, gray annulus
+     i +/- (rel_k+1)..(rel_k+gray_k) — deterministic, uniform-degree,
+     with the contiguous gray-id ranges the kernel exploits *)
+  let circulant_dual ~n ~rel_k ~gray_k =
+    let band lo hi =
+      let a = Array.make (n * (hi - lo + 1)) 0 in
+      let idx = ref 0 in
+      for u = 0 to n - 1 do
+        for j = lo to hi do
+          let v = (u + j) mod n in
+          let x = min u v and y = max u v in
+          a.(!idx) <- (x * n) + y;
+          incr idx
+        done
+      done;
+      a
+    in
+    let g = Rn_graph.Graph.of_packed_unsorted n (band 1 rel_k) in
+    let gray_pk = band (rel_k + 1) (rel_k + gray_k) in
+    Array.sort compare gray_pk;
+    Dual.make_packed ~g ~gray_pk ()
+  in
+  let dual = circulant_dual ~n:65536 ~rel_k:8 ~gray_k:32 in
+  let det = Detector.static (Detector.perfect (Dual.g dual)) in
+  let spiteful () =
+    let cfg =
+      Beacon_engine.config ~seed:13 ~stop:(Rn_sim.Engine.At_round 8)
+        ~adversary:Rn_sim.Adversary.spiteful ~detector:det dual
+    in
+    ignore
+      (Beacon_engine.run cfg (fun ctx ->
+           let me = Beacon_engine.me ctx in
+           for _ = 1 to 8 do
+             ignore (Beacon_engine.sync_p ctx 0.5 me)
+           done))
+  in
+  let jamming ~adv_kernel ~rounds dual det =
+    let cfg =
+      Beacon_engine.config ~seed:17 ~stop:(Rn_sim.Engine.At_round rounds) ~adv_kernel
+        ~adversary:Rn_sim.Adversary.jamming ~detector:det dual
+    in
+    ignore
+      (Beacon_engine.run cfg (fun ctx ->
+           let me = Beacon_engine.me ctx in
+           if me < 256 then
+             for _ = 1 to rounds do
+               ignore (Beacon_engine.sync_p ctx 0.5 me)
+             done
+           else Beacon_engine.idle ctx rounds))
+  in
+  spiteful () (* warm-up: builds the adversary CSR *);
+  let (), t_sp = timed spiteful in
+  let (), t_jam = timed (fun () -> jamming ~adv_kernel:`Auto ~rounds:1500 dual det) in
+  let small = circulant_dual ~n:16384 ~rel_k:8 ~gray_k:16 in
+  let small_det = Detector.static (Detector.perfect (Dual.g small)) in
+  jamming ~adv_kernel:`Off ~rounds:60 small small_det (* warm-up *);
+  let (), t_scalar =
+    timed (fun () -> jamming ~adv_kernel:`Off ~rounds:600 small small_det)
+  in
+  Printf.printf
+    "--- adversary paths: dense n=64k %.3f s (spiteful %.3f + jamming %.3f), scalar jamming \
+     n=16k %.3f s ---\n\n"
+    (t_sp +. t_jam) t_sp t_jam t_scalar;
+  [ ("adversary-dense-n65536", t_sp +. t_jam); ("jamming-scalar-n16384", t_scalar) ]
+
 (* --jobs N: worker domains for the experiment sweeps (default: cores - 1,
    capped).  With jobs > 1 every experiment is run twice — once parallel,
    once sequential — and the wall-clock speedup is reported per
@@ -356,6 +441,7 @@ let () =
   let trace_entries = trace_overhead () in
   let kernel_entries = kernel_perf () in
   let scale_entries = scale_perf () in
+  let adversary_entries = adversary_perf () in
   if profile then Rn_util.Timing.set_enabled true;
   Printf.printf
     "--- experiment suite (%s scale, %d jobs; see DESIGN.md / EXPERIMENTS.md) ---\n\n"
@@ -427,5 +513,7 @@ let () =
   match json_out with
   | Some path ->
     write_json ~path ~full ~jobs ~micro
-      ~experiments:(trace_entries @ kernel_entries @ scale_entries @ List.rev !wallclocks)
+      ~experiments:
+        (trace_entries @ kernel_entries @ scale_entries @ adversary_entries
+        @ List.rev !wallclocks)
   | None -> ()

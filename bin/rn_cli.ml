@@ -33,6 +33,15 @@ let adversary_conv =
   in
   Arg.conv (parse, fun ppf a -> Fmt.string ppf (Rn_sim.Adversary.name a))
 
+let kernel_mode_of_string ~flag s =
+  match s with
+  | "auto" -> `Auto
+  | "on" -> `On
+  | "off" -> `Off
+  | s ->
+    Printf.eprintf "rn_cli: bad %s %S (want auto|on|off)\n" flag s;
+    exit 2
+
 let n_arg = Arg.(value & opt int 128 & info [ "n"; "nodes" ] ~doc:"Network size.")
 let degree_arg = Arg.(value & opt int 12 & info [ "degree" ] ~doc:"Target reliable degree.")
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Experiment seed.")
@@ -379,8 +388,14 @@ module Store = Rn_util.Store
    (--metrics) keep that property because each cell's snapshot rides in
    its store payload: a warm sweep reports the metrics recorded when the
    cell was computed. *)
-let run_experiments ids full jobs profile metrics store_dir no_cache retry cell_timeout =
+let run_experiments ids full jobs profile metrics store_dir no_cache retry cell_timeout
+    adv_kernel =
   Rn_harness.Harness.set_jobs jobs;
+  (* The adversary kernel is a pure evaluation strategy (byte-identical
+     results at any setting), so an override is safe to apply globally —
+     it cannot invalidate cached cells. *)
+  Rn_sim.Engine.set_default_adv_kernel
+    (kernel_mode_of_string ~flag:"--adv-kernel" adv_kernel);
   if profile then Rn_util.Timing.set_enabled true;
   if metrics then begin
     Rn_util.Metrics.set_enabled true;
@@ -504,12 +519,21 @@ let cell_timeout_arg =
           "Per-cell wall-clock budget: a cell that reaches it is recorded as \
            failed-but-resumable and the rest of the sweep still runs (and caches).")
 
+let exp_adv_kernel_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "adv-kernel" ] ~docv:"MODE"
+        ~doc:
+          "Adversary kernel mode for every cell: auto, on, or off. Pure evaluation \
+           strategy — tables are byte-identical for every value (and compatible with \
+           cached cells).")
+
 let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's experiment tables (see DESIGN.md).")
     Term.(
       const run_experiments $ ids_arg $ full_arg $ jobs_arg $ profile_arg $ metrics_arg
-      $ store_arg $ no_cache_arg $ retry_arg $ cell_timeout_arg)
+      $ store_arg $ no_cache_arg $ retry_arg $ cell_timeout_arg $ exp_adv_kernel_arg)
 
 (* --- store command --- *)
 
@@ -674,21 +698,14 @@ let figures_cmd =
 
 (* --- scale command --- *)
 
-let run_scale full out sizes shards kernel check =
+let run_scale full out sizes shards kernel adv_kernel adversary check =
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
   if shards < 1 then begin
     Printf.eprintf "rn_cli scale: --shards must be >= 1\n";
     exit 2
   end;
-  let kernel =
-    match kernel with
-    | "auto" -> `Auto
-    | "on" -> `On
-    | "off" -> `Off
-    | s ->
-      Printf.eprintf "rn_cli scale: bad --kernel %S (want auto|on|off)\n" s;
-      exit 2
-  in
+  let kernel = kernel_mode_of_string ~flag:"--kernel" kernel in
+  let adv_kernel = kernel_mode_of_string ~flag:"--adv-kernel" adv_kernel in
   let sizes =
     match sizes with
     | None -> None
@@ -707,7 +724,7 @@ let run_scale full out sizes shards kernel check =
         exit 2)
   in
   Rn_harness.Harness.print
-    (Rn_harness.Exp_scale.run ?out ?sizes ~shards ~kernel ~check scale)
+    (Rn_harness.Exp_scale.run ?out ?sizes ~shards ~kernel ~adv_kernel ~adversary ~check scale)
 
 let scale_out_arg =
   Arg.(
@@ -736,6 +753,23 @@ let scale_kernel_arg =
     & info [ "kernel" ] ~docv:"MODE"
         ~doc:"Delivery kernel mode: auto (cost model), on, or off (scalar path).")
 
+let scale_adv_kernel_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "adv-kernel" ] ~docv:"MODE"
+        ~doc:
+          "Adversary kernel mode: auto (per-round cost model), on (forced for policies \
+           that have one), or off (scalar path). Results are byte-identical either way.")
+
+let scale_adversary_arg =
+  Arg.(
+    value
+    & opt adversary_conv (Rn_sim.Adversary.bernoulli 0.5)
+    & info [ "adversary" ]
+        ~doc:
+          "Gray-edge policy for the beacon workload: \
+           silent|all|spiteful|jamming|bernoulli:P|harassing:P.")
+
 let scale_check_arg =
   Arg.(
     value & flag
@@ -754,7 +788,7 @@ let scale_cmd =
           result store.")
     Term.(
       const run_scale $ full_arg $ scale_out_arg $ scale_sizes_arg $ scale_shards_arg
-      $ scale_kernel_arg $ scale_check_arg)
+      $ scale_kernel_arg $ scale_adv_kernel_arg $ scale_adversary_arg $ scale_check_arg)
 
 (* --- graph command --- *)
 

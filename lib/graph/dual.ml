@@ -31,6 +31,24 @@ type t = {
       (* lazy: node -> bitset of incident gray edge ids, for the
          word-parallel delivery kernel; same build-once / atomic-publish
          discipline as [Graph]'s row cache *)
+  adv_csr : adv_csr option Atomic.t;
+      (* lazy: the adversary kernel's endpoint-split view of the gray
+         set (see below); same build-once discipline *)
+}
+
+(* Endpoint-split CSR over the gray set, for the word-parallel adversary
+   kernel.  Because gray ids follow ascending packed (u, v) order with
+   u < v, the ids whose LOWER endpoint is u form one contiguous range —
+   [loff] indexes those ranges directly into the id space, so "every
+   gray edge of a broadcaster, seen from its lower endpoint" is a
+   word-parallel bitset range fill.  The ids whose UPPER endpoint is v
+   are scattered; [uoff]/[uid] hold them as a conventional CSR
+   (ascending id within each row).  Every gray edge appears exactly once
+   on each side. *)
+and adv_csr = {
+  loff : int array; (* n + 1: gray ids with lower endpoint u are [loff.(u), loff.(u+1)) *)
+  uoff : int array; (* n + 1 CSR offsets into [uid] *)
+  uid : int array; (* gray ids with that upper endpoint, ascending id *)
 }
 
 let g t = t.g
@@ -163,6 +181,7 @@ let make_packed ?pos ?(d = 2.0) ~g ~gray_pk () =
     pos;
     d;
     gray_masks = Atomic.make None;
+    adv_csr = Atomic.make None;
   }
 
 let make ?pos ?(d = 2.0) ~g ~gray () =
@@ -220,6 +239,50 @@ let gray_masks t =
           m)
 
 let gray_mask t v = (gray_masks t).(v)
+
+(* The adversary kernel's endpoint-split view; built on first use (scale
+   runs under randomized policies never pay for it), O(n + gray) ints. *)
+let adv_csr t =
+  match Atomic.get t.adv_csr with
+  | Some c -> c
+  | None ->
+    Mutex.protect lazy_lock (fun () ->
+        match Atomic.get t.adv_csr with
+        | Some c -> c
+        | None ->
+          let nn = Graph.n t.g in
+          let ng = Array.length t.gray_pk in
+          let loff = Array.make (nn + 1) 0 in
+          let uoff = Array.make (nn + 1) 0 in
+          Array.iter
+            (fun e ->
+              loff.((e / nn) + 1) <- loff.((e / nn) + 1) + 1;
+              uoff.((e mod nn) + 1) <- uoff.((e mod nn) + 1) + 1)
+            t.gray_pk;
+          for v = 0 to nn - 1 do
+            loff.(v + 1) <- loff.(v + 1) + loff.(v);
+            uoff.(v + 1) <- uoff.(v + 1) + uoff.(v)
+          done;
+          let uid = Array.make ng 0 in
+          let fill = Array.copy uoff in
+          for id = 0 to ng - 1 do
+            let v = t.gray_pk.(id) mod nn in
+            uid.(fill.(v)) <- id;
+            fill.(v) <- fill.(v) + 1
+          done;
+          let c = { loff; uoff; uid } in
+          Atomic.set t.adv_csr (Some c);
+          c)
+
+let gray_lower_range t u =
+  let c = adv_csr t in
+  (c.loff.(u), c.loff.(u + 1))
+
+let iter_gray_upper f t v =
+  let c = adv_csr t in
+  for i = c.uoff.(v) to c.uoff.(v + 1) - 1 do
+    f (Array.unsafe_get c.uid i)
+  done
 
 (* A dual graph with no unreliable links: the classic radio model G = G'. *)
 let classic g = make_packed ~g ~gray_pk:[||] ()

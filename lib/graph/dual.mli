@@ -68,6 +68,20 @@ val gray_mask : t -> int -> Rn_util.Bitset.t
 (** The whole mask array, same rules as {!gray_mask}. *)
 val gray_masks : t -> Rn_util.Bitset.t array
 
+(** [gray_lower_range t u] is the contiguous id range [(lo, hi)] of the
+    gray edges whose LOWER endpoint is [u] — contiguous because dense ids
+    follow ascending packed [(u, v)] order.  The adversary kernel turns
+    "activate every gray edge of broadcaster [u]" into a word-parallel
+    {!Rn_util.Bitset.fill_range} over this range plus per-id visits of
+    {!iter_gray_upper}.  Backed by a lazily-built O(n + gray)-int CSR,
+    published atomically (safe to share across domains). *)
+val gray_lower_range : t -> int -> int * int
+
+(** [iter_gray_upper f t v] calls [f id] for each gray edge whose UPPER
+    endpoint is [v], ascending id.  Same lazy CSR as
+    {!gray_lower_range}; every gray edge appears exactly once per side. *)
+val iter_gray_upper : (int -> unit) -> t -> int -> unit
+
 val positions : t -> Rn_geom.Point.t array option
 
 (** The paper's constant [d]: maximum length of a [G'] edge. *)

@@ -75,7 +75,8 @@ type row = {
    [beacon_rounds] rounds, which keeps expected per-neighbourhood
    traffic constant as n grows (throughput is then work-bound, not
    contention-bound). *)
-let measure ?(shards = 1) ?(kernel = `Auto) n =
+let measure ?(shards = 1) ?(kernel = `Auto) ?(adv_kernel = `Auto)
+    ?(adversary = Rn_sim.Adversary.bernoulli 0.5) n =
   let t0 = Timing.now () in
   let dual = geometric ~seed:(0x5CA1E + n) ~n ~degree:(degree_for n) () in
   let gen_s = Timing.now () -. t0 in
@@ -97,8 +98,7 @@ let measure ?(shards = 1) ?(kernel = `Auto) n =
     let cfg =
       E.config ~seed:(n lxor 0x5EED)
         ~stop:(Rn_sim.Engine.At_round beacon_rounds)
-        ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
-        ~observer ~kernel ~shards ~detector:det dual
+        ~adversary ~observer ~kernel ~shards ~adv_kernel ~detector:det dual
     in
     E.run cfg (fun ctx ->
         let me = E.me ctx in
@@ -154,12 +154,13 @@ let figure rows =
    overrides the grid; [?shards]/[?kernel] select the delivery strategy;
    [?check] renders only the deterministic columns so tables can be
    byte-compared across strategies. *)
-let run ?out ?sizes:sizes_override ?(shards = 1) ?(kernel = `Auto) ?(check = false) scale =
+let run ?out ?sizes:sizes_override ?(shards = 1) ?(kernel = `Auto) ?(adv_kernel = `Auto)
+    ?adversary ?(check = false) scale =
   let grid = match sizes_override with Some l -> l | None -> sizes scale in
   let rows =
     List.map
       (fun n ->
-        let r = measure ~shards ~kernel n in
+        let r = measure ~shards ~kernel ~adv_kernel ?adversary n in
         (* between points: retire the previous world before building the
            next, so peak RSS holds one world, not two *)
         Gc.full_major ();

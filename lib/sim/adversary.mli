@@ -6,13 +6,53 @@ val name : t -> string
 
 (** Fill [active] (a cleared bitset over gray-edge ids) with this round's
     activated gray edges; the adversary sees the broadcasters first, as in
-    Section 2. *)
+    Section 2.  The scalar reference path — always available, and the one
+    {!val:choose_kernel} must match bit-for-bit. *)
 val choose :
   t ->
   round:int ->
   broadcasters:int array ->
   Rn_graph.Dual.t ->
   Rn_util.Rng.t ->
+  Rn_util.Bitset.t ->
+  unit
+
+(** {2 Word-parallel kernel path}
+
+    Deterministic policies ({!all_gray}, {!spiteful}, {!jamming}) carry a
+    second implementation of the same activation set that works by mask
+    algebra over the dual graph's CSR structures instead of per-edge
+    callbacks, mirroring the engine's delivery kernel.  Randomised
+    policies ({!bernoulli}, {!harassing}) have none: their per-edge draw
+    sequence IS the semantics.  A kernel is certified byte-identical to
+    its scalar [choose] at any shard count. *)
+
+(** Preallocated per-run kernel scratch.  [shards > 1] additionally
+    allocates private per-shard accumulators; [run_shards] (used only
+    when [shards > 1]) must apply its argument to every shard index in
+    [0, shards) — typically on the engine's domain pool — and return
+    once all have finished. *)
+type scratch
+
+val make_scratch :
+  ?shards:int -> ?run_shards:((int -> unit) -> unit) -> Rn_graph.Dual.t -> scratch
+
+val has_kernel : t -> bool
+
+(** [`Auto] profitability estimate for this round's broadcasters; [false]
+    when the policy has no kernel.  O(#broadcasters). *)
+val kernel_wins : t -> broadcasters:int array -> Rn_graph.Dual.t -> bool
+
+(** Kernel counterpart of {!val:choose}: same contract, same resulting
+    bytes in [active].  Raises [Invalid_argument] if the policy has no
+    kernel (check {!has_kernel}). *)
+val choose_kernel :
+  t ->
+  round:int ->
+  broadcasters:int array ->
+  Rn_graph.Dual.t ->
+  Rn_util.Rng.t ->
+  scratch ->
   Rn_util.Bitset.t ->
   unit
 

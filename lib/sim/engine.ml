@@ -60,6 +60,7 @@ let m_collisions = Metrics.counter "engine.collisions"
 let m_bits_sent = Metrics.counter "engine.bits_sent"
 let m_silent_rounds = Metrics.counter "engine.silent_rounds"
 let m_sharded_rounds = Metrics.counter "engine.sharded_rounds"
+let m_adv_kernel_rounds = Metrics.counter "engine.adv_kernel_rounds"
 let m_timeouts = Metrics.counter "engine.timeouts"
 let m_round_bcast = Metrics.histogram "engine.round_broadcasters"
 let m_run_rounds = Metrics.histogram "engine.run_rounds"
@@ -95,6 +96,16 @@ type stats = {
    activity-scaled loop with per-round adversary RNG derivation. *)
 let semantics_version = 3
 let semantics_digest = Printf.sprintf "eng%d" semantics_version
+
+(* Process-wide default for [config]'s [?adv_kernel], so front-ends that
+   share one functor instantiation across every algorithm (the experiment
+   harness) can still plumb a CLI override through.  Safe to vary freely:
+   the adversary kernel is a pure evaluation strategy — any setting
+   produces byte-identical runs. *)
+let default_adv_kernel : [ `Auto | `On | `Off ] Atomic.t = Atomic.make `Auto
+
+let set_default_adv_kernel k = Atomic.set default_adv_kernel k
+let get_default_adv_kernel () = Atomic.get default_adv_kernel
 
 module Make (M : MESSAGE) = struct
   type receive = Own | Silence | Recv of M.t
@@ -133,12 +144,24 @@ module Make (M : MESSAGE) = struct
            once/twice accumulation is partitioned across this many Pool
            domains and merged in fixed shard order.  Pure evaluation
            strategy — results are byte-identical at any shard count. *)
+    adv_kernel : [ `Auto | `On | `Off ];
+        (* word-parallel adversary kernel (mask algebra for the
+           deterministic policies): `Auto switches per round on the
+           policy's own cost model, `On forces it whenever the policy
+           has one, `Off never uses it.  A sink forces the scalar path,
+           like [kernel].  Shares [shards]: with [shards > 1] the mask
+           accumulation is partitioned across the same Pool domains.
+           Results are byte-identical at any setting (certified by
+           test_adversary_kernel). *)
   }
 
   let config ?(adversary = Adversary.silent) ?(seed = 0) ?b_bits ?(delta_bound = 0)
       ?wake ?(stop = All_done) ?(max_rounds = 2_000_000) ?observer ?sink
-      ?(kernel = `Auto) ?(shards = 1) ~detector dual =
+      ?(kernel = `Auto) ?(shards = 1) ?adv_kernel ~detector dual =
     if shards < 1 then invalid_arg "Engine.config: shards < 1";
+    let adv_kernel =
+      match adv_kernel with Some k -> k | None -> Atomic.get default_adv_kernel
+    in
     let delta_bound =
       if delta_bound > 0 then delta_bound else Dual.max_degree_g dual
     in
@@ -156,6 +179,7 @@ module Make (M : MESSAGE) = struct
       sink;
       kernel;
       shards;
+      adv_kernel;
     }
 
   type ctx = {
@@ -425,14 +449,35 @@ module Make (M : MESSAGE) = struct
       if shards > 1 then Array.init shards (fun _ -> Bitset.create nn) else [||]
     in
     let shard_ids = List.init shards Fun.id in
+    (* The adversary kernel gates its sharding independently (it can run
+       sharded under [kernel = `Off], and vice versa); the Pool is shared
+       and sized for whichever path needs more domains. *)
+    let adv_shards = if tracing || cfg.adv_kernel = `Off then 1 else cfg.shards in
+    let adv_shard_ids = List.init adv_shards Fun.id in
     let pool = ref None in
     let get_pool () =
       match !pool with
       | Some p -> p
       | None ->
-        let p = Pool.create ~jobs:shards in
+        let p = Pool.create ~jobs:(max shards adv_shards) in
         pool := Some p;
         p
+    in
+    (* Adversary kernel scratch, built on the first kernel round (never
+       for policies without a kernel or under [`Off]). *)
+    let adv_scratch = ref None in
+    let get_adv_scratch () =
+      match !adv_scratch with
+      | Some s -> s
+      | None ->
+        let run_shards =
+          if adv_shards > 1 then
+            Some (fun f -> ignore (Pool.run (get_pool ()) f adv_shard_ids))
+          else None
+        in
+        let s = Adversary.make_scratch ~shards:adv_shards ?run_shards dual in
+        adv_scratch := Some s;
+        s
     in
     (* Shared by the dense kernel and the sharded path: once the round's
        (once, twice) pair sits in [k_once]/[k_twice], classify every node
@@ -577,7 +622,26 @@ module Make (M : MESSAGE) = struct
              p_start ();
              Bitset.clear gray_active;
              Rng.derive_into adv_rng ~parent:adv_root r;
-             Adversary.choose cfg.adversary ~round:r ~broadcasters dual adv_rng gray_active;
+             (* Deterministic policies carry a word-parallel kernel that
+                fills [gray_active] by mask algebra; it is certified
+                byte-identical to the scalar [choose], so switching per
+                round on the policy's cost model is a pure evaluation
+                strategy.  Tracing forces scalar, like delivery. *)
+             let use_adv_kernel =
+               (not tracing)
+               &&
+               match cfg.adv_kernel with
+               | `Off -> false
+               | `On -> Adversary.has_kernel cfg.adversary
+               | `Auto -> Adversary.kernel_wins cfg.adversary ~broadcasters dual
+             in
+             if use_adv_kernel then begin
+               if met then Metrics.incr m_adv_kernel_rounds;
+               Adversary.choose_kernel cfg.adversary ~round:r ~broadcasters dual adv_rng
+                 (get_adv_scratch ()) gray_active
+             end
+             else
+               Adversary.choose cfg.adversary ~round:r ~broadcasters dual adv_rng gray_active;
              if tracing then
                emit
                  {

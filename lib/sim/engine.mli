@@ -40,6 +40,15 @@ val semantics_version : int
     under different engine semantics never collide. *)
 val semantics_digest : string
 
+(** Process-wide default for {!Make.config}'s [?adv_kernel], for
+    front-ends that share one functor instantiation across algorithms
+    and want to plumb a CLI override through.  Any setting yields
+    byte-identical runs (the adversary kernel is a pure evaluation
+    strategy), so changing it never invalidates cached results. *)
+val set_default_adv_kernel : [ `Auto | `On | `Off ] -> unit
+
+val get_default_adv_kernel : unit -> [ `Auto | `On | `Off ]
+
 module Make (M : MESSAGE) : sig
   (** What a process sees at the end of a round: its own broadcast, silence
       (zero or ≥ 2 reachable broadcasters — indistinguishable), or a
@@ -86,6 +95,19 @@ module Make (M : MESSAGE) : sig
             accumulator pair is a pure function of the contribution
             multiset, so results are byte-identical at any shard count
             — pure evaluation strategy, like [kernel]. *)
+    adv_kernel : [ `Auto | `On | `Off ];
+        (** word-parallel adversary kernel for the deterministic
+            policies ({!Adversary.all_gray}, {!Adversary.spiteful},
+            {!Adversary.jamming}): mask algebra over the dual graph's
+            CSR structures instead of per-edge callbacks.  [`Auto]
+            switches per round on the policy's own cost model; [`On]
+            forces the kernel whenever the policy has one; [`Off] never
+            uses it.  An attached [sink] forces the scalar path, and
+            randomised policies always run scalar (their draw sequence
+            is the semantics).  Shares [shards] and the Pool with
+            delivery.  Pure evaluation strategy — byte-identical results
+            at any setting; defaults to {!set_default_adv_kernel}'s
+            value ([`Auto] initially). *)
   }
 
   (** Build a config with sensible defaults: silent adversary, seed 0,
@@ -103,6 +125,7 @@ module Make (M : MESSAGE) : sig
     ?sink:Events.sink ->
     ?kernel:[ `Auto | `On | `Off ] ->
     ?shards:int ->
+    ?adv_kernel:[ `Auto | `On | `Off ] ->
     detector:Rn_detect.Detector.dynamic ->
     Rn_graph.Dual.t ->
     config

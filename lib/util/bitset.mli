@@ -77,6 +77,15 @@ val word_count : t -> int
 val get_word : t -> int -> int
 val set_word : t -> int -> int -> unit
 
+(** Index of the lowest set bit of a nonzero word (for manual word-level
+    iteration: [w land (w - 1)] strips it). *)
+val lowest_bit : int -> int
+
+(** [fill_range t lo hi] sets every index in [\[lo, hi)], word-parallel:
+    boundary masks plus whole-word interior fills.  [0 <= lo <= hi <=
+    capacity] required. *)
+val fill_range : t -> int -> int -> unit
+
 (** [diff a b] is a fresh set [a \ b]. *)
 val diff : t -> t -> t
 

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Adversary-kernel equivalence smoke: the CI-facing proof that the
+# word-parallel adversary kernel is pure evaluation strategy (ISSUE 7
+# acceptance criteria), sibling of shard_smoke.sh.
+#
+#   scripts/adv_smoke.sh [SIZES]
+#
+# For each deterministic policy (spiteful, jamming, all) runs the S1
+# beacon scenario in --check mode (deterministic columns only) across
+# --adv-kernel on/off/auto x --shards 1/2/4 and byte-compares every
+# table against the policy's --adv-kernel off --shards 1 reference: the
+# mask-algebra kernel, the scalar per-edge walk, and the sharded mask
+# accumulation are all evaluation strategies for one semantics.
+#
+# bernoulli keeps its scalar path by design (the per-edge draw sequence
+# IS the semantics) — one pair checks that --adv-kernel on is a no-op
+# for it rather than an error.
+#
+# SIZES is a comma-separated n grid (default small enough for CI).
+#
+# RN_CLI overrides how the CLI is invoked (CI uses
+# "opam exec -- dune exec bin/rn_cli.exe --").
+
+set -eu
+
+sizes=${1:-512,1024}
+RN_CLI=${RN_CLI:-"dune exec bin/rn_cli.exe --"}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+run() { # run OUTFILE EXTRA_ARGS...
+  out=$1; shift
+  $RN_CLI scale --check --sizes "$sizes" "$@" > "$out" 2> "$out.err"
+}
+
+for adv in spiteful jamming all; do
+  echo "== $adv: reference (--adv-kernel off --shards 1)"
+  run "$tmp/$adv.ref" --adversary "$adv" --adv-kernel off
+  for mode in on auto; do
+    for s in 1 2 4; do
+      run "$tmp/$adv.$mode.$s" --adversary "$adv" --adv-kernel "$mode" --shards "$s"
+      cmp "$tmp/$adv.ref" "$tmp/$adv.$mode.$s" || {
+        echo "adv_smoke: FAIL: $adv --adv-kernel $mode --shards $s differs from scalar" >&2
+        diff "$tmp/$adv.ref" "$tmp/$adv.$mode.$s" >&2 || true
+        exit 1
+      }
+    done
+    echo "== $adv: --adv-kernel $mode x shards 1/2/4 byte-identical"
+  done
+done
+
+echo "== bernoulli:0.5: --adv-kernel on is a no-op (no kernel, scalar draws)"
+run "$tmp/bern.ref" --adversary bernoulli:0.5 --adv-kernel off
+run "$tmp/bern.on" --adversary bernoulli:0.5 --adv-kernel on --shards 2
+cmp "$tmp/bern.ref" "$tmp/bern.on" || {
+  echo "adv_smoke: FAIL: bernoulli tables differ across --adv-kernel" >&2
+  diff "$tmp/bern.ref" "$tmp/bern.on" >&2 || true
+  exit 1
+}
+
+echo "adv_smoke: OK (sizes=$sizes: spiteful/jamming/all x on/auto x shards 1/2/4 = scalar)"
