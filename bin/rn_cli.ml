@@ -933,13 +933,197 @@ let repair_cmd =
        ~doc:"Build a CCDS, degrade some links, and run the localized repair protocol.")
     Term.(const run_repair $ n_arg $ degree_arg $ seed_arg $ adversary_arg $ orphans_arg)
 
+(* --- the sweep service (serve / work / submit / status / ...) ---
+
+   `rn_cli serve` runs the daemon, `rn_cli work` is the worker entry
+   point the daemon spawns, and the rest are one-shot thin clients.
+   Tables printed by `submit --wait` / `results` are byte-identical to
+   `rn_cli experiment` output (see EXPERIMENTS.md, "The sweep service"). *)
+
+module Serve_p = Rn_serve.Protocol
+module Serve_client = Rn_serve.Client
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (Filename.concat ".rn-store" "serve.sock")
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket the daemon listens on.")
+
+let job_pos = Arg.(required & pos 0 (some int) None & info [] ~docv:"JOB" ~doc:"Job id.")
+
+(* One-shot client request with a friendly connection error. *)
+let serve_request socket req =
+  match Serve_client.request ~socket req with
+  | resp -> resp
+  | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+    Printf.eprintf "rn_cli: no daemon at %s (start one with: rn_cli serve)\n" socket;
+    exit 1
+
+let die_err m =
+  Printf.eprintf "rn_cli: %s\n" m;
+  exit 1
+
+let run_serve socket store_dir workers heartbeat =
+  Rn_serve.Daemon.run ~workers ~heartbeat ~socket ~store_dir ()
+
+let serve_workers_arg =
+  Arg.(
+    value
+    & opt int (Rn_util.Pool.recommended_jobs ())
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker processes to keep alive while jobs are open (default: cores - 1, \
+           capped). Tables are identical at any worker count.")
+
+let serve_heartbeat_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "heartbeat-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Declare a connected-but-silent worker dead after this long and requeue its \
+           claimed cells (socket EOF requeues immediately; this is the backstop for hung \
+           workers).")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the sweep daemon: accept submitted experiment sweeps and fan their cells \
+          out to worker processes sharing one result store.")
+    Term.(const run_serve $ socket_arg $ store_arg $ serve_workers_arg $ serve_heartbeat_arg)
+
+let work_cmd =
+  Cmd.v
+    (Cmd.info "work"
+       ~doc:"Worker entry point; normally spawned by the daemon, not run by hand.")
+    Term.(const (fun socket -> Rn_serve.Worker.run ~socket ()) $ socket_arg)
+
+let run_submit socket ids full jobs retry wait =
+  let ids = if ids = [] then Rn_harness.All.ids else ids in
+  let spec =
+    {
+      Serve_p.exps = ids;
+      scale = (if full then Serve_p.Full else Serve_p.Quick);
+      jobs;
+      retry;
+    }
+  in
+  let io =
+    match Serve_client.connect socket with
+    | io -> io
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+      Printf.eprintf "rn_cli: no daemon at %s (start one with: rn_cli serve)\n" socket;
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve_client.close io)
+    (fun () ->
+      match Serve_client.rpc io (Serve_p.Submit spec) with
+      | Serve_p.Err m -> die_err m
+      | Serve_p.Job_id j ->
+        if not wait then Printf.printf "job %d\n" j
+        else begin
+          (* stdout stays pure tables; progress goes to stderr *)
+          Printf.eprintf "job %d submitted, waiting...\n%!" j;
+          (match Serve_client.rpc io (Serve_p.Wait j) with
+          | Serve_p.Ok_unit -> ()
+          | Serve_p.Err m -> die_err m
+          | _ -> die_err "unexpected wait reply");
+          match Serve_client.rpc io (Serve_p.Results j) with
+          | Serve_p.Results_r out ->
+            print_string out;
+            flush stdout
+          | Serve_p.Err m -> die_err m
+          | _ -> die_err "unexpected results reply"
+        end
+      | _ -> die_err "unexpected submit reply")
+
+let submit_wait_arg =
+  Arg.(
+    value & flag
+    & info [ "wait" ]
+        ~doc:"Block until the job finishes and print its tables to stdout.")
+
+let submit_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Cell domains per worker process.")
+
+let submit_cmd =
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit an experiment sweep to the daemon.")
+    Term.(
+      const run_submit $ socket_arg $ ids_arg $ full_arg $ submit_jobs_arg $ retry_arg
+      $ submit_wait_arg)
+
+let run_status socket jid metrics =
+  if metrics then
+    match serve_request socket Serve_p.Metrics with
+    | Serve_p.Metrics_r kvs ->
+      List.iter (fun (k, v) -> Printf.printf "%-18s %d\n" k v) kvs
+    | Serve_p.Err m -> die_err m
+    | _ -> die_err "unexpected metrics reply"
+  else
+    match serve_request socket (Serve_p.Status jid) with
+    | Serve_p.Status_r { jobs; workers } ->
+      print_string (Serve_client.format_status jobs workers)
+    | Serve_p.Err m -> die_err m
+    | _ -> die_err "unexpected status reply"
+
+let status_job_pos =
+  Arg.(value & pos 0 (some int) None & info [] ~docv:"JOB" ~doc:"Show only this job.")
+
+let status_metrics_arg =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print the daemon's scheduler counters instead.")
+
+let status_cmd =
+  Cmd.v
+    (Cmd.info "status" ~doc:"Show the daemon's jobs and workers (pids included).")
+    Term.(const run_status $ socket_arg $ status_job_pos $ status_metrics_arg)
+
+let run_results socket j =
+  match serve_request socket (Serve_p.Results j) with
+  | Serve_p.Results_r out ->
+    print_string out;
+    flush stdout
+  | Serve_p.Err m -> die_err m
+  | _ -> die_err "unexpected results reply"
+
+let results_cmd =
+  Cmd.v
+    (Cmd.info "results" ~doc:"Print a finished job's tables (byte-identical to a direct run).")
+    Term.(const run_results $ socket_arg $ job_pos)
+
+let run_cancel socket j =
+  match serve_request socket (Serve_p.Cancel j) with
+  | Serve_p.Ok_unit -> Printf.printf "job %d cancelled\n" j
+  | Serve_p.Err m -> die_err m
+  | _ -> die_err "unexpected cancel reply"
+
+let cancel_cmd =
+  Cmd.v
+    (Cmd.info "cancel" ~doc:"Cancel a queued or running job.")
+    Term.(const run_cancel $ socket_arg $ job_pos)
+
+let run_shutdown socket =
+  match serve_request socket Serve_p.Shutdown with
+  | Serve_p.Ok_unit -> print_endline "daemon stopping"
+  | Serve_p.Err m -> die_err m
+  | _ -> die_err "unexpected shutdown reply"
+
+let shutdown_cmd =
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Stop the daemon (the store journal keeps all finished cells).")
+    Term.(const run_shutdown $ socket_arg)
+
 let main =
   Cmd.group
     (Cmd.info "rn_cli" ~version:"1.0.0"
        ~doc:"Dual graph radio network algorithms (Censor-Hillel et al., PODC 2011).")
     [
       mis_cmd; ccds_cmd; bridge_cmd; experiment_cmd; list_cmd; figures_cmd; broadcast_cmd;
-      repair_cmd; scenario_cmd; store_cmd; trace_cmd; scale_cmd; graph_cmd;
+      repair_cmd; scenario_cmd; store_cmd; trace_cmd; scale_cmd; graph_cmd; serve_cmd;
+      work_cmd; submit_cmd; status_cmd; results_cmd; cancel_cmd; shutdown_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -174,6 +174,35 @@ let compute_cell cfg f c =
    scoped snapshot, so per-experiment aggregates carry a max cell time. *)
 let m_cell_us = Metrics.gauge "cell.us"
 
+(* --- cross-process sweep coordination (the serve daemon) ---
+
+   When several worker processes sweep the same experiment against one
+   shared store journal, each store miss is first offered to a
+   coordinator (the daemon, over the worker's socket).  [Claim_mine]
+   means compute it; [Claim_theirs] means a live peer owns it — poll the
+   journal via {!Store.refresh} until the peer's record lands (or the
+   peer dies and a re-ask returns [Claim_mine]).  Without a coordinator
+   the miss path is unchanged.  Claims run on Pool worker domains, so a
+   coordinator's functions must be domain-safe. *)
+
+type claim_outcome =
+  | Claim_mine
+  | Claim_theirs
+  | Claim_failed of string  (* the owner computed it, and it failed *)
+  | Claim_cancelled
+
+type coordinator = {
+  claim : string -> claim_outcome;  (* argument is the cell's Store.key_id *)
+  complete : string -> ok:bool -> err:string -> unit;
+  poll_interval : float;  (* seconds between journal polls on Claim_theirs *)
+}
+
+exception Sweep_cancelled
+
+let coordinator_ref : coordinator option ref = ref None
+let set_coordinator c = coordinator_ref := Some c
+let clear_coordinator () = coordinator_ref := None
+
 let run_cells_cached cfg (exp, scale, version) ~jobs:j f cells =
   let b = !batch in
   incr batch;
@@ -189,13 +218,13 @@ let run_cells_cached cfg (exp, scale, version) ~jobs:j f cells =
   in
   let run_one (i, c) =
     let k = key i in
-    match Store.find cfg.store k with
-    | Some payload ->
+    let replay payload =
       Metrics.incr m_store_hits;
       let v, (snap : Metrics.snapshot) = Marshal.from_string payload 0 in
       record_exp_metrics ~exp snap;
       Ok v
-    | None -> (
+    in
+    let compute () =
       (* Scoped: the snapshot holds exactly what this cell recorded on
          this domain, independent of what other cells do concurrently —
          so the payload is deterministic at any [--jobs]. *)
@@ -217,7 +246,35 @@ let run_cells_cached cfg (exp, scale, version) ~jobs:j f cells =
       | Error msg ->
         Metrics.incr m_store_failures;
         Store.put cfg.store k Store.Failed msg;
-        Error msg)
+        Error msg
+    in
+    match !coordinator_ref with
+    | None -> (
+      match Store.find cfg.store k with Some p -> replay p | None -> compute ())
+    | Some co ->
+      let kid = Store.key_id k in
+      let rec obtain () =
+        match Store.find cfg.store k with
+        | Some p -> replay p
+        | None -> (
+          match co.claim kid with
+          | Claim_mine ->
+            let r = compute () in
+            (match r with
+            | Ok _ -> co.complete kid ~ok:true ~err:""
+            | Error e -> co.complete kid ~ok:false ~err:e);
+            r
+          | Claim_theirs ->
+            (* a live peer owns this cell: wait for its journal append *)
+            Unix.sleepf co.poll_interval;
+            ignore (Store.refresh cfg.store);
+            obtain ()
+          | Claim_failed msg ->
+            Metrics.incr m_store_failures;
+            Error msg
+          | Claim_cancelled -> raise Sweep_cancelled)
+      in
+      obtain ()
   in
   let out = Rn_util.Pool.map ~jobs:j run_one (List.mapi (fun i c -> (i, c)) cells) in
   let failed = List.length (List.filter Result.is_error out) in

@@ -1,0 +1,95 @@
+(* Buffered line IO over a Unix-domain socket, shared by workers and
+   thin clients.  One in-flight request per connection: [rpc] holds the
+   connection mutex across write-request/read-reply, so Pool worker
+   domains inside one worker process can share a single daemon
+   connection safely. *)
+
+module P = Protocol
+
+exception Disconnected
+
+type io = {
+  fd : Unix.file_descr;
+  mu : Mutex.t;
+  mutable pending : string;  (* bytes read off the socket, not yet consumed *)
+}
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; mu = Mutex.create (); pending = "" }
+
+let close io = try Unix.close io.fd with Unix.Unix_error _ -> ()
+
+let rec restart_on_eintr f =
+  match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
+
+let write_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    match restart_on_eintr (fun () -> Unix.write_substring fd s !sent (n - !sent)) with
+    | 0 -> raise Disconnected
+    | k -> sent := !sent + k
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Disconnected
+  done
+
+let rec read_line_locked io =
+  match String.index_opt io.pending '\n' with
+  | Some i ->
+    let line = String.sub io.pending 0 (i + 1) in
+    io.pending <- String.sub io.pending (i + 1) (String.length io.pending - i - 1);
+    line
+  | None -> (
+    let b = Bytes.create 65536 in
+    match restart_on_eintr (fun () -> Unix.read io.fd b 0 (Bytes.length b)) with
+    | 0 -> raise Disconnected
+    | n ->
+      io.pending <- io.pending ^ Bytes.sub_string b 0 n;
+      read_line_locked io
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> raise Disconnected)
+
+(* Send one request, block for its reply.  The daemon answers every
+   frame in order (a deferred [wait] still consumes the connection until
+   its reply arrives, which is exactly the blocking the caller wants). *)
+let rpc io req =
+  Mutex.protect io.mu (fun () ->
+      write_all io.fd (P.encode_request req);
+      let line = read_line_locked io in
+      match P.decode_response line with
+      | Ok r -> r
+      | Error e -> failwith (Printf.sprintf "serve: bad response frame: %s" e))
+
+(* One-shot request on a fresh connection — the thin-client pattern
+   (`rn_cli submit`, `status`, ...). *)
+let request ~socket req =
+  let io = connect socket in
+  Fun.protect ~finally:(fun () -> close io) (fun () -> rpc io req)
+
+(* Human-readable rendering used by `rn_cli status`. *)
+let format_status jobs workers =
+  let b = Buffer.create 256 in
+  let state_name = P.state_name in
+  if jobs = [] then Buffer.add_string b "no jobs\n";
+  List.iter
+    (fun (s : P.job_summary) ->
+      Buffer.add_string b
+        (Printf.sprintf "job %-3d %-9s exps %d/%d  cells %d (failed %d, claimed %d)  hits %d  misses %d  [%s @%s retry=%d]\n"
+           s.P.job (state_name s.P.state) s.P.exps_done
+           (List.length s.P.spec.P.exps)
+           s.P.cells_done s.P.cells_failed s.P.claims s.P.hits s.P.misses
+           (String.concat "," s.P.spec.P.exps)
+           (P.scale_name s.P.spec.P.scale)
+           s.P.spec.P.retry))
+    jobs;
+  List.iter
+    (fun (w : P.worker_info) ->
+      Buffer.add_string b
+        (Printf.sprintf "worker %-2d pid %-7d %s%s\n" w.P.wid w.P.pid
+           (if w.P.alive then "alive" else "lost")
+           (match w.P.wjob with None -> "" | Some j -> Printf.sprintf "  job %d" j)))
+    workers;
+  Buffer.contents b

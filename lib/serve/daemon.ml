@@ -1,0 +1,312 @@
+(* The sweep daemon (`rn_cli serve`).
+
+   A single-threaded [Unix.select] loop over a Unix-domain listening
+   socket: clients and workers speak the same line-delimited sexp
+   protocol on the same socket, and every request is answered in
+   arrival order (except [wait], whose reply is deferred until the
+   awaited job reaches a terminal state).
+
+   The daemon owns no sweep state beyond the in-memory {!Scheduler}: the
+   durable state is the store journal the workers share, so a daemon
+   restart loses only the queue — re-submitting after a restart resumes
+   from the journal's completed cells (that is the crash-recovery story
+   scripts/serve_smoke.sh exercises end to end).
+
+   Worker management: the daemon spawns [workers] copies of its own
+   executable running `rn_cli work` whenever open jobs exist and fewer
+   than [workers] spawned children are alive, and reaps exited children
+   each tick — so a SIGKILLed worker is replaced within a tick, and its
+   orphaned cell claims are released the moment its socket reports EOF
+   (with the scheduler's heartbeat reap as the backstop for hung-but-
+   connected workers). *)
+
+module P = Protocol
+module S = Scheduler
+
+let log fmt =
+  Printf.ksprintf
+    (fun s ->
+      let t = Unix.localtime (Unix.gettimeofday ()) in
+      Printf.eprintf "[serve %02d:%02d:%02d] %s\n%!" t.Unix.tm_hour t.Unix.tm_min
+        t.Unix.tm_sec s)
+    fmt
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;  (* bytes received, not yet a complete line *)
+  mutable worker : int option;  (* set by Hello *)
+}
+
+type t = {
+  sched : S.t;
+  listen_fd : Unix.file_descr;
+  socket : string;
+  store_dir : string;
+  workers_target : int;
+  heartbeat : float;
+  spawn : bool;  (* false in in-process tests: no child processes *)
+  mutable conns : conn list;
+  mutable waiters : (P.job_id * conn) list;
+  mutable children : int list;  (* live spawned worker pids *)
+  mutable stopping : bool;
+}
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* --- connection plumbing --- *)
+
+let drop_conn t c =
+  if List.memq c t.conns then begin
+    t.conns <- List.filter (fun c' -> c' != c) t.conns;
+    t.waiters <- List.filter (fun (_, c') -> c' != c) t.waiters;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    match c.worker with
+    | Some w ->
+      log "worker %d disconnected, releasing its claims" w;
+      S.worker_dead t.sched ~worker:w
+    | None -> ()
+  end
+
+let send t c resp =
+  match Client.write_all c.fd (P.encode_response resp) with
+  | () -> ()
+  | exception (Client.Disconnected | Unix.Unix_error _) -> drop_conn t c
+
+(* --- worker process management --- *)
+
+let spawn_worker t =
+  let exe = Sys.executable_name in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "work"; "--socket"; t.socket |]
+      null Unix.stdout Unix.stderr
+  in
+  Unix.close null;
+  t.children <- pid :: t.children;
+  log "spawned worker pid %d (%d/%d)" pid (List.length t.children) t.workers_target
+
+let reap_children t =
+  let rec loop () =
+    match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+    | 0, _ -> ()
+    | pid, status ->
+      if List.mem pid t.children then begin
+        t.children <- List.filter (fun p -> p <> pid) t.children;
+        let how =
+          match status with
+          | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+          | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+          | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+        in
+        log "worker pid %d %s" pid how
+      end;
+      loop ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+let ensure_workers t =
+  if t.spawn && (not t.stopping) && S.has_open_jobs t.sched then
+    for _ = List.length t.children + 1 to t.workers_target do
+      spawn_worker t
+    done
+
+(* --- request handling --- *)
+
+let validate_spec (spec : P.spec) =
+  if spec.P.exps = [] then Error "submit: no experiments"
+  else if spec.P.jobs < 1 then Error "submit: jobs must be >= 1"
+  else if spec.P.retry < 0 then Error "submit: retry must be >= 0"
+  else
+    match List.find_opt (fun e -> Rn_harness.All.find e = None) spec.P.exps with
+    | Some e -> Error (Printf.sprintf "submit: unknown experiment %s" e)
+    | None -> Ok ()
+
+let handle_request t conn req ~now =
+  match req with
+  | P.Submit spec -> (
+    match validate_spec spec with
+    | Error m -> `Reply (P.Err m)
+    | Ok () ->
+      let id = S.submit t.sched spec ~now in
+      log "job %d submitted: %s @%s (jobs=%d retry=%d)" id
+        (String.concat "," spec.P.exps)
+        (P.scale_name spec.P.scale) spec.P.jobs spec.P.retry;
+      `Reply (P.Job_id id))
+  | P.Status jid ->
+    let jobs, workers = S.status t.sched jid in
+    `Reply (P.Status_r { jobs; workers })
+  | P.Wait j ->
+    if S.job t.sched j = None then `Reply (P.Err (Printf.sprintf "no such job %d" j))
+    else if S.finished t.sched j then `Reply P.Ok_unit
+    else begin
+      t.waiters <- (j, conn) :: t.waiters;
+      `Defer
+    end
+  | P.Results j -> (
+    match S.results t.sched j with
+    | Ok out -> `Reply (P.Results_r out)
+    | Error m -> `Reply (P.Err m))
+  | P.Cancel j ->
+    if S.cancel t.sched ~job:j then begin
+      log "job %d cancelled" j;
+      `Reply P.Ok_unit
+    end
+    else `Reply (P.Err (Printf.sprintf "no such job %d" j))
+  | P.Metrics -> `Reply (P.Metrics_r (S.counters t.sched))
+  | P.Shutdown ->
+    log "shutdown requested";
+    `Stop P.Ok_unit
+  | P.Hello { pid } ->
+    let wid = S.add_worker t.sched ~pid ~now in
+    conn.worker <- Some wid;
+    log "worker %d connected (pid %d)" wid pid;
+    `Reply (P.Worker_id wid)
+  | P.Next { worker } -> (
+    match S.next_assignment t.sched ~worker ~now with
+    | `Assign (job, spec) -> `Reply (P.Assign { job; store = t.store_dir; spec })
+    | `Wait -> `Reply (if t.stopping then P.Quit_r else P.Wait_r)
+    | `Quit -> `Reply P.Quit_r)
+  | P.Claim { worker; job; key } -> `Reply (P.Claim_r (S.claim t.sched ~worker ~job ~key ~now))
+  | P.Cell_done { worker; job; key; ok; err } ->
+    S.cell_done t.sched ~worker ~job ~key ~ok ~err ~now;
+    `Reply P.Ok_unit
+  | P.Exp_done { worker; job; exp; output; hits; misses; failed } ->
+    S.exp_done t.sched ~job ~exp ~output ~hits ~misses ~failed;
+    ignore worker;
+    log "job %d exp %s %s (hits %d, misses %d)" job exp
+      (if failed then "FAILED" else "done")
+      hits misses;
+    `Reply P.Ok_unit
+  | P.Job_done { worker; job } ->
+    S.job_done t.sched ~worker ~job ~now;
+    (match S.job t.sched job with
+    | Some j when S.finished t.sched job ->
+      log "job %d finished: %s" job (P.state_name j.S.state)
+    | _ -> ());
+    `Reply P.Ok_unit
+  | P.Heartbeat { worker } ->
+    S.touch t.sched worker ~now;
+    `Reply P.Ok_unit
+
+let flush_waiters t =
+  let ready, pending = List.partition (fun (j, _) -> S.finished t.sched j) t.waiters in
+  t.waiters <- pending;
+  List.iter (fun (_, c) -> send t c P.Ok_unit) ready
+
+let feed_conn t conn data ~now =
+  conn.inbuf <- conn.inbuf ^ data;
+  let rec lines () =
+    match String.index_opt conn.inbuf '\n' with
+    | None -> ()
+    | Some i ->
+      let line = String.sub conn.inbuf 0 (i + 1) in
+      conn.inbuf <- String.sub conn.inbuf (i + 1) (String.length conn.inbuf - i - 1);
+      (match P.decode_request line with
+      | Error e -> send t conn (P.Err e)
+      | Ok req -> (
+        match handle_request t conn req ~now with
+        | `Reply resp -> send t conn resp
+        | `Defer -> ()
+        | `Stop resp ->
+          send t conn resp;
+          t.stopping <- true));
+      if List.memq conn t.conns then lines ()
+  in
+  lines ()
+
+let tick t =
+  let now = Unix.gettimeofday () in
+  if t.spawn then reap_children t;
+  List.iter (fun w -> log "worker %d silent for %.0fs, reaped" w t.heartbeat)
+    (S.reap t.sched ~now ~timeout:t.heartbeat);
+  ensure_workers t;
+  flush_waiters t;
+  let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+  match Unix.select fds [] [] 0.25 with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | readable, _, _ ->
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun fd ->
+        if fd = t.listen_fd then begin
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | cfd, _ -> t.conns <- { fd = cfd; inbuf = ""; worker = None } :: t.conns
+          | exception Unix.Unix_error _ -> ()
+        end
+        else
+          match List.find_opt (fun c -> c.fd = fd) t.conns with
+          | None -> ()
+          | Some conn -> (
+            let b = Bytes.create 65536 in
+            match Unix.read fd b 0 (Bytes.length b) with
+            | 0 -> drop_conn t conn
+            | n -> feed_conn t conn (Bytes.sub_string b 0 n) ~now
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error _ -> drop_conn t conn))
+      readable;
+    flush_waiters t
+
+(* Refuse to start over a live daemon; silently replace a stale socket
+   file left by a crashed or SIGKILLed one. *)
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if alive then failwith (Printf.sprintf "serve: a daemon is already listening on %s" path);
+    (try Unix.unlink path with Unix.Unix_error _ -> ())
+  end
+
+let run ?(workers = 1) ?(heartbeat = 60.0) ?(spawn = true) ~socket ~store_dir () =
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  mkdirs (Filename.dirname socket);
+  mkdirs store_dir;
+  claim_socket socket;
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 64;
+  let t =
+    {
+      sched = S.create ();
+      listen_fd;
+      socket;
+      store_dir;
+      workers_target = max 0 workers;
+      heartbeat;
+      spawn;
+      conns = [];
+      waiters = [];
+      children = [];
+      stopping = false;
+    }
+  in
+  let term = ref false in
+  let old_term =
+    try Some (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> term := true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  log "listening on %s (store %s, workers %d, heartbeat %.0fs)" socket store_dir
+    t.workers_target heartbeat;
+  Fun.protect
+    ~finally:(fun () ->
+      (match old_term with Some h -> Sys.set_signal Sys.sigterm h | None -> ());
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+      t.conns <- [];
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      log "stopped")
+    (fun () ->
+      while not (t.stopping || !term) do
+        tick t
+      done)

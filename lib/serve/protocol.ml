@@ -1,0 +1,417 @@
+(* Line-delimited sexp protocol between the sweep daemon, its workers,
+   and thin clients.  One message per line; every free-form string
+   (table output, error text, store paths) travels hex-encoded so a
+   frame can never contain a newline or break the sexp reader, and a
+   truncated or garbage frame decodes to [Error _], never an exception.
+   The codec is total in both directions: [decode_* (encode_* m) = Ok m]
+   (test_serve.ml round-trips it under qcheck). *)
+
+module Sexp = Rn_util.Sexp
+
+type job_id = int
+
+type scale = Quick | Full
+
+(* What a client asks the daemon to sweep; the daemon hands the same
+   spec to every worker it fans the job out to. *)
+type spec = {
+  exps : string list;  (* experiment ids, registry order preserved *)
+  scale : scale;
+  jobs : int;  (* cell domains per worker *)
+  retry : int;  (* per-cell retry budget, as rn_cli experiment --retry *)
+}
+
+type request =
+  (* client -> daemon *)
+  | Submit of spec
+  | Status of job_id option
+  | Wait of job_id
+  | Results of job_id
+  | Cancel of job_id
+  | Metrics
+  | Shutdown
+  (* worker -> daemon *)
+  | Hello of { pid : int }
+  | Next of { worker : int }
+  | Claim of { worker : int; job : job_id; key : string }
+  | Cell_done of { worker : int; job : job_id; key : string; ok : bool; err : string }
+  | Exp_done of {
+      worker : int;
+      job : job_id;
+      exp : string;
+      output : string;
+      hits : int;
+      misses : int;
+      failed : bool;
+    }
+  | Job_done of { worker : int; job : job_id }
+  | Heartbeat of { worker : int }
+
+type job_state = Queued | Running | Done | Failed | Cancelled
+
+type job_summary = {
+  job : job_id;
+  state : job_state;
+  spec : spec;
+  exps_done : int;
+  cells_done : int;
+  cells_failed : int;
+  claims : int;  (* cells currently claimed by live workers *)
+  hits : int;
+  misses : int;
+}
+
+type worker_info = { wid : int; pid : int; alive : bool; wjob : job_id option }
+
+type claim_reply =
+  | Mine  (* compute it, then send Cell_done *)
+  | Theirs  (* a live worker owns it: poll the store, re-ask *)
+  | Key_failed of string  (* its owner computed it and it failed *)
+  | Job_cancelled
+
+type response =
+  | Ok_unit
+  | Job_id of job_id
+  | Status_r of { jobs : job_summary list; workers : worker_info list }
+  | Results_r of string  (* concatenated rendered tables, request order *)
+  | Metrics_r of (string * int) list
+  | Worker_id of int
+  | Assign of { job : job_id; store : string; spec : spec }
+  | Wait_r  (* no job available yet: sleep and ask again *)
+  | Quit_r
+  | Claim_r of claim_reply
+  | Err of string
+
+(* --- hex framing for free-form strings (same shape as the store's
+   payload encoding: 'x' prefix keeps the atom non-empty) --- *)
+
+let to_hex s =
+  let b = Buffer.create ((2 * String.length s) + 1) in
+  Buffer.add_char b 'x';
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let of_hex s =
+  let n = String.length s in
+  if n = 0 || s.[0] <> 'x' || (n - 1) mod 2 <> 0 then None
+  else begin
+    let digit c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | _ -> None
+    in
+    let m = (n - 1) / 2 in
+    let b = Bytes.create m in
+    let ok = ref true in
+    for i = 0 to m - 1 do
+      match (digit s.[(2 * i) + 1], digit s.[(2 * i) + 2]) with
+      | Some hi, Some lo -> Bytes.set b i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some (Bytes.to_string b) else None
+  end
+
+(* Identifiers (experiment ids, store keys) travel as bare atoms; any
+   character that would break the sexp framing is mapped to '_' —
+   matching the store's own key sanitisation, so a [Store.key_id] always
+   round-trips unchanged. *)
+let atomize s =
+  if s = "" then "_"
+  else
+    String.map
+      (fun c ->
+        match c with
+        | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' -> '_'
+        | c -> c)
+      s
+
+(* --- encoding --- *)
+
+let scale_name = function Quick -> "quick" | Full -> "full"
+let bool_name = function true -> "true" | false -> "false"
+
+let spec_fields { exps; scale; jobs; retry } =
+  Printf.sprintf "(exps%s) (scale %s) (jobs %d) (retry %d)"
+    (String.concat "" (List.map (fun e -> " " ^ atomize e) exps))
+    (scale_name scale) jobs retry
+
+let encode_request r =
+  (match r with
+  | Submit spec -> Printf.sprintf "(submit %s)" (spec_fields spec)
+  | Status None -> "(status)"
+  | Status (Some j) -> Printf.sprintf "(status %d)" j
+  | Wait j -> Printf.sprintf "(wait %d)" j
+  | Results j -> Printf.sprintf "(results %d)" j
+  | Cancel j -> Printf.sprintf "(cancel %d)" j
+  | Metrics -> "(metrics)"
+  | Shutdown -> "(shutdown)"
+  | Hello { pid } -> Printf.sprintf "(hello (pid %d))" pid
+  | Next { worker } -> Printf.sprintf "(next (worker %d))" worker
+  | Claim { worker; job; key } ->
+    Printf.sprintf "(claim (worker %d) (job %d) (key %s))" worker job (atomize key)
+  | Cell_done { worker; job; key; ok; err } ->
+    Printf.sprintf "(celldone (worker %d) (job %d) (key %s) (ok %s) (err %s))" worker job
+      (atomize key) (bool_name ok) (to_hex err)
+  | Exp_done { worker; job; exp; output; hits; misses; failed } ->
+    Printf.sprintf "(expdone (worker %d) (job %d) (exp %s) (output %s) (hits %d) (misses %d) (failed %s))"
+      worker job (atomize exp) (to_hex output) hits misses (bool_name failed)
+  | Job_done { worker; job } -> Printf.sprintf "(jobdone (worker %d) (job %d))" worker job
+  | Heartbeat { worker } -> Printf.sprintf "(heartbeat (worker %d))" worker)
+  ^ "\n"
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Cancelled -> "cancelled"
+
+let summary_sexp s =
+  Printf.sprintf
+    "(job (id %d) (state %s) %s (exps-done %d) (cells %d) (cells-failed %d) (claims %d) (hits %d) (misses %d))"
+    s.job (state_name s.state) (spec_fields s.spec) s.exps_done s.cells_done s.cells_failed
+    s.claims s.hits s.misses
+
+let worker_sexp w =
+  Printf.sprintf "(worker (wid %d) (pid %d) (alive %s)%s)" w.wid w.pid (bool_name w.alive)
+    (match w.wjob with None -> "" | Some j -> Printf.sprintf " (job %d)" j)
+
+let encode_response r =
+  (match r with
+  | Ok_unit -> "(ok)"
+  | Job_id j -> Printf.sprintf "(ok (job %d))" j
+  | Status_r { jobs; workers } ->
+    Printf.sprintf "(ok (status (jobs%s) (workers%s)))"
+      (String.concat "" (List.map (fun j -> " " ^ summary_sexp j) jobs))
+      (String.concat "" (List.map (fun w -> " " ^ worker_sexp w) workers))
+  | Results_r out -> Printf.sprintf "(ok (results %s))" (to_hex out)
+  | Metrics_r kvs ->
+    Printf.sprintf "(ok (metrics%s))"
+      (String.concat ""
+         (List.map (fun (k, v) -> Printf.sprintf " (m %s %d)" (atomize k) v) kvs))
+  | Worker_id w -> Printf.sprintf "(ok (worker %d))" w
+  | Assign { job; store; spec } ->
+    Printf.sprintf "(ok (assign (job %d) (store %s) %s))" job (to_hex store)
+      (spec_fields spec)
+  | Wait_r -> "(ok wait)"
+  | Quit_r -> "(ok quit)"
+  | Claim_r Mine -> "(ok mine)"
+  | Claim_r Theirs -> "(ok theirs)"
+  | Claim_r (Key_failed msg) -> Printf.sprintf "(ok (keyfailed %s))" (to_hex msg)
+  | Claim_r Job_cancelled -> "(ok cancelled)"
+  | Err msg -> Printf.sprintf "(err %s)" (to_hex msg))
+  ^ "\n"
+
+(* --- decoding --- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_line line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\n' then String.sub line 0 (n - 1) else line
+  in
+  match Sexp.parse_string line with
+  | sx -> Ok sx
+  | exception Sexp.Parse_error { pos; message } ->
+    Error (Printf.sprintf "bad frame at %d: %s" pos message)
+  | exception _ -> Error "bad frame"
+
+let field name sx =
+  match Sexp.assoc name sx with
+  | Some [ Sexp.Atom a ] -> Ok a
+  | _ -> Error (Printf.sprintf "missing field %s" name)
+
+let int_field name sx =
+  let* a = field name sx in
+  match int_of_string_opt a with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "field %s: not an int" name)
+
+let bool_field name sx =
+  let* a = field name sx in
+  match a with
+  | "true" -> Ok true
+  | "false" -> Ok false
+  | _ -> Error (Printf.sprintf "field %s: not a bool" name)
+
+let hex_field name sx =
+  let* a = field name sx in
+  match of_hex a with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %s: bad hex" name)
+
+let spec_of_sexp sx =
+  let* exps =
+    match Sexp.assoc "exps" sx with
+    | Some items ->
+      let rec atoms = function
+        | [] -> Ok []
+        | Sexp.Atom a :: rest ->
+          let* tl = atoms rest in
+          Ok (a :: tl)
+        | Sexp.List _ :: _ -> Error "exps: expected atoms"
+      in
+      atoms items
+    | None -> Error "missing field exps"
+  in
+  let* scale_a = field "scale" sx in
+  let* scale =
+    match scale_a with
+    | "quick" -> Ok Quick
+    | "full" -> Ok Full
+    | s -> Error (Printf.sprintf "bad scale %s" s)
+  in
+  let* jobs = int_field "jobs" sx in
+  let* retry = int_field "retry" sx in
+  Ok { exps; scale; jobs; retry }
+
+let decode_request line =
+  let* sx = parse_line line in
+  match sx with
+  | Sexp.List (Sexp.Atom head :: args) -> (
+    match (head, args) with
+    | "submit", _ ->
+      let* spec = spec_of_sexp sx in
+      Ok (Submit spec)
+    | "status", [] -> Ok (Status None)
+    | "status", [ Sexp.Atom a ] -> (
+      match int_of_string_opt a with
+      | Some j -> Ok (Status (Some j))
+      | None -> Error "status: bad job id")
+    | "wait", [ Sexp.Atom a ] | "results", [ Sexp.Atom a ] | "cancel", [ Sexp.Atom a ] -> (
+      match int_of_string_opt a with
+      | Some j ->
+        Ok (if head = "wait" then Wait j else if head = "results" then Results j else Cancel j)
+      | None -> Error (head ^ ": bad job id"))
+    | "metrics", [] -> Ok Metrics
+    | "shutdown", [] -> Ok Shutdown
+    | "hello", _ ->
+      let* pid = int_field "pid" sx in
+      Ok (Hello { pid })
+    | "next", _ ->
+      let* worker = int_field "worker" sx in
+      Ok (Next { worker })
+    | "claim", _ ->
+      let* worker = int_field "worker" sx in
+      let* job = int_field "job" sx in
+      let* key = field "key" sx in
+      Ok (Claim { worker; job; key })
+    | "celldone", _ ->
+      let* worker = int_field "worker" sx in
+      let* job = int_field "job" sx in
+      let* key = field "key" sx in
+      let* ok = bool_field "ok" sx in
+      let* err = hex_field "err" sx in
+      Ok (Cell_done { worker; job; key; ok; err })
+    | "expdone", _ ->
+      let* worker = int_field "worker" sx in
+      let* job = int_field "job" sx in
+      let* exp = field "exp" sx in
+      let* output = hex_field "output" sx in
+      let* hits = int_field "hits" sx in
+      let* misses = int_field "misses" sx in
+      let* failed = bool_field "failed" sx in
+      Ok (Exp_done { worker; job; exp; output; hits; misses; failed })
+    | "jobdone", _ ->
+      let* worker = int_field "worker" sx in
+      let* job = int_field "job" sx in
+      Ok (Job_done { worker; job })
+    | "heartbeat", _ ->
+      let* worker = int_field "worker" sx in
+      Ok (Heartbeat { worker })
+    | _ -> Error (Printf.sprintf "unknown request %s" head))
+  | _ -> Error "expected a request list"
+
+let state_of_name = function
+  | "queued" -> Ok Queued
+  | "running" -> Ok Running
+  | "done" -> Ok Done
+  | "failed" -> Ok Failed
+  | "cancelled" -> Ok Cancelled
+  | s -> Error (Printf.sprintf "bad job state %s" s)
+
+let summary_of_sexp sx =
+  let* job = int_field "id" sx in
+  let* state_a = field "state" sx in
+  let* state = state_of_name state_a in
+  let* spec = spec_of_sexp sx in
+  let* exps_done = int_field "exps-done" sx in
+  let* cells_done = int_field "cells" sx in
+  let* cells_failed = int_field "cells-failed" sx in
+  let* claims = int_field "claims" sx in
+  let* hits = int_field "hits" sx in
+  let* misses = int_field "misses" sx in
+  Ok { job; state; spec; exps_done; cells_done; cells_failed; claims; hits; misses }
+
+let worker_of_sexp sx =
+  let* wid = int_field "wid" sx in
+  let* pid = int_field "pid" sx in
+  let* alive = bool_field "alive" sx in
+  let wjob = match Sexp.assoc "job" sx with Some [ v ] -> Sexp.as_int v | _ -> None in
+  Ok { wid; pid; alive; wjob }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* v = f x in
+    let* tl = map_result f rest in
+    Ok (v :: tl)
+
+let decode_response line =
+  let* sx = parse_line line in
+  match sx with
+  | Sexp.List [ Sexp.Atom "ok" ] -> Ok Ok_unit
+  | Sexp.List [ Sexp.Atom "ok"; Sexp.Atom "wait" ] -> Ok Wait_r
+  | Sexp.List [ Sexp.Atom "ok"; Sexp.Atom "quit" ] -> Ok Quit_r
+  | Sexp.List [ Sexp.Atom "ok"; Sexp.Atom "mine" ] -> Ok (Claim_r Mine)
+  | Sexp.List [ Sexp.Atom "ok"; Sexp.Atom "theirs" ] -> Ok (Claim_r Theirs)
+  | Sexp.List [ Sexp.Atom "ok"; Sexp.Atom "cancelled" ] -> Ok (Claim_r Job_cancelled)
+  | Sexp.List [ Sexp.Atom "ok"; (Sexp.List (Sexp.Atom head :: args) as body) ] -> (
+    match (head, args) with
+    | "job", [ Sexp.Atom a ] -> (
+      match int_of_string_opt a with Some j -> Ok (Job_id j) | None -> Error "bad job id")
+    | "worker", [ Sexp.Atom a ] -> (
+      match int_of_string_opt a with
+      | Some w -> Ok (Worker_id w)
+      | None -> Error "bad worker id")
+    | "results", [ Sexp.Atom a ] -> (
+      match of_hex a with Some s -> Ok (Results_r s) | None -> Error "results: bad hex")
+    | "keyfailed", [ Sexp.Atom a ] -> (
+      match of_hex a with
+      | Some s -> Ok (Claim_r (Key_failed s))
+      | None -> Error "keyfailed: bad hex")
+    | "assign", _ ->
+      let* job = int_field "job" body in
+      let* store = hex_field "store" body in
+      let* spec = spec_of_sexp body in
+      Ok (Assign { job; store; spec })
+    | "metrics", items ->
+      let* kvs =
+        map_result
+          (function
+            | Sexp.List [ Sexp.Atom "m"; Sexp.Atom k; Sexp.Atom v ] -> (
+              match int_of_string_opt v with
+              | Some v -> Ok (k, v)
+              | None -> Error "metrics: bad value")
+            | _ -> Error "metrics: bad entry")
+          items
+      in
+      Ok (Metrics_r kvs)
+    | "status", _ ->
+      let* jobs =
+        match Sexp.assoc "jobs" body with
+        | Some items -> map_result summary_of_sexp items
+        | None -> Error "status: missing jobs"
+      in
+      let* workers =
+        match Sexp.assoc "workers" body with
+        | Some items -> map_result worker_of_sexp items
+        | None -> Error "status: missing workers"
+      in
+      Ok (Status_r { jobs; workers })
+    | _ -> Error (Printf.sprintf "unknown ok body %s" head))
+  | Sexp.List [ Sexp.Atom "err"; Sexp.Atom a ] -> (
+    match of_hex a with Some m -> Ok (Err m) | None -> Error "err: bad hex")
+  | _ -> Error "expected a response"

@@ -1,0 +1,307 @@
+(* The daemon's job queue and cell scheduler.
+
+   Deliberately pure bookkeeping: no sockets, no clocks (time is passed
+   in), no store access — so test_serve.ml can drive every transition
+   deterministically.  The daemon layers IO on top.
+
+   The unit of fan-out is the *cell claim*.  Every worker assigned to a
+   job runs the job's experiments end to end; before computing a cell
+   miss it asks [claim].  The first asker owns the cell ([Mine]); later
+   askers are told [Theirs] and poll the shared store journal until the
+   owner's record lands.  If the owner dies first (socket EOF or
+   heartbeat timeout), [worker_dead] releases its claims, and the next
+   asker becomes the owner — the store's failed-cell-as-resumable-miss
+   rule does the rest, because a dead worker never appended its record.
+   Cells are deterministic, so the rare double-compute (a worker
+   declared dead that was merely slow) appends an identical record and
+   is harmless. *)
+
+module P = Protocol
+
+type job = {
+  id : P.job_id;
+  spec : P.spec;
+  submitted : float;
+  mutable state : P.job_state;
+  claims : (string, int) Hashtbl.t;  (* key -> owning worker *)
+  failed_keys : (string, string) Hashtbl.t;  (* key -> error, this job *)
+  released : (string, unit) Hashtbl.t;  (* keys orphaned by dead workers *)
+  outputs : (string, string) Hashtbl.t;  (* exp -> rendered table *)
+  mutable failed_exps : string list;
+  mutable cells_done : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type worker = {
+  wid : int;
+  pid : int;
+  mutable alive : bool;
+  mutable last_seen : float;
+  mutable wjob : P.job_id option;
+}
+
+type t = {
+  jobs : (P.job_id, job) Hashtbl.t;
+  workers : (int, worker) Hashtbl.t;
+  mutable next_job : int;
+  mutable next_worker : int;
+  counters : (string, int ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    jobs = Hashtbl.create 16;
+    workers = Hashtbl.create 16;
+    next_job = 1;
+    next_worker = 1;
+    counters = Hashtbl.create 16;
+  }
+
+let bump ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [] |> List.sort compare
+
+let job t id = Hashtbl.find_opt t.jobs id
+
+let submit t spec ~now =
+  let id = t.next_job in
+  t.next_job <- id + 1;
+  Hashtbl.replace t.jobs id
+    {
+      id;
+      spec;
+      submitted = now;
+      state = P.Queued;
+      claims = Hashtbl.create 64;
+      failed_keys = Hashtbl.create 8;
+      released = Hashtbl.create 8;
+      outputs = Hashtbl.create 8;
+      failed_exps = [];
+      cells_done = 0;
+      hits = 0;
+      misses = 0;
+    };
+  bump t "jobs.submitted";
+  id
+
+let add_worker t ~pid ~now =
+  let wid = t.next_worker in
+  t.next_worker <- wid + 1;
+  Hashtbl.replace t.workers wid { wid; pid; alive = true; last_seen = now; wjob = None };
+  bump t "workers.seen";
+  wid
+
+let live_worker t wid =
+  match Hashtbl.find_opt t.workers wid with Some w when w.alive -> Some w | _ -> None
+
+let touch t wid ~now =
+  match live_worker t wid with Some w -> w.last_seen <- now | None -> ()
+
+let job_open j = match j.state with P.Queued | P.Running -> true | _ -> false
+let has_open_jobs t = Hashtbl.fold (fun _ j acc -> acc || job_open j) t.jobs false
+
+(* Oldest open job; every asking worker is fanned onto it. *)
+let next_assignment t ~worker ~now =
+  match live_worker t worker with
+  | None -> `Quit
+  | Some w -> (
+    w.last_seen <- now;
+    let best =
+      Hashtbl.fold
+        (fun _ j acc ->
+          if not (job_open j) then acc
+          else
+            match acc with
+            | Some b when b.id <= j.id -> acc
+            | _ -> Some j)
+        t.jobs None
+    in
+    match best with
+    | None ->
+      w.wjob <- None;
+      `Wait
+    | Some j ->
+      if j.state = P.Queued then j.state <- P.Running;
+      w.wjob <- Some j.id;
+      `Assign (j.id, j.spec))
+
+let claim t ~worker ~job:jid ~key ~now =
+  touch t worker ~now;
+  match (job t jid, live_worker t worker) with
+  | None, _ | _, None -> P.Job_cancelled
+  | Some j, Some _ -> (
+    match j.state with
+    | P.Cancelled -> P.Job_cancelled
+    | _ -> (
+      match Hashtbl.find_opt j.failed_keys key with
+      | Some msg -> P.Key_failed msg
+      | None -> (
+        match Hashtbl.find_opt j.claims key with
+        | Some owner when owner = worker -> P.Mine
+        | Some owner when live_worker t owner <> None -> P.Theirs
+        | _ ->
+          (* unclaimed, or orphaned by a dead owner *)
+          if Hashtbl.mem j.released key then begin
+            Hashtbl.remove j.released key;
+            bump t "cells.requeued"
+          end;
+          Hashtbl.replace j.claims key worker;
+          bump t "cells.claimed";
+          P.Mine)))
+
+let cell_done t ~worker ~job:jid ~key ~ok ~err ~now =
+  touch t worker ~now;
+  match job t jid with
+  | None -> ()
+  | Some j ->
+    Hashtbl.remove j.claims key;
+    Hashtbl.remove j.released key;
+    if ok then begin
+      j.cells_done <- j.cells_done + 1;
+      bump t "cells.done"
+    end
+    else begin
+      Hashtbl.replace j.failed_keys key err;
+      bump t "cells.failed"
+    end
+
+let exp_done t ~job:jid ~exp ~output ~hits ~misses ~failed =
+  match job t jid with
+  | None -> ()
+  | Some j ->
+    if not (Hashtbl.mem j.outputs exp) then begin
+      (* first finisher wins; tables are deterministic so later copies
+         are byte-identical anyway *)
+      Hashtbl.replace j.outputs exp output;
+      j.hits <- j.hits + hits;
+      j.misses <- j.misses + misses;
+      if failed && not (List.mem exp j.failed_exps) then j.failed_exps <- exp :: j.failed_exps;
+      bump t "exps.done"
+    end
+
+let job_done t ~worker ~job:jid ~now =
+  touch t worker ~now;
+  match job t jid with
+  | None -> ()
+  | Some j ->
+    if job_open j then
+      if j.failed_exps <> [] then begin
+        j.state <- P.Failed;
+        bump t "jobs.failed"
+      end
+      else if List.for_all (fun e -> Hashtbl.mem j.outputs e) j.spec.P.exps then begin
+        j.state <- P.Done;
+        bump t "jobs.done"
+      end
+
+let worker_dead t ~worker =
+  match Hashtbl.find_opt t.workers worker with
+  | None -> ()
+  | Some w ->
+    if w.alive then begin
+      w.alive <- false;
+      bump t "workers.lost";
+      Hashtbl.iter
+        (fun _ j ->
+          let mine =
+            Hashtbl.fold (fun k o acc -> if o = worker then k :: acc else acc) j.claims []
+          in
+          List.iter
+            (fun k ->
+              Hashtbl.remove j.claims k;
+              Hashtbl.replace j.released k ())
+            mine)
+        t.jobs
+    end
+
+(* Workers silent for longer than [timeout] are declared dead (their
+   claims requeue); returns who was reaped.  The daemon's primary death
+   signal is socket EOF — this is the backstop for *hung* workers. *)
+let reap t ~now ~timeout =
+  if timeout <= 0.0 then []
+  else
+    Hashtbl.fold
+      (fun wid w acc ->
+        if w.alive && now -. w.last_seen > timeout then begin
+          worker_dead t ~worker:wid;
+          wid :: acc
+        end
+        else acc)
+      t.workers []
+
+let cancel t ~job:jid =
+  match job t jid with
+  | None -> false
+  | Some j ->
+    if job_open j then begin
+      j.state <- P.Cancelled;
+      bump t "jobs.cancelled"
+    end;
+    true
+
+let summary_of_job t j =
+  let live_claims =
+    Hashtbl.fold
+      (fun _ owner acc -> if live_worker t owner <> None then acc + 1 else acc)
+      j.claims 0
+  in
+  {
+    P.job = j.id;
+    state = j.state;
+    spec = j.spec;
+    exps_done = Hashtbl.length j.outputs;
+    cells_done = j.cells_done;
+    cells_failed = Hashtbl.length j.failed_keys;
+    claims = live_claims;
+    hits = j.hits;
+    misses = j.misses;
+  }
+
+let status t jid =
+  let jobs =
+    match jid with
+    | Some id -> ( match job t id with Some j -> [ summary_of_job t j ] | None -> [])
+    | None ->
+      Hashtbl.fold (fun _ j acc -> summary_of_job t j :: acc) t.jobs []
+      |> List.sort (fun a b -> compare a.P.job b.P.job)
+  in
+  let workers =
+    Hashtbl.fold
+      (fun _ w acc -> { P.wid = w.wid; pid = w.pid; alive = w.alive; wjob = w.wjob } :: acc)
+      t.workers []
+    |> List.sort (fun a b -> compare a.P.wid b.P.wid)
+  in
+  (jobs, workers)
+
+let finished t jid =
+  match job t jid with
+  | Some j -> not (job_open j)
+  | None -> false
+
+(* Concatenated rendered tables in request order — the byte-identical
+   image of what `rn_cli experiment <exps>` prints on stdout. *)
+let results t jid =
+  match job t jid with
+  | None -> Error (Printf.sprintf "no such job %d" jid)
+  | Some j -> (
+    match j.state with
+    | P.Cancelled -> Error (Printf.sprintf "job %d was cancelled" jid)
+    | P.Queued | P.Running -> Error (Printf.sprintf "job %d is still running" jid)
+    | P.Failed ->
+      Error
+        (Printf.sprintf "job %d failed (experiments: %s)" jid
+           (String.concat ", " (List.sort compare j.failed_exps)))
+    | P.Done -> (
+      match
+        List.map
+          (fun e ->
+            match Hashtbl.find_opt j.outputs e with Some o -> o | None -> raise Exit)
+          j.spec.P.exps
+      with
+      | outs -> Ok (String.concat "" outs)
+      | exception Exit -> Error (Printf.sprintf "job %d is missing outputs" jid)))

@@ -1,0 +1,149 @@
+(* Worker process main loop (`rn_cli work`).
+
+   A worker connects to the daemon, introduces itself ([Hello]), then
+   loops asking for work ([Next]).  For each assigned job it opens the
+   shared store journal, installs a {!Harness.coordinator} whose claim
+   and completion calls are RPCs back to the daemon, and runs the job's
+   experiments end to end — exactly the `rn_cli experiment` code path,
+   which is what makes daemon tables byte-identical to direct runs.
+   Store hits replay locally; store misses are claimed through the
+   daemon so exactly one live worker computes each cell while the others
+   poll the journal for its append.
+
+   The daemon going away (socket EOF on any RPC) is a normal way to die:
+   the worker logs it and exits, leaving the journal intact — every cell
+   it finished is already appended, so the next run resumes from them. *)
+
+module P = Protocol
+module Store = Rn_util.Store
+
+let log fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "[work %d] %s\n%!" (Unix.getpid ()) s)
+    fmt
+
+let scale_of = function P.Quick -> Rn_harness.Harness.Quick | P.Full -> Rn_harness.Harness.Full
+
+(* Run one experiment under the installed store+coordinator; returns the
+   rendered table and whether the sweep failed. *)
+let run_exp ~id ~scale =
+  match Rn_harness.All.find id with
+  | None -> Error (Printf.sprintf "unknown experiment %s" id)
+  | Some f -> (
+    match f scale with
+    | r -> Ok (Rn_harness.Harness.render r)
+    | exception Rn_harness.Harness.Cell_failed { failed; total; _ } ->
+      Error (Printf.sprintf "%d/%d cells failed" failed total))
+
+let run_job io ~wid ~job ~dir ~(spec : P.spec) =
+  let store = Store.open_ dir in
+  Fun.protect
+    ~finally:(fun () ->
+      Rn_harness.Harness.clear_coordinator ();
+      Rn_harness.Harness.clear_store ();
+      Store.close store)
+    (fun () ->
+      (* Per-job counters: [write_last_run] below must describe this job
+         alone, not the worker's lifetime — a warm re-submit served by a
+         long-lived worker still reports misses=0. *)
+      Rn_harness.Harness.reset_store_counters ();
+      Rn_harness.Harness.reset_cell_times ();
+      Rn_harness.Harness.set_store ~retry:spec.P.retry store;
+      Rn_harness.Harness.set_jobs spec.P.jobs;
+      Rn_harness.Harness.set_coordinator
+        {
+          Rn_harness.Harness.claim =
+            (fun key ->
+              match Client.rpc io (P.Claim { worker = wid; job; key }) with
+              | P.Claim_r P.Mine -> Rn_harness.Harness.Claim_mine
+              | P.Claim_r P.Theirs -> Rn_harness.Harness.Claim_theirs
+              | P.Claim_r (P.Key_failed m) -> Rn_harness.Harness.Claim_failed m
+              | P.Claim_r P.Job_cancelled -> Rn_harness.Harness.Claim_cancelled
+              | _ -> failwith "serve: unexpected claim reply");
+          complete =
+            (fun key ~ok ~err ->
+              match Client.rpc io (P.Cell_done { worker = wid; job; key; ok; err }) with
+              | P.Ok_unit -> ()
+              | _ -> failwith "serve: unexpected celldone reply");
+          poll_interval = 0.02;
+        };
+      let cancelled = ref false in
+      List.iter
+        (fun id ->
+          if not !cancelled then begin
+            let h0, m0, _ = Rn_harness.Harness.store_counters () in
+            match run_exp ~id ~scale:(scale_of spec.P.scale) with
+            | Ok output ->
+              let h1, m1, _ = Rn_harness.Harness.store_counters () in
+              ignore
+                (Client.rpc io
+                   (P.Exp_done
+                      {
+                        worker = wid;
+                        job;
+                        exp = id;
+                        output;
+                        hits = h1 - h0;
+                        misses = m1 - m0;
+                        failed = false;
+                      }))
+            | Error msg ->
+              log "job %d exp %s failed: %s" job id msg;
+              let h1, m1, _ = Rn_harness.Harness.store_counters () in
+              ignore
+                (Client.rpc io
+                   (P.Exp_done
+                      {
+                        worker = wid;
+                        job;
+                        exp = id;
+                        output = "";
+                        hits = h1 - h0;
+                        misses = m1 - m0;
+                        failed = true;
+                      }))
+            | exception Rn_harness.Harness.Sweep_cancelled ->
+              log "job %d cancelled" job;
+              cancelled := true
+          end)
+        spec.P.exps;
+      let hits, misses, failures = Rn_harness.Harness.store_counters () in
+      Store.write_last_run ~dir ~hits ~misses ~failures;
+      (match Rn_harness.Harness.slowest_cells ~k:10 () with
+      | [] -> ()
+      | slow ->
+        let path = Filename.concat dir "slowest.txt" in
+        let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+        let oc = open_out tmp in
+        List.iter (fun (label, t) -> Printf.fprintf oc "%.3f %s\n" t label) slow;
+        close_out oc;
+        Sys.rename tmp path);
+      ignore (Client.rpc io (P.Job_done { worker = wid; job })))
+
+let run ?(idle_sleep = 0.2) ~socket () =
+  let io = Client.connect socket in
+  Fun.protect
+    ~finally:(fun () -> Client.close io)
+    (fun () ->
+      let wid =
+        match Client.rpc io (P.Hello { pid = Unix.getpid () }) with
+        | P.Worker_id w -> w
+        | _ -> failwith "serve: unexpected hello reply"
+      in
+      log "connected as worker %d" wid;
+      let rec loop () =
+        match Client.rpc io (P.Next { worker = wid }) with
+        | P.Quit_r -> log "daemon said quit"
+        | P.Wait_r ->
+          Unix.sleepf idle_sleep;
+          loop ()
+        | P.Assign { job; store; spec } ->
+          log "assigned job %d (%s @%s)" job (String.concat "," spec.P.exps)
+            (P.scale_name spec.P.scale);
+          run_job io ~wid ~job ~dir:store ~spec;
+          loop ()
+        | P.Err m -> failwith (Printf.sprintf "serve: daemon error: %s" m)
+        | _ -> failwith "serve: unexpected next reply"
+      in
+      try loop () with Client.Disconnected -> log "daemon gone, exiting")

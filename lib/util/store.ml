@@ -7,7 +7,14 @@
      key+status+payload, so [scan_file] can prove which prefix is intact
      and [open_] can repair by truncating to it;
    - a mutex serialises index and journal mutation, so one handle can be
-     shared by [Pool] worker domains. *)
+     shared by [Pool] worker domains;
+   - a sidecar lock file (journal.lock, fcntl-locked around every
+     mutating operation) plus O_APPEND writes serialise handles in
+     *different processes*, so sweep workers spawned by the serve daemon
+     can append to and replay one journal concurrently; [refresh] picks
+     up records appended by peers since open (or the last refresh), and
+     a [gc] rewrite by a peer is detected by inode change and answered
+     by reopening the journal at its new identity. *)
 
 let format_version = 1
 let header_line = Printf.sprintf "(rn-store (format %d))" format_version
@@ -185,19 +192,39 @@ let scan_file path =
 type t = {
   dir : string;
   mutable fd : Unix.file_descr;
+  lock_fd : Unix.file_descr;  (* journal.lock: cross-process serialisation *)
   fsync : bool;
   mutex : Mutex.t;
   index : (string, record_) Hashtbl.t;  (* key_id -> last record *)
   recovered : int;
+  mutable ino : int;  (* journal inode: a peer gc rewrote it if this changes *)
+  mutable scanned : int;  (* journal bytes already replayed into the index *)
   mutable closed : bool;
 }
 
 let journal_path dir = Filename.concat dir "journal.rnj"
+let lock_path dir = Filename.concat dir "journal.lock"
 let last_run_path dir = Filename.concat dir "last-run.sexp"
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Exclusive cross-process lock on the sidecar lock file.  fcntl locks
+   are per-process, so in-process exclusion stays the mutex's job: every
+   caller already holds [t.mutex].  Locking a separate file (never the
+   journal itself) keeps the read-only scanners lock-free and sidesteps
+   fcntl's close-releases-locks footgun for the journal reopens below. *)
+let file_locked_fd lock_fd f =
+  ignore (Unix.lseek lock_fd 0 Unix.SEEK_SET);
+  Unix.lockf lock_fd Unix.F_LOCK 0;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.lseek lock_fd 0 Unix.SEEK_SET);
+      try Unix.lockf lock_fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+    f
+
+let file_locked t f = file_locked_fd t.lock_fd f
 
 let mkdir_p dir =
   let rec go d =
@@ -213,26 +240,119 @@ let write_all fd s =
   let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
   go 0
 
+let fd_ino fd = (Unix.fstat fd).Unix.st_ino
+
 let open_ ?(fsync = true) dir =
   mkdir_p dir;
   let path = journal_path dir in
-  let scan = scan_file path in
-  let header_ok = scan.good_bytes > 0 in
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
-  let start = if header_ok then scan.good_bytes else 0 in
-  Unix.ftruncate fd start;
-  ignore (Unix.lseek fd start Unix.SEEK_SET);
-  if not header_ok then begin
-    write_all fd (header_line ^ "\n");
-    if fsync then Unix.fsync fd
-  end;
-  let index = Hashtbl.create 256 in
-  List.iter (fun r -> Hashtbl.replace index (key_id r.key) r) scan.good;
-  let recovered = if header_ok then scan.total_bytes - scan.good_bytes else scan.total_bytes in
-  { dir; fd; fsync; mutex = Mutex.create (); index; recovered; closed = false }
+  let lock_fd = Unix.openfile (lock_path dir) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  file_locked_fd lock_fd (fun () ->
+      (* Scan and repair under the lock: peers are excluded, so the tail
+         we truncate cannot be a record a live writer is appending. *)
+      let scan = scan_file path in
+      let header_ok = scan.good_bytes > 0 in
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 in
+      let start = if header_ok then scan.good_bytes else 0 in
+      Unix.ftruncate fd start;
+      if not header_ok then begin
+        write_all fd (header_line ^ "\n");
+        if fsync then Unix.fsync fd
+      end;
+      let index = Hashtbl.create 256 in
+      List.iter (fun r -> Hashtbl.replace index (key_id r.key) r) scan.good;
+      let recovered =
+        if header_ok then scan.total_bytes - scan.good_bytes else scan.total_bytes
+      in
+      let scanned = if header_ok then start else String.length header_line + 1 in
+      {
+        dir;
+        fd;
+        lock_fd;
+        fsync;
+        mutex = Mutex.create ();
+        index;
+        recovered;
+        ino = fd_ino fd;
+        scanned;
+        closed = false;
+      })
 
 let dir t = t.dir
 let recovered_bytes t = t.recovered
+
+(* A peer's [gc] replaces the journal by rename; our fd then points at
+   the dead inode.  Called with mutex + file lock held. *)
+let reopen_if_rotated t =
+  let path = journal_path t.dir in
+  let rotated =
+    match Unix.stat path with
+    | st -> st.Unix.st_ino <> t.ino
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> true
+  in
+  if rotated then begin
+    Unix.close t.fd;
+    t.fd <- Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
+    if (Unix.fstat t.fd).Unix.st_size = 0 then begin
+      write_all t.fd (header_line ^ "\n");
+      if t.fsync then Unix.fsync t.fd
+    end;
+    t.ino <- fd_ino t.fd;
+    (* force [refresh_locked] to rebuild the index from the new file *)
+    t.scanned <- 0
+  end;
+  rotated
+
+(* Replay journal bytes appended since the last scan into the index.
+   Called with mutex + file lock held (so writers are quiesced and every
+   record line is complete).  Undecodable complete lines are skipped —
+   under the locking discipline they can only be the fossil of a torn
+   write by a crashed peer, and the records after them are still good. *)
+let refresh_locked t =
+  ignore (reopen_if_rotated t);
+  if t.scanned = 0 then begin
+    (* fresh or rotated file: rebuild the whole index from disk *)
+    let scan = scan_file (journal_path t.dir) in
+    Hashtbl.reset t.index;
+    List.iter (fun r -> Hashtbl.replace t.index (key_id r.key) r) scan.good;
+    t.scanned <- max scan.good_bytes (String.length header_line + 1);
+    List.length scan.good
+  end
+  else begin
+    let path = journal_path t.dir in
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let fresh =
+      if len <= t.scanned then ""
+      else begin
+        seek_in ic t.scanned;
+        really_input_string ic (len - t.scanned)
+      end
+    in
+    close_in ic;
+    let count = ref 0 in
+    let pos = ref 0 in
+    (* consume complete lines only; a trailing partial line (in-flight
+       crash debris) is left for the next refresh *)
+    let continue = ref true in
+    while !continue do
+      match String.index_from_opt fresh !pos '\n' with
+      | None -> continue := false
+      | Some i ->
+        (match decode_record (String.sub fresh !pos (i - !pos)) with
+        | Some r ->
+          Hashtbl.replace t.index (key_id r.key) r;
+          incr count
+        | None -> ());
+        pos := i + 1
+    done;
+    t.scanned <- t.scanned + !pos;
+    !count
+  end
+
+let refresh t =
+  locked t (fun () ->
+      if t.closed then invalid_arg "Store.refresh: store is closed";
+      file_locked t (fun () -> refresh_locked t))
 
 let find t k =
   locked t (fun () ->
@@ -251,8 +371,10 @@ let put t k status payload =
   let line = encode_record r in
   locked t (fun () ->
       if t.closed then invalid_arg "Store.put: store is closed";
-      write_all t.fd line;
-      if t.fsync then Unix.fsync t.fd;
+      file_locked t (fun () ->
+          ignore (reopen_if_rotated t);
+          write_all t.fd line;
+          if t.fsync then Unix.fsync t.fd);
       Hashtbl.replace t.index (key_id k) r)
 
 let count t = locked t (fun () -> Hashtbl.length t.index)
@@ -265,36 +387,41 @@ let records t =
 let gc t ~keep =
   locked t (fun () ->
       if t.closed then invalid_arg "Store.gc: store is closed";
-      let all =
-        Hashtbl.fold (fun _ r acc -> r :: acc) t.index []
-        |> List.sort (fun a b -> compare (key_id a.key) (key_id b.key))
-      in
-      let kept = List.filter keep all in
-      let dropped = List.length all - List.length kept in
-      let path = journal_path t.dir in
-      let tmp = path ^ ".tmp" in
-      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-      let b = Buffer.create 4096 in
-      Buffer.add_string b (header_line ^ "\n");
-      List.iter (fun r -> Buffer.add_string b (encode_record r)) kept;
-      write_all fd (Buffer.contents b);
-      Unix.fsync fd;
-      Unix.close fd;
-      Unix.close t.fd;
-      Sys.rename tmp path;
-      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
-      ignore (Unix.lseek fd 0 Unix.SEEK_END);
-      t.fd <- fd;
-      Hashtbl.reset t.index;
-      List.iter (fun r -> Hashtbl.replace t.index (key_id r.key) r) kept;
-      dropped)
+      file_locked t (fun () ->
+          (* replay peer appends first so the rewrite cannot drop them *)
+          ignore (refresh_locked t);
+          let all =
+            Hashtbl.fold (fun _ r acc -> r :: acc) t.index []
+            |> List.sort (fun a b -> compare (key_id a.key) (key_id b.key))
+          in
+          let kept = List.filter keep all in
+          let dropped = List.length all - List.length kept in
+          let path = journal_path t.dir in
+          let tmp = path ^ ".tmp" in
+          let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+          let b = Buffer.create 4096 in
+          Buffer.add_string b (header_line ^ "\n");
+          List.iter (fun r -> Buffer.add_string b (encode_record r)) kept;
+          write_all fd (Buffer.contents b);
+          Unix.fsync fd;
+          Unix.close fd;
+          Unix.close t.fd;
+          Sys.rename tmp path;
+          let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+          t.fd <- fd;
+          t.ino <- fd_ino fd;
+          t.scanned <- (Unix.fstat fd).Unix.st_size;
+          Hashtbl.reset t.index;
+          List.iter (fun r -> Hashtbl.replace t.index (key_id r.key) r) kept;
+          dropped))
 
 let close t =
   locked t (fun () ->
       if not t.closed then begin
         t.closed <- true;
         (try if t.fsync then Unix.fsync t.fd with Unix.Unix_error _ -> ());
-        Unix.close t.fd
+        Unix.close t.fd;
+        (try Unix.close t.lock_fd with Unix.Unix_error _ -> ())
       end)
 
 (* --- last-run sidecar --- *)
@@ -302,7 +429,9 @@ let close t =
 let write_last_run ~dir ~hits ~misses ~failures =
   mkdir_p dir;
   let path = last_run_path dir in
-  let tmp = path ^ ".tmp" in
+  (* pid-suffixed temp: concurrent worker processes sharing the store
+     must not rename each other's temp files away *)
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   write_all fd
     (Printf.sprintf "(last-run (hits %d) (misses %d) (failed %d))\n" hits misses failures);

@@ -19,7 +19,16 @@
     detects a truncated or corrupt tail, drops it, and repairs the file
     by truncating to the last intact record.  All mutating operations
     are serialised by a mutex, so {!Pool} worker domains may share one
-    handle. *)
+    handle.
+
+    Handles in different processes may also share one journal: every
+    mutating operation additionally holds an exclusive fcntl lock on a
+    sidecar [DIR/journal.lock] file, appends go through [O_APPEND] so
+    they land at the true end of file, and {!refresh} replays records
+    appended by peer processes since the handle was opened.  A {!gc}
+    rewrite by a peer (rename) is detected by inode change and answered
+    by reopening the journal.  See DESIGN.md, "Multi-process locking
+    rules". *)
 
 (** Bumped whenever the journal format changes; stale-format journals
     are discarded on open.  CI cache keys must include this. *)
@@ -82,8 +91,15 @@ val find : t -> key -> string option
 val find_failed : t -> key -> string option
 
 (** Append a record (replacing any previous record for the key in the
-    index).  Domain-safe. *)
+    index).  Domain-safe, and safe against concurrent appends from
+    other processes sharing the journal. *)
 val put : t -> key -> status -> string -> unit
+
+(** Replay records appended to the journal by other processes since
+    {!open_} (or the last refresh) into this handle's index; returns how
+    many records were picked up.  Cheap when nothing changed (one stat +
+    one short read).  Domain-safe. *)
+val refresh : t -> int
 
 (** Records currently in the index. *)
 val count : t -> int

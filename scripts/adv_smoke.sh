@@ -21,42 +21,32 @@
 # RN_CLI overrides how the CLI is invoked (CI uses
 # "opam exec -- dune exec bin/rn_cli.exe --").
 
-set -eu
+SMOKE_NAME=adv_smoke
+. "$(dirname "$0")/smoke_lib.sh"
 
 sizes=${1:-512,1024}
-RN_CLI=${RN_CLI:-"dune exec bin/rn_cli.exe --"}
-
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 
 run() { # run OUTFILE EXTRA_ARGS...
   out=$1; shift
-  $RN_CLI scale --check --sizes "$sizes" "$@" > "$out" 2> "$out.err"
+  rn scale --check --sizes "$sizes" "$@" > "$out" 2> "$out.err"
 }
 
 for adv in spiteful jamming all; do
-  echo "== $adv: reference (--adv-kernel off --shards 1)"
+  note "$adv: reference (--adv-kernel off --shards 1)"
   run "$tmp/$adv.ref" --adversary "$adv" --adv-kernel off
   for mode in on auto; do
     for s in 1 2 4; do
       run "$tmp/$adv.$mode.$s" --adversary "$adv" --adv-kernel "$mode" --shards "$s"
-      cmp "$tmp/$adv.ref" "$tmp/$adv.$mode.$s" || {
-        echo "adv_smoke: FAIL: $adv --adv-kernel $mode --shards $s differs from scalar" >&2
-        diff "$tmp/$adv.ref" "$tmp/$adv.$mode.$s" >&2 || true
-        exit 1
-      }
+      assert_same "$tmp/$adv.ref" "$tmp/$adv.$mode.$s" \
+        "$adv --adv-kernel $mode --shards $s differs from scalar"
     done
-    echo "== $adv: --adv-kernel $mode x shards 1/2/4 byte-identical"
+    note "$adv: --adv-kernel $mode x shards 1/2/4 byte-identical"
   done
 done
 
-echo "== bernoulli:0.5: --adv-kernel on is a no-op (no kernel, scalar draws)"
+note "bernoulli:0.5: --adv-kernel on is a no-op (no kernel, scalar draws)"
 run "$tmp/bern.ref" --adversary bernoulli:0.5 --adv-kernel off
 run "$tmp/bern.on" --adversary bernoulli:0.5 --adv-kernel on --shards 2
-cmp "$tmp/bern.ref" "$tmp/bern.on" || {
-  echo "adv_smoke: FAIL: bernoulli tables differ across --adv-kernel" >&2
-  diff "$tmp/bern.ref" "$tmp/bern.on" >&2 || true
-  exit 1
-}
+assert_same "$tmp/bern.ref" "$tmp/bern.on" "bernoulli tables differ across --adv-kernel"
 
 echo "adv_smoke: OK (sizes=$sizes: spiteful/jamming/all x on/auto x shards 1/2/4 = scalar)"

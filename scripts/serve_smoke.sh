@@ -1,0 +1,118 @@
+#!/bin/sh
+# Sweep-service smoke: the CI-facing proof of the daemon's crash-tolerant
+# equivalence guarantee (ISSUE 8 acceptance criteria).
+#
+#   scripts/serve_smoke.sh [EXPERIMENTS] [WORKERS]
+#
+# 1. runs EXPERIMENTS (default "E5 E8a") directly with --no-cache
+#                                                     -> reference tables
+# 2. cold sweep through the daemon (fresh store)      -> must match
+# 3. crash drill on a second fresh store: submit, SIGKILL one worker
+#    mid-sweep, SIGKILL the daemon itself, restart the daemon on the
+#    same store, re-submit (resumes from the journal) -> must match
+# 4. warm re-submit on the resumed store              -> must match, with
+#    the job reporting zero store misses (no engine rounds executed)
+#
+# The byte-compares are timing-robust by construction: if the SIGKILLs
+# land after the sweep already finished, the resume degenerates to a
+# warm replay and every assertion still holds — the script can't flake
+# on scheduling.
+#
+# RN_CLI overrides how the CLI is invoked (CI uses
+# "opam exec -- dune exec bin/rn_cli.exe --").
+
+SMOKE_NAME=serve_smoke
+. "$(dirname "$0")/smoke_lib.sh"
+
+exps=${1:-"E5 E8a"}
+workers=${2:-2}
+
+sock="$tmp/serve.sock"
+DAEMON_PID=
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+}
+
+start_daemon() { # STORE_DIR
+  # Both call sites run with no daemon alive, so any socket file is a
+  # stale leftover (e.g. from the SIGKILL drill).  Remove it before
+  # spawning: otherwise the readiness wait below passes instantly and
+  # the first client races the new daemon's bind.
+  rm -f "$sock"
+  # shellcheck disable=SC2086
+  $RN_CLI serve --socket "$sock" --store "$1" --workers "$workers" \
+    2>> "$tmp/daemon.log" &
+  DAEMON_PID=$!
+  i=0
+  # shellcheck disable=SC2086
+  until $RN_CLI status --socket "$sock" > /dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "daemon did not answer on $sock (see $tmp/daemon.log)"
+    sleep 0.1
+  done
+}
+
+stop_daemon() {
+  rn shutdown --socket "$sock" > /dev/null
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=
+}
+
+# shellcheck disable=SC2086
+note "reference run (direct, --no-cache)"
+rn experiment $exps --no-cache --jobs 1 > "$tmp/ref.out" 2> "$tmp/ref.err"
+
+note "cold sweep through the daemon"
+start_daemon "$tmp/store-cold"
+# shellcheck disable=SC2086
+rn submit --socket "$sock" $exps --wait > "$tmp/cold.out" 2> "$tmp/cold.err"
+assert_same "$tmp/ref.out" "$tmp/cold.out" "cold daemon tables differ from direct run"
+stop_daemon
+
+note "crash drill: SIGKILL a worker mid-sweep, then the daemon"
+start_daemon "$tmp/store-crash"
+# shellcheck disable=SC2086
+job=$(rn submit --socket "$sock" $exps | awk '{print $2}')
+[ -n "$job" ] || fail "submit did not return a job id"
+sleep 0.4
+wpid=$(rn status --socket "$sock" | awk '/^worker .* alive/{print $4; exit}')
+if [ -n "$wpid" ]; then
+  note "SIGKILLing worker pid $wpid"
+  kill -9 "$wpid" 2>/dev/null || true
+else
+  note "sweep already finished before the kill (fast machine) - resume degenerates to warm"
+fi
+sleep 0.2
+note "SIGKILLing the daemon (journal keeps every finished cell)"
+kill -9 "$DAEMON_PID" 2>/dev/null || true
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=
+
+note "restarting the daemon on the same store and resuming"
+start_daemon "$tmp/store-crash"
+# shellcheck disable=SC2086
+rn submit --socket "$sock" $exps --wait > "$tmp/resumed.out" 2> "$tmp/resumed.err"
+assert_same "$tmp/ref.out" "$tmp/resumed.out" "resumed tables differ from direct run"
+
+note "warm re-submit (must be 100% store hits, zero engine rounds)"
+# shellcheck disable=SC2086
+rn submit --socket "$sock" $exps --wait > "$tmp/warm.out" 2> "$tmp/warm.err"
+assert_same "$tmp/ref.out" "$tmp/warm.out" "warm tables differ from direct run"
+rn status --socket "$sock" > "$tmp/status.out"
+warm_job=$(awk '/^job /{j=$2} END{print j}' "$tmp/status.out")
+grep -q "^job $warm_job .* misses 0 " "$tmp/status.out" || {
+  cat "$tmp/status.out" >&2
+  fail "warm re-submit executed engine rounds (expected zero store misses)"
+}
+grep -Eq "^job $warm_job .* hits [1-9]" "$tmp/status.out" || {
+  cat "$tmp/status.out" >&2
+  fail "warm re-submit reported no store hits"
+}
+
+note "store survives the drill intact"
+rn store verify --store "$tmp/store-crash"
+rn status --socket "$sock" --metrics
+stop_daemon
+
+echo "serve_smoke: OK ($exps, workers=$workers: direct = cold = killed+resumed = warm, warm 100% hits)"

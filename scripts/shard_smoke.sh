@@ -17,46 +17,31 @@
 # RN_CLI overrides how the CLI is invoked (CI uses
 # "opam exec -- dune exec bin/rn_cli.exe --").
 
-set -eu
+SMOKE_NAME=shard_smoke
+. "$(dirname "$0")/smoke_lib.sh"
 
 sizes=${1:-512,1024,2048}
-RN_CLI=${RN_CLI:-"dune exec bin/rn_cli.exe --"}
-
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 
 run() { # run OUTFILE EXTRA_ARGS...
   out=$1; shift
-  $RN_CLI scale --check --sizes "$sizes" "$@" > "$out" 2> "$out.err"
+  rn scale --check --sizes "$sizes" "$@" > "$out" 2> "$out.err"
 }
 
-echo "== reference: --shards 1 (auto kernel)"
+note "reference: --shards 1 (auto kernel)"
 run "$tmp/s1.out"
 
 for s in 2 4; do
-  echo "== --shards $s"
+  note "--shards $s"
   run "$tmp/s$s.out" --shards "$s"
-  cmp "$tmp/s1.out" "$tmp/s$s.out" || {
-    echo "shard_smoke: FAIL: --shards $s table differs from --shards 1" >&2
-    diff "$tmp/s1.out" "$tmp/s$s.out" >&2 || true
-    exit 1
-  }
+  assert_same "$tmp/s1.out" "$tmp/s$s.out" "--shards $s table differs from --shards 1"
 done
 
-echo "== --kernel off (scalar per-edge path)"
+note "--kernel off (scalar per-edge path)"
 run "$tmp/off.out" --kernel off
-cmp "$tmp/s1.out" "$tmp/off.out" || {
-  echo "shard_smoke: FAIL: scalar-path table differs from --shards 1" >&2
-  diff "$tmp/s1.out" "$tmp/off.out" >&2 || true
-  exit 1
-}
+assert_same "$tmp/s1.out" "$tmp/off.out" "scalar-path table differs from --shards 1"
 
-echo "== --kernel on --shards 4 (forced kernel under sharding)"
+note "--kernel on --shards 4 (forced kernel under sharding)"
 run "$tmp/on4.out" --kernel on --shards 4
-cmp "$tmp/s1.out" "$tmp/on4.out" || {
-  echo "shard_smoke: FAIL: --kernel on --shards 4 table differs from --shards 1" >&2
-  diff "$tmp/s1.out" "$tmp/on4.out" >&2 || true
-  exit 1
-}
+assert_same "$tmp/s1.out" "$tmp/on4.out" "--kernel on --shards 4 table differs from --shards 1"
 
 echo "shard_smoke: OK (sizes=$sizes: shards 1 = 2 = 4 = scalar = forced kernel, byte-identical)"

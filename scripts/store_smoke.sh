@@ -17,56 +17,53 @@
 # RN_CLI overrides how the CLI is invoked (CI uses
 # "opam exec -- dune exec bin/rn_cli.exe --").
 
-set -eu
+SMOKE_NAME=store_smoke
+. "$(dirname "$0")/smoke_lib.sh"
 
 exp=${1:-E5}
 jobs=${2:-2}
-RN_CLI=${RN_CLI:-"dune exec bin/rn_cli.exe --"}
 
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 store="$tmp/store"
 journal="$store/journal.rnj"
 
 run() { # run OUTFILE ERRFILE EXTRA_ARGS...
   out=$1; err=$2; shift 2
-  $RN_CLI experiment "$exp" --jobs "$jobs" "$@" > "$out" 2> "$err"
+  rn experiment "$exp" --jobs "$jobs" "$@" > "$out" 2> "$err"
 }
 
-echo "== reference run (--no-cache)"
+note "reference run (--no-cache)"
 run "$tmp/ref.out" "$tmp/ref.err" --no-cache
 
-echo "== cold run (populating $store)"
+note "cold run (populating $store)"
 run "$tmp/cold.out" "$tmp/cold.err" --store "$store"
-cmp "$tmp/ref.out" "$tmp/cold.out" || {
-  echo "store_smoke: FAIL: cold cached table differs from --no-cache" >&2; exit 1; }
+assert_same "$tmp/ref.out" "$tmp/cold.out" "cold cached table differs from --no-cache"
 
-[ -f "$journal" ] || { echo "store_smoke: FAIL: no journal written" >&2; exit 1; }
+[ -f "$journal" ] || fail "no journal written"
 
-echo "== simulated crash (truncating journal mid-record)"
+note "simulated crash (truncating journal mid-record)"
 size=$(wc -c < "$journal")
 cut=$((size * 3 / 5))
 dd if="$journal" of="$journal.part" bs=1 count="$cut" 2>/dev/null
 mv "$journal.part" "$journal"
 
-echo "== resumed run"
+note "resumed run"
 run "$tmp/resume.out" "$tmp/resume.err" --store "$store"
-cmp "$tmp/ref.out" "$tmp/resume.out" || {
-  echo "store_smoke: FAIL: resumed table differs from uninterrupted run" >&2; exit 1; }
+assert_same "$tmp/ref.out" "$tmp/resume.out" "resumed table differs from uninterrupted run"
 grep -q "hits=[1-9]" "$tmp/resume.err" || {
-  echo "store_smoke: FAIL: resume did not replay any cached cells" >&2
-  cat "$tmp/resume.err" >&2; exit 1; }
+  cat "$tmp/resume.err" >&2
+  fail "resume did not replay any cached cells"
+}
 
-echo "== warm run (must be 100% cache hits)"
+note "warm run (must be 100% cache hits)"
 run "$tmp/warm.out" "$tmp/warm.err" --store "$store"
-cmp "$tmp/ref.out" "$tmp/warm.out" || {
-  echo "store_smoke: FAIL: warm table differs from --no-cache" >&2; exit 1; }
+assert_same "$tmp/ref.out" "$tmp/warm.out" "warm table differs from --no-cache"
 grep -q "misses=0 " "$tmp/warm.err" && grep -q "hits=[1-9]" "$tmp/warm.err" || {
-  echo "store_smoke: FAIL: warm run was not 100% cache hits" >&2
-  cat "$tmp/warm.err" >&2; exit 1; }
+  cat "$tmp/warm.err" >&2
+  fail "warm run was not 100% cache hits"
+}
 
-echo "== store stats / verify"
-$RN_CLI store stats --store "$store"
-$RN_CLI store verify --store "$store"
+note "store stats / verify"
+rn store stats --store "$store"
+rn store verify --store "$store"
 
 echo "store_smoke: OK ($exp, jobs=$jobs: cold = resumed = warm = --no-cache, warm 100% hits)"

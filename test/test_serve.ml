@@ -1,0 +1,449 @@
+(* Tests for the sweep service: protocol codec round-trips (including
+   truncated and garbage frames, which must decode to [Error _] rather
+   than raise), scheduler state-machine transitions (claims, dead-worker
+   requeue, cancel, failure propagation), multi-handle store sharing
+   (the substrate workers coordinate through), and an in-process
+   end-to-end daemon+worker sweep checked byte-for-byte against a direct
+   run. *)
+
+module P = Rn_serve.Protocol
+module S = Rn_serve.Scheduler
+module Client = Rn_serve.Client
+module Store = Rn_util.Store
+module Harness = Rn_harness.Harness
+module All = Rn_harness.All
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tmpdir () =
+  let d = Filename.temp_file "rn_serve_test" "" in
+  Sys.remove d;
+  d
+
+(* --- protocol codec --- *)
+
+let word_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+let free_gen = QCheck.Gen.(string_size (int_range 0 40))  (* any bytes *)
+
+let spec_gen =
+  QCheck.Gen.(
+    let* exps = list_size (int_range 1 4) word_gen in
+    let* full = bool in
+    let* jobs = int_range 1 8 in
+    let* retry = int_range 0 3 in
+    return { P.exps; scale = (if full then P.Full else P.Quick); jobs; retry })
+
+let request_gen =
+  QCheck.Gen.(
+    let id = int_range 1 999 in
+    oneof
+      [
+        map (fun s -> P.Submit s) spec_gen;
+        return (P.Status None);
+        map (fun j -> P.Status (Some j)) id;
+        map (fun j -> P.Wait j) id;
+        map (fun j -> P.Results j) id;
+        map (fun j -> P.Cancel j) id;
+        return P.Metrics;
+        return P.Shutdown;
+        map (fun pid -> P.Hello { pid }) id;
+        map (fun worker -> P.Next { worker }) id;
+        map
+          (fun (worker, job, key) -> P.Claim { worker; job; key })
+          (tup3 id id word_gen);
+        map
+          (fun (worker, job, key, ok, err) -> P.Cell_done { worker; job; key; ok; err })
+          (tup5 id id word_gen bool free_gen);
+        map
+          (fun ((worker, job, exp), (output, hits, misses, failed)) ->
+            P.Exp_done { worker; job; exp; output; hits; misses; failed })
+          (tup2 (tup3 id id word_gen) (tup4 free_gen id id bool));
+        map (fun (worker, job) -> P.Job_done { worker; job }) (tup2 id id);
+        map (fun worker -> P.Heartbeat { worker }) id;
+      ])
+
+let summary_gen =
+  QCheck.Gen.(
+    let* job = int_range 1 999 in
+    let* spec = spec_gen in
+    let* state = oneofl [ P.Queued; P.Running; P.Done; P.Failed; P.Cancelled ] in
+    let* a = int_range 0 99 and* b = int_range 0 99 and* c = int_range 0 99 in
+    let* d = int_range 0 99 and* e = int_range 0 99 and* f = int_range 0 99 in
+    return
+      {
+        P.job;
+        state;
+        spec;
+        exps_done = a;
+        cells_done = b;
+        cells_failed = c;
+        claims = d;
+        hits = e;
+        misses = f;
+      })
+
+let response_gen =
+  QCheck.Gen.(
+    let id = int_range 1 999 in
+    oneof
+      [
+        return P.Ok_unit;
+        map (fun j -> P.Job_id j) id;
+        map
+          (fun (jobs, pids) ->
+            let workers =
+              List.mapi
+                (fun i pid ->
+                  { P.wid = i + 1; pid; alive = pid mod 2 = 0; wjob = (if pid mod 3 = 0 then Some pid else None) })
+                pids
+            in
+            P.Status_r { jobs; workers })
+          (tup2 (list_size (int_range 0 3) summary_gen) (list_size (int_range 0 3) id));
+        map (fun s -> P.Results_r s) free_gen;
+        map
+          (fun kvs -> P.Metrics_r kvs)
+          (list_size (int_range 0 5) (tup2 word_gen (int_range 0 9999)));
+        map (fun w -> P.Worker_id w) id;
+        map
+          (fun (job, store, spec) -> P.Assign { job; store; spec })
+          (tup3 id free_gen spec_gen);
+        return P.Wait_r;
+        return P.Quit_r;
+        return (P.Claim_r P.Mine);
+        return (P.Claim_r P.Theirs);
+        map (fun m -> P.Claim_r (P.Key_failed m)) free_gen;
+        return (P.Claim_r P.Job_cancelled);
+        map (fun m -> P.Err m) free_gen;
+      ])
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~name:"request codec round-trips" ~count:500 (QCheck.make request_gen)
+    (fun r -> P.decode_request (P.encode_request r) = Ok r)
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~name:"response codec round-trips" ~count:500 (QCheck.make response_gen)
+    (fun r -> P.decode_response (P.encode_response r) = Ok r)
+
+(* Garbage never raises: any byte string decodes to Ok or a clean Error. *)
+let qcheck_garbage_total =
+  QCheck.Test.make ~name:"garbage frames decode totally" ~count:500
+    (QCheck.make QCheck.Gen.(string_size (int_range 0 60)))
+    (fun s ->
+      (match P.decode_request s with Ok _ | Error _ -> true)
+      && match P.decode_response s with Ok _ | Error _ -> true)
+
+(* Truncating a valid frame at any byte never raises either. *)
+let qcheck_truncation_total =
+  QCheck.Test.make ~name:"truncated frames decode totally" ~count:200
+    (QCheck.make QCheck.Gen.(tup2 request_gen (int_range 0 1000)))
+    (fun (r, cut) ->
+      let line = P.encode_request r in
+      let cut = cut mod max 1 (String.length line) in
+      let prefix = String.sub line 0 cut in
+      match P.decode_request prefix with Ok _ | Error _ -> true)
+
+let test_specific_garbage () =
+  let bad =
+    [ ""; "\n"; "("; ")"; "(submit"; "(ok (results zz))"; "(claim (worker x))"; "((()))" ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "garbage %S -> Error" s)
+        true
+        (Result.is_error (P.decode_request s)))
+    bad;
+  Alcotest.(check bool)
+    "err frame with bad hex -> Error" true
+    (Result.is_error (P.decode_response "(err notxhex)\n"))
+
+let test_hex_roundtrip () =
+  let cases = [ ""; "hello"; "a\nb(c)d;e f\tg"; String.init 256 Char.chr ] in
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string)) "hex round-trip" (Some s) (P.of_hex (P.to_hex s)))
+    cases;
+  Alcotest.(check (option string)) "bad prefix" None (P.of_hex "ff");
+  Alcotest.(check (option string)) "odd length" None (P.of_hex "xfff");
+  Alcotest.(check (option string)) "bad digit" None (P.of_hex "xzz")
+
+(* --- scheduler --- *)
+
+let spec ?(exps = [ "E5" ]) () = { P.exps; scale = P.Quick; jobs = 1; retry = 0 }
+
+let setup ?exps () =
+  let s = S.create () in
+  let j = S.submit s (spec ?exps ()) ~now:0.0 in
+  let w1 = S.add_worker s ~pid:100 ~now:0.0 in
+  let w2 = S.add_worker s ~pid:200 ~now:0.0 in
+  (s, j, w1, w2)
+
+let check_claim msg expected got =
+  let name = function
+    | P.Mine -> "mine"
+    | P.Theirs -> "theirs"
+    | P.Key_failed m -> "keyfailed:" ^ m
+    | P.Job_cancelled -> "cancelled"
+  in
+  Alcotest.(check string) msg (name expected) (name got)
+
+let test_sched_assign_and_claim () =
+  let s, j, w1, w2 = setup () in
+  (match S.next_assignment s ~worker:w1 ~now:1.0 with
+  | `Assign (j', sp) ->
+    Alcotest.(check int) "assigned the submitted job" j j';
+    Alcotest.(check (list string)) "spec exps" [ "E5" ] sp.P.exps
+  | _ -> Alcotest.fail "expected an assignment");
+  (match S.next_assignment s ~worker:w2 ~now:1.0 with
+  | `Assign (j', _) -> Alcotest.(check int) "fanned onto the same job" j j'
+  | _ -> Alcotest.fail "expected an assignment");
+  check_claim "first asker owns" P.Mine (S.claim s ~worker:w1 ~job:j ~key:"k1" ~now:2.0);
+  check_claim "owner re-asks, still owns" P.Mine (S.claim s ~worker:w1 ~job:j ~key:"k1" ~now:2.1);
+  check_claim "peer is told theirs" P.Theirs (S.claim s ~worker:w2 ~job:j ~key:"k1" ~now:2.2);
+  S.cell_done s ~worker:w1 ~job:j ~key:"k1" ~ok:true ~err:"" ~now:3.0;
+  (* after completion the claim is gone; a re-ask claims fresh (the
+     asker will find the record in the store first in real life) *)
+  check_claim "post-completion re-claim" P.Mine (S.claim s ~worker:w2 ~job:j ~key:"k1" ~now:3.1)
+
+let test_sched_requeue_on_dead_worker () =
+  let s, j, w1, w2 = setup () in
+  ignore (S.next_assignment s ~worker:w1 ~now:1.0);
+  ignore (S.next_assignment s ~worker:w2 ~now:1.0);
+  check_claim "w1 owns k1" P.Mine (S.claim s ~worker:w1 ~job:j ~key:"k1" ~now:2.0);
+  check_claim "w2 waits" P.Theirs (S.claim s ~worker:w2 ~job:j ~key:"k1" ~now:2.1);
+  S.worker_dead s ~worker:w1;
+  check_claim "orphaned cell requeues to w2" P.Mine (S.claim s ~worker:w2 ~job:j ~key:"k1" ~now:3.0);
+  Alcotest.(check bool) "requeue counted" true (List.mem_assoc "cells.requeued" (S.counters s));
+  (* a dead worker asking again is told to quit *)
+  (match S.next_assignment s ~worker:w1 ~now:4.0 with
+  | `Quit -> ()
+  | _ -> Alcotest.fail "dead worker should be told to quit")
+
+let test_sched_heartbeat_reap () =
+  let s, j, w1, w2 = setup () in
+  ignore (S.next_assignment s ~worker:w1 ~now:1.0);
+  check_claim "w1 owns" P.Mine (S.claim s ~worker:w1 ~job:j ~key:"k1" ~now:1.0);
+  S.touch s w2 ~now:50.0;
+  let reaped = S.reap s ~now:50.0 ~timeout:30.0 in
+  Alcotest.(check (list int)) "silent w1 reaped" [ w1 ] reaped;
+  check_claim "reaped worker's cell requeues" P.Mine (S.claim s ~worker:w2 ~job:j ~key:"k1" ~now:50.1);
+  Alcotest.(check (list int)) "reap is idempotent" [] (S.reap s ~now:51.0 ~timeout:30.0)
+
+let test_sched_failed_key () =
+  let s, j, w1, w2 = setup () in
+  ignore (S.next_assignment s ~worker:w1 ~now:1.0);
+  check_claim "w1 owns" P.Mine (S.claim s ~worker:w1 ~job:j ~key:"k1" ~now:1.0);
+  S.cell_done s ~worker:w1 ~job:j ~key:"k1" ~ok:false ~err:"boom" ~now:2.0;
+  check_claim "peers learn the failure" (P.Key_failed "boom")
+    (S.claim s ~worker:w2 ~job:j ~key:"k1" ~now:2.1);
+  (* a failed exp makes the job Failed and results an error *)
+  S.exp_done s ~job:j ~exp:"E5" ~output:"" ~hits:0 ~misses:1 ~failed:true;
+  S.job_done s ~worker:w1 ~job:j ~now:3.0;
+  Alcotest.(check bool) "job finished" true (S.finished s j);
+  Alcotest.(check bool) "results is an error" true (Result.is_error (S.results s j))
+
+let test_sched_cancel () =
+  let s, j, w1, _ = setup () in
+  ignore (S.next_assignment s ~worker:w1 ~now:1.0);
+  Alcotest.(check bool) "cancel known job" true (S.cancel s ~job:j);
+  Alcotest.(check bool) "cancel unknown job" false (S.cancel s ~job:999);
+  check_claim "claims after cancel" P.Job_cancelled (S.claim s ~worker:w1 ~job:j ~key:"k" ~now:2.0);
+  Alcotest.(check bool) "cancelled job is finished" true (S.finished s j);
+  Alcotest.(check bool) "results is an error" true (Result.is_error (S.results s j));
+  (* no open jobs left: workers idle *)
+  match S.next_assignment s ~worker:w1 ~now:3.0 with
+  | `Wait -> ()
+  | _ -> Alcotest.fail "expected wait"
+
+let test_sched_results_order_and_done () =
+  let s = S.create () in
+  let j = S.submit s (spec ~exps:[ "E5"; "E8a" ] ()) ~now:0.0 in
+  let w = S.add_worker s ~pid:1 ~now:0.0 in
+  ignore (S.next_assignment s ~worker:w ~now:0.1);
+  Alcotest.(check bool) "results before done is an error" true (Result.is_error (S.results s j));
+  (* deliver out of request order; results must respect request order *)
+  S.exp_done s ~job:j ~exp:"E8a" ~output:"TABLE-B" ~hits:1 ~misses:2 ~failed:false;
+  S.exp_done s ~job:j ~exp:"E5" ~output:"TABLE-A" ~hits:3 ~misses:4 ~failed:false;
+  (* duplicate report from a second finisher is ignored *)
+  S.exp_done s ~job:j ~exp:"E5" ~output:"TABLE-A" ~hits:9 ~misses:9 ~failed:false;
+  S.job_done s ~worker:w ~job:j ~now:1.0;
+  Alcotest.(check bool) "job done" true (S.finished s j);
+  (match S.results s j with
+  | Ok out -> Alcotest.(check string) "request order" "TABLE-ATABLE-B" out
+  | Error m -> Alcotest.fail m);
+  let jobs, _ = S.status s (Some j) in
+  match jobs with
+  | [ sm ] ->
+    Alcotest.(check int) "hits summed once per exp" 4 sm.P.hits;
+    Alcotest.(check int) "misses summed once per exp" 6 sm.P.misses
+  | _ -> Alcotest.fail "expected one summary"
+
+let test_sched_incomplete_job_done () =
+  let s = S.create () in
+  let j = S.submit s (spec ~exps:[ "E5"; "E8a" ] ()) ~now:0.0 in
+  let w = S.add_worker s ~pid:1 ~now:0.0 in
+  ignore (S.next_assignment s ~worker:w ~now:0.1);
+  S.exp_done s ~job:j ~exp:"E5" ~output:"T" ~hits:0 ~misses:0 ~failed:false;
+  (* a worker claiming "job done" with outputs missing must not finish it *)
+  S.job_done s ~worker:w ~job:j ~now:1.0;
+  Alcotest.(check bool) "job still open" false (S.finished s j)
+
+(* --- store: multiple handles on one journal (the worker substrate) --- *)
+
+let key ?(exp = "EX") ?(scale = "quick") ?(ver = 1) ?(env = "eng") coord =
+  { Store.exp; scale; coord; code_version = ver; env }
+
+let test_store_refresh_sees_peer_appends () =
+  let dir = tmpdir () in
+  let a = Store.open_ ~fsync:false dir in
+  let b = Store.open_ ~fsync:false dir in
+  Store.put a (key "b0.c0") Store.Done "payload-a";
+  Alcotest.(check (option string)) "b does not see it yet" None (Store.find b (key "b0.c0"));
+  Alcotest.(check int) "refresh picks up one record" 1 (Store.refresh b);
+  Alcotest.(check (option string))
+    "b sees a's append" (Some "payload-a")
+    (Store.find b (key "b0.c0"));
+  Alcotest.(check int) "refresh is then a no-op" 0 (Store.refresh b);
+  (* interleaved appends from both handles all land *)
+  Store.put b (key "b0.c1") Store.Done "payload-b";
+  Store.put a (key "b0.c2") Store.Done "payload-a2";
+  ignore (Store.refresh a);
+  ignore (Store.refresh b);
+  Alcotest.(check int) "a indexes all three" 3 (Store.count a);
+  Alcotest.(check int) "b indexes all three" 3 (Store.count b);
+  let scan = Store.scan_file (Store.journal_path dir) in
+  Alcotest.(check (list string)) "journal intact" [] scan.Store.problems;
+  Store.close a;
+  Store.close b
+
+let test_store_survives_peer_gc () =
+  let dir = tmpdir () in
+  let a = Store.open_ ~fsync:false dir in
+  let b = Store.open_ ~fsync:false dir in
+  Store.put a (key "b0.c0") Store.Done "keep";
+  Store.put a (key "b0.c1") Store.Failed "boom";
+  ignore (Store.refresh b);
+  (* a rewrites the journal (rename): b's fd now points at a dead inode *)
+  let dropped = Store.gc a ~keep:(fun r -> r.Store.status = Store.Done) in
+  Alcotest.(check int) "gc dropped the failure" 1 dropped;
+  (* b's next append must detect the rotation and land in the new file *)
+  Store.put b (key "b0.c2") Store.Done "post-gc";
+  ignore (Store.refresh a);
+  Alcotest.(check (option string))
+    "a sees b's post-gc append" (Some "post-gc")
+    (Store.find a (key "b0.c2"));
+  ignore (Store.refresh b);
+  Alcotest.(check (option string))
+    "b rescans the rewritten journal" (Some "keep")
+    (Store.find b (key "b0.c0"));
+  Alcotest.(check (option string)) "gc'd record is gone" None (Store.find_failed b (key "b0.c1"));
+  let scan = Store.scan_file (Store.journal_path dir) in
+  Alcotest.(check (list string)) "journal intact" [] scan.Store.problems;
+  Alcotest.(check int) "two live records" 2 (List.length scan.Store.good);
+  Store.close a;
+  Store.close b
+
+(* --- end-to-end: in-process daemon + worker over a real socket --- *)
+
+let test_e2e_daemon_sweep () =
+  (* Expected bytes: the direct, store-less path — what `rn_cli
+     experiment E5` prints. *)
+  let expected =
+    match All.find "E5" with
+    | Some f -> Harness.render (f Harness.Quick)
+    | None -> Alcotest.fail "E5 not registered"
+  in
+  let dir = tmpdir () in
+  let sock = dir ^ ".sock" in
+  let daemon =
+    Domain.spawn (fun () ->
+        Rn_serve.Daemon.run ~workers:0 ~spawn:false ~socket:sock ~store_dir:dir ())
+  in
+  let rec await_socket n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then Alcotest.fail "daemon never bound its socket"
+    else begin
+      Unix.sleepf 0.02;
+      await_socket (n - 1)
+    end
+  in
+  await_socket 250;
+  let worker =
+    Domain.spawn (fun () -> Rn_serve.Worker.run ~idle_sleep:0.01 ~socket:sock ())
+  in
+  let io = Client.connect sock in
+  Fun.protect
+    ~finally:(fun () -> Client.close io)
+    (fun () ->
+      let submit () =
+        match
+          Client.rpc io (P.Submit { P.exps = [ "E5" ]; scale = P.Quick; jobs = 1; retry = 0 })
+        with
+        | P.Job_id j -> j
+        | _ -> Alcotest.fail "expected a job id"
+      in
+      let wait j =
+        match Client.rpc io (P.Wait j) with
+        | P.Ok_unit -> ()
+        | _ -> Alcotest.fail "expected wait to succeed"
+      in
+      let results j =
+        match Client.rpc io (P.Results j) with
+        | P.Results_r out -> out
+        | P.Err m -> Alcotest.fail m
+        | _ -> Alcotest.fail "expected results"
+      in
+      let j1 = submit () in
+      wait j1;
+      Alcotest.(check string) "daemon sweep == direct run" expected (results j1);
+      (* warm re-submit: identical bytes, zero misses *)
+      let j2 = submit () in
+      wait j2;
+      Alcotest.(check string) "warm re-submit identical" expected (results j2);
+      (match Client.rpc io (P.Status (Some j2)) with
+      | P.Status_r { jobs = [ sm ]; _ } ->
+        Alcotest.(check int) "warm misses" 0 sm.P.misses;
+        Alcotest.(check bool) "warm hits > 0" true (sm.P.hits > 0)
+      | _ -> Alcotest.fail "expected one job summary");
+      (* unknown experiment is rejected at submit *)
+      (match
+         Client.rpc io (P.Submit { P.exps = [ "NOPE" ]; scale = P.Quick; jobs = 1; retry = 0 })
+       with
+      | P.Err _ -> ()
+      | _ -> Alcotest.fail "expected submit of unknown experiment to fail");
+      match Client.rpc io P.Shutdown with
+      | P.Ok_unit -> ()
+      | _ -> Alcotest.fail "expected shutdown ok");
+  Domain.join worker;
+  Domain.join daemon
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          qtest qcheck_request_roundtrip;
+          qtest qcheck_response_roundtrip;
+          qtest qcheck_garbage_total;
+          qtest qcheck_truncation_total;
+          Alcotest.test_case "specific garbage frames" `Quick test_specific_garbage;
+          Alcotest.test_case "hex framing" `Quick test_hex_roundtrip;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "assign and claim" `Quick test_sched_assign_and_claim;
+          Alcotest.test_case "requeue on dead worker" `Quick test_sched_requeue_on_dead_worker;
+          Alcotest.test_case "heartbeat reap" `Quick test_sched_heartbeat_reap;
+          Alcotest.test_case "failed key propagates" `Quick test_sched_failed_key;
+          Alcotest.test_case "cancel" `Quick test_sched_cancel;
+          Alcotest.test_case "results order and dedup" `Quick test_sched_results_order_and_done;
+          Alcotest.test_case "incomplete job stays open" `Quick test_sched_incomplete_job_done;
+        ] );
+      ( "store-multiproc",
+        [
+          Alcotest.test_case "refresh sees peer appends" `Quick test_store_refresh_sees_peer_appends;
+          Alcotest.test_case "appends survive peer gc" `Quick test_store_survives_peer_gc;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "daemon sweep == direct run" `Quick test_e2e_daemon_sweep ] );
+    ]
