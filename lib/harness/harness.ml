@@ -193,7 +193,9 @@ type claim_outcome =
 
 type coordinator = {
   claim : string -> claim_outcome;  (* argument is the cell's Store.key_id *)
-  complete : string -> ok:bool -> err:string -> unit;
+  complete : string -> ok:bool -> err:string -> us:int -> unit;
+      (* [us] is the cell's compute wall time in microseconds *)
+  hit : string -> unit;  (* store replay provenance, for live progress *)
   poll_interval : float;  (* seconds between journal polls on Claim_theirs *)
 }
 
@@ -202,6 +204,32 @@ exception Sweep_cancelled
 let coordinator_ref : coordinator option ref = ref None
 let set_coordinator c = coordinator_ref := Some c
 let clear_coordinator () = coordinator_ref := None
+
+(* --- trace-on-demand (one cell re-run under an ambient Events sink) ---
+
+   [set_trace_target ~exp ~coord] marks one cell of the next sweep: when
+   [run_cells_cached] reaches it, the cell is recomputed (cache
+   bypassed, store/metrics counters untouched, nothing written back)
+   with an ambient {!Rn_sim.Events} sink installed, and the captured
+   events are parked for [take_trace_events].  Determinism makes the
+   re-run byte-faithful: the traced computation takes the certified
+   scalar engine path and produces the same result the cached record
+   holds.  Callers must run with [jobs = 1] so the ambient sink sees
+   only the target cell. *)
+
+module Events = Rn_sim.Events
+
+let trace_target : (string * string) option Atomic.t = Atomic.make None
+let trace_capacity = ref 65536
+let traced_events : Events.event list option ref = ref None
+
+let set_trace_target ?(capacity = 65536) ~exp ~coord () =
+  trace_capacity := capacity;
+  traced_events := None;
+  Atomic.set trace_target (Some (exp, coord))
+
+let clear_trace_target () = Atomic.set trace_target None
+let take_trace_events () = !traced_events
 
 let run_cells_cached cfg (exp, scale, version) ~jobs:j f cells =
   let b = !batch in
@@ -227,7 +255,9 @@ let run_cells_cached cfg (exp, scale, version) ~jobs:j f cells =
     let compute () =
       (* Scoped: the snapshot holds exactly what this cell recorded on
          this domain, independent of what other cells do concurrently —
-         so the payload is deterministic at any [--jobs]. *)
+         so the payload is deterministic at any [--jobs].  Returns the
+         cell's compute wall time in microseconds alongside the result
+         so coordinators can report per-cell progress timings. *)
       let (result, dt), snap =
         Metrics.scoped (fun () ->
             let t0 = Timing.now () in
@@ -236,45 +266,69 @@ let run_cells_cached cfg (exp, scale, version) ~jobs:j f cells =
             Metrics.set m_cell_us (int_of_float (dt *. 1e6));
             (r, dt))
       in
+      let us = int_of_float (dt *. 1e6) in
       match result with
       | Ok v ->
         Metrics.incr m_store_misses;
         note_cell_time (Printf.sprintf "%s/%s/%s" exp scale k.Store.coord) dt;
         record_exp_metrics ~exp snap;
         Store.put cfg.store k Store.Done (Marshal.to_string (v, snap) []);
-        Ok v
+        (Ok v, us)
       | Error msg ->
         Metrics.incr m_store_failures;
         Store.put cfg.store k Store.Failed msg;
-        Error msg
+        (Error msg, us)
     in
-    match !coordinator_ref with
-    | None -> (
-      match Store.find cfg.store k with Some p -> replay p | None -> compute ())
-    | Some co ->
-      let kid = Store.key_id k in
-      let rec obtain () =
-        match Store.find cfg.store k with
-        | Some p -> replay p
-        | None -> (
-          match co.claim kid with
-          | Claim_mine ->
-            let r = compute () in
-            (match r with
-            | Ok _ -> co.complete kid ~ok:true ~err:""
-            | Error e -> co.complete kid ~ok:false ~err:e);
-            r
-          | Claim_theirs ->
-            (* a live peer owns this cell: wait for its journal append *)
-            Unix.sleepf co.poll_interval;
-            ignore (Store.refresh cfg.store);
-            obtain ()
-          | Claim_failed msg ->
-            Metrics.incr m_store_failures;
-            Error msg
-          | Claim_cancelled -> raise Sweep_cancelled)
+    let traced () =
+      (* Cache bypassed in both directions: recompute even when a record
+         exists, and write nothing back — the trace is a side-channel,
+         not a sweep step, so hit/miss counters stay untouched. *)
+      let sink = Events.create ~capacity:!trace_capacity () in
+      Events.set_ambient (Some sink);
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Events.set_ambient None)
+          (fun () -> compute_cell cfg f c)
       in
-      obtain ()
+      traced_events := Some (Events.events sink);
+      r
+    in
+    let is_trace_target =
+      match Atomic.get trace_target with
+      | Some (texp, tcoord) -> texp = exp && tcoord = k.Store.coord
+      | None -> false
+    in
+    if is_trace_target then traced ()
+    else
+      match !coordinator_ref with
+      | None -> (
+        match Store.find cfg.store k with Some p -> replay p | None -> fst (compute ()))
+      | Some co ->
+        let kid = Store.key_id k in
+        let rec obtain () =
+          match Store.find cfg.store k with
+          | Some p ->
+            co.hit kid;
+            replay p
+          | None -> (
+            match co.claim kid with
+            | Claim_mine ->
+              let r, us = compute () in
+              (match r with
+              | Ok _ -> co.complete kid ~ok:true ~err:"" ~us
+              | Error e -> co.complete kid ~ok:false ~err:e ~us);
+              r
+            | Claim_theirs ->
+              (* a live peer owns this cell: wait for its journal append *)
+              Unix.sleepf co.poll_interval;
+              ignore (Store.refresh cfg.store);
+              obtain ()
+            | Claim_failed msg ->
+              Metrics.incr m_store_failures;
+              Error msg
+            | Claim_cancelled -> raise Sweep_cancelled)
+        in
+        obtain ()
   in
   let out = Rn_util.Pool.map ~jobs:j run_one (List.mapi (fun i c -> (i, c)) cells) in
   let failed = List.length (List.filter Result.is_error out) in

@@ -69,6 +69,24 @@ let request ~socket req =
   let io = connect socket in
   Fun.protect ~finally:(fun () -> close io) (fun () -> rpc io req)
 
+(* Streamed wait: send [wait J progress] and consume [Progress_r] frames
+   (calling [on_progress] on each) until the daemon closes the stream
+   with its final reply ([Ok_unit] on success).  Holds the connection
+   mutex for the whole stream — a progress wait owns its connection. *)
+let wait_progress io job ~on_progress =
+  Mutex.protect io.mu (fun () ->
+      write_all io.fd (P.encode_request (P.Wait { job; progress = true }));
+      let rec drain () =
+        let line = read_line_locked io in
+        match P.decode_response line with
+        | Ok (P.Progress_r p) ->
+          on_progress p;
+          drain ()
+        | Ok r -> r
+        | Error e -> failwith (Printf.sprintf "serve: bad response frame: %s" e)
+      in
+      drain ())
+
 (* Human-readable rendering used by `rn_cli status`. *)
 let format_status jobs workers =
   let b = Buffer.create 256 in
@@ -92,4 +110,34 @@ let format_status jobs workers =
            (if w.P.alive then "alive" else "lost")
            (match w.P.wjob with None -> "" | Some j -> Printf.sprintf "  job %d" j)))
     workers;
+  Buffer.contents b
+
+(* Human-readable rendering used by `rn_cli serve health`. *)
+let format_health (h : P.health) =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "uptime %.1fs  jobs %d open / %d total  waiters %d\n"
+    (float_of_int h.P.uptime_ms /. 1000.0)
+    h.P.jobs_open h.P.jobs_total h.P.waiters;
+  add "cells: done %d  hit %d  failed %d  requeued %d  claim-waits %d  in-flight %d\n"
+    h.P.done_cells h.P.hit_cells h.P.failed_cells h.P.requeued h.P.claim_waits h.P.inflight;
+  add "mean cell %.1f ms  journal %d bytes (+%d this daemon)\n"
+    (float_of_int h.P.mean_cell_us /. 1000.0)
+    h.P.journal_bytes h.P.journal_grown;
+  List.iter
+    (fun (w : P.worker_health) ->
+      add "worker %-2d pid %-7d %-5s heartbeat %.1fs ago  cells %d%s\n" w.P.hwid w.P.hpid
+        (if w.P.halive then "alive" else "lost")
+        (float_of_int w.P.hage_ms /. 1000.0)
+        w.P.hcells
+        (match w.P.hjob with None -> "" | Some j -> Printf.sprintf "  job %d" j))
+    h.P.hworkers;
+  (match h.P.slow_claims with
+  | [] -> ()
+  | slow ->
+    add "in-flight cells (oldest first):\n";
+    List.iter
+      (fun (key, wid, age_ms) ->
+        add "  %8.1fs  w%d  %s\n" (float_of_int age_ms /. 1000.0) wid key)
+      slow);
   Buffer.contents b

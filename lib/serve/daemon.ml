@@ -4,7 +4,8 @@
    socket: clients and workers speak the same line-delimited sexp
    protocol on the same socket, and every request is answered in
    arrival order (except [wait], whose reply is deferred until the
-   awaited job reaches a terminal state).
+   awaited job reaches a terminal state, and [trace], deferred until a
+   worker ships the re-run's events back).
 
    The daemon owns no sweep state beyond the in-memory {!Scheduler}: the
    durable state is the store journal the workers share, so a daemon
@@ -13,29 +14,57 @@
    scripts/serve_smoke.sh exercises end to end).
 
    Worker management: the daemon spawns [workers] copies of its own
-   executable running `rn_cli work` whenever open jobs exist and fewer
-   than [workers] spawned children are alive, and reaps exited children
-   each tick — so a SIGKILLed worker is replaced within a tick, and its
-   orphaned cell claims are released the moment its socket reports EOF
-   (with the scheduler's heartbeat reap as the backstop for hung-but-
-   connected workers). *)
+   executable running `rn_cli work` whenever work exists (open jobs or
+   pending trace tasks) and fewer than [workers] spawned children are
+   alive, and reaps exited children each tick — so a SIGKILLed worker is
+   replaced within a tick, and its orphaned cell claims are released the
+   moment its socket reports EOF (with the scheduler's heartbeat reap as
+   the backstop for hung-but-connected workers).
+
+   Telemetry: a [wait … progress] waiter is streamed every progress
+   event of its job (one [Progress_r] frame per line) before the final
+   [Ok_unit]; [metricsreg] merges the daemon's own registry, the
+   scheduler counters and the latest per-worker pushed snapshots with
+   the commutative [Metrics.merge]; [health] reports heartbeat ages,
+   queue depths and journal growth.  A small stats sidecar
+   (daemon-stats.sexp in the store dir) mirrors the fault-recovery
+   counters for `rn_cli store stats --json`. *)
 
 module P = Protocol
 module S = Scheduler
+module Metrics = Rn_util.Metrics
+module Timing = Rn_util.Timing
+
+(* Monotonic log timestamps: seconds since daemon start, immune to
+   wall-clock jumps (satellite of ISSUE 9).  [Timing.now] is
+   CLOCK_MONOTONIC via the C stub. *)
+let log_t0 = ref 0.0
 
 let log fmt =
   Printf.ksprintf
-    (fun s ->
-      let t = Unix.localtime (Unix.gettimeofday ()) in
-      Printf.eprintf "[serve %02d:%02d:%02d] %s\n%!" t.Unix.tm_hour t.Unix.tm_min
-        t.Unix.tm_sec s)
+    (fun s -> Printf.eprintf "[serve +%010.3f] %s\n%!" (Timing.now () -. !log_t0) s)
     fmt
+
+(* Point stderr (ours and every spawned worker's, which inherit it) at
+   [path], rotating any previous log to [path].1 first — a restarted
+   daemon starts a fresh log instead of appending unboundedly. *)
+let setup_log path =
+  (try if (Unix.stat path).Unix.st_size > 0 then Sys.rename path (path ^ ".1")
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd
 
 type conn = {
   fd : Unix.file_descr;
   mutable inbuf : string;  (* bytes received, not yet a complete line *)
   mutable worker : int option;  (* set by Hello *)
 }
+
+(* A deferred [wait] reply; with [wprogress] the connection is streamed
+   the job's progress events ([wsent] = highest pseq already sent) and
+   the final [Ok_unit] closes the stream. *)
+type waiter = { wjob : P.job_id; wconn : conn; wprogress : bool; mutable wsent : int }
 
 type t = {
   sched : S.t;
@@ -45,8 +74,14 @@ type t = {
   workers_target : int;
   heartbeat : float;
   spawn : bool;  (* false in in-process tests: no child processes *)
+  started : float;  (* Timing.now at startup, for uptime *)
+  mutable journal_bytes0 : int;  (* journal size at startup *)
   mutable conns : conn list;
-  mutable waiters : (P.job_id * conn) list;
+  mutable waiters : waiter list;
+  mutable trace_waiters : (int * conn) list;  (* tid -> blocked client *)
+  worker_snaps : (int, Metrics.snapshot) Hashtbl.t;  (* latest push per worker *)
+  slowest_written : (P.job_id, unit) Hashtbl.t;
+  mutable last_stats_write : float;
   mutable children : int list;  (* live spawned worker pids *)
   mutable stopping : bool;
 }
@@ -57,12 +92,18 @@ let rec mkdirs dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+let journal_size t =
+  match Unix.stat (Rn_util.Store.journal_path t.store_dir) with
+  | st -> st.Unix.st_size
+  | exception Unix.Unix_error _ -> 0
+
 (* --- connection plumbing --- *)
 
 let drop_conn t c =
   if List.memq c t.conns then begin
     t.conns <- List.filter (fun c' -> c' != c) t.conns;
-    t.waiters <- List.filter (fun (_, c') -> c' != c) t.waiters;
+    t.waiters <- List.filter (fun w -> w.wconn != c) t.waiters;
+    t.trace_waiters <- List.filter (fun (_, c') -> c' != c) t.trace_waiters;
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
     match c.worker with
     | Some w ->
@@ -112,10 +153,105 @@ let reap_children t =
   loop ()
 
 let ensure_workers t =
-  if t.spawn && (not t.stopping) && S.has_open_jobs t.sched then
+  if t.spawn && (not t.stopping) && S.has_work t.sched then
     for _ = List.length t.children + 1 to t.workers_target do
       spawn_worker t
     done
+
+(* --- telemetry assembly --- *)
+
+(* Daemon registry (+) scheduler counters (+) latest worker pushes —
+   [Metrics.merge] is commutative and associative, so the fold order is
+   irrelevant (test_serve checks this under qcheck). *)
+let merged_metrics t =
+  let base =
+    Metrics.merge (Metrics.snapshot ()) (Metrics.of_counters (S.counters t.sched))
+  in
+  Hashtbl.fold (fun _ snap acc -> Metrics.merge acc snap) t.worker_snaps base
+
+let health t ~now =
+  let jbytes = journal_size t in
+  {
+    P.uptime_ms = int_of_float ((Timing.now () -. t.started) *. 1000.0);
+    jobs_open = S.jobs_open t.sched;
+    jobs_total = S.jobs_total t.sched;
+    waiters = List.length t.waiters + List.length t.trace_waiters;
+    inflight = S.inflight_count t.sched;
+    requeued = S.counter_value t.sched "cells.requeued";
+    claim_waits = S.counter_value t.sched "cells.claim_theirs";
+    done_cells = S.counter_value t.sched "cells.done";
+    hit_cells = S.counter_value t.sched "cells.hit";
+    failed_cells = S.counter_value t.sched "cells.failed";
+    mean_cell_us = S.mean_cell_us t.sched;
+    journal_bytes = jbytes;
+    journal_grown = max 0 (jbytes - t.journal_bytes0);
+    hworkers = S.workers_health t.sched ~now;
+    slow_claims = S.inflight_claims t.sched ~now;
+  }
+
+(* "exp|scale|vN|env|coord" -> "exp/scale/coord", the label format of
+   the direct runner's slowest.txt. *)
+let label_of_key kid =
+  match String.split_on_char '|' kid with
+  | [ exp; scale; _; _; coord ] -> Printf.sprintf "%s/%s/%s" exp scale coord
+  | _ -> kid
+
+(* On job completion, write the cross-worker slowest-cells ranking the
+   direct runner would have produced (satellite: nightly daemon sweeps
+   get slowest.txt too).  Idempotent per job; cold cells only — a fully
+   warm job has no computed cells and leaves the previous file alone. *)
+let write_slowest t jid =
+  if not (Hashtbl.mem t.slowest_written jid) then begin
+    Hashtbl.replace t.slowest_written jid ();
+    match S.slowest t.sched jid with
+    | [] -> ()
+    | slow ->
+      let path = Filename.concat t.store_dir "slowest.txt" in
+      let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+      (try
+         let oc = open_out tmp in
+         List.iter
+           (fun (kid, us) ->
+             Printf.fprintf oc "%.3f %s\n" (float_of_int us /. 1e6) (label_of_key kid))
+           slow;
+         close_out oc;
+         Sys.rename tmp path;
+         log "job %d slowest cells -> %s" jid path
+       with Sys_error _ -> ())
+  end
+
+(* Fault-recovery stats sidecar for `rn_cli store stats --json`
+   (satellite: requeue/claim-wait/heartbeat-age without daemon.log
+   parsing).  Throttled; rewritten atomically. *)
+let write_stats_sidecar t ~now =
+  if now -. t.last_stats_write >= 1.0 then begin
+    t.last_stats_write <- now;
+    let heartbeat_age_ms =
+      List.fold_left
+        (fun acc (h : P.worker_health) -> if h.P.halive then max acc h.P.hage_ms else acc)
+        0
+        (S.workers_health t.sched ~now)
+    in
+    let alive =
+      List.length (List.filter (fun (h : P.worker_health) -> h.P.halive) (S.workers_health t.sched ~now))
+    in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "(daemon-stats (counters";
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " (%s %d)" k v))
+      (S.counters t.sched);
+    Buffer.add_string buf
+      (Printf.sprintf ") (heartbeat-age-ms %d) (workers-alive %d) (inflight %d))\n"
+         heartbeat_age_ms alive (S.inflight_count t.sched));
+    let path = Filename.concat t.store_dir "daemon-stats.sexp" in
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    try
+      let oc = open_out tmp in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Sys.rename tmp path
+    with Sys_error _ -> ()
+  end
 
 (* --- request handling --- *)
 
@@ -142,11 +278,12 @@ let handle_request t conn req ~now =
   | P.Status jid ->
     let jobs, workers = S.status t.sched jid in
     `Reply (P.Status_r { jobs; workers })
-  | P.Wait j ->
+  | P.Wait { job = j; progress } ->
     if S.job t.sched j = None then `Reply (P.Err (Printf.sprintf "no such job %d" j))
-    else if S.finished t.sched j then `Reply P.Ok_unit
     else begin
-      t.waiters <- (j, conn) :: t.waiters;
+      (* Even an already-finished job gets its full progress history
+         streamed before the Ok_unit — flush_waiters handles both. *)
+      t.waiters <- { wjob = j; wconn = conn; wprogress = progress; wsent = 0 } :: t.waiters;
       `Defer
     end
   | P.Results j -> (
@@ -160,6 +297,19 @@ let handle_request t conn req ~now =
     end
     else `Reply (P.Err (Printf.sprintf "no such job %d" j))
   | P.Metrics -> `Reply (P.Metrics_r (S.counters t.sched))
+  | P.Metrics_reg ->
+    `Reply
+      (P.Metrics_reg_r (Rn_util.Sexp.to_string (Metrics.sexp_of_snapshot (merged_metrics t))))
+  | P.Health -> `Reply (P.Health_r (health t ~now))
+  | P.Trace { exp; scale; coord } ->
+    if Rn_harness.All.find exp = None then
+      `Reply (P.Err (Printf.sprintf "trace: unknown experiment %s" exp))
+    else begin
+      let tid = S.add_trace t.sched ~exp ~scale ~coord in
+      log "trace %d requested: %s @%s %s" tid exp (P.scale_name scale) coord;
+      t.trace_waiters <- (tid, conn) :: t.trace_waiters;
+      `Defer
+    end
   | P.Shutdown ->
     log "shutdown requested";
     `Stop P.Ok_unit
@@ -171,11 +321,16 @@ let handle_request t conn req ~now =
   | P.Next { worker } -> (
     match S.next_assignment t.sched ~worker ~now with
     | `Assign (job, spec) -> `Reply (P.Assign { job; store = t.store_dir; spec })
+    | `Trace (tid, exp, scale, coord) ->
+      `Reply (P.Trace_task { tid; exp; scale; coord; store = t.store_dir })
     | `Wait -> `Reply (if t.stopping then P.Quit_r else P.Wait_r)
     | `Quit -> `Reply P.Quit_r)
   | P.Claim { worker; job; key } -> `Reply (P.Claim_r (S.claim t.sched ~worker ~job ~key ~now))
-  | P.Cell_done { worker; job; key; ok; err } ->
-    S.cell_done t.sched ~worker ~job ~key ~ok ~err ~now;
+  | P.Cell_done { worker; job; key; ok; err; us } ->
+    S.cell_done t.sched ~worker ~job ~key ~ok ~err ~us ~now;
+    `Reply P.Ok_unit
+  | P.Cell_hit { worker; job; key } ->
+    S.cell_hit t.sched ~worker ~job ~key ~now;
     `Reply P.Ok_unit
   | P.Exp_done { worker; job; exp; output; hits; misses; failed } ->
     S.exp_done t.sched ~job ~exp ~output ~hits ~misses ~failed;
@@ -188,17 +343,67 @@ let handle_request t conn req ~now =
     S.job_done t.sched ~worker ~job ~now;
     (match S.job t.sched job with
     | Some j when S.finished t.sched job ->
-      log "job %d finished: %s" job (P.state_name j.S.state)
+      log "job %d finished: %s" job (P.state_name j.S.state);
+      write_slowest t job
     | _ -> ());
     `Reply P.Ok_unit
   | P.Heartbeat { worker } ->
     S.touch t.sched worker ~now;
     `Reply P.Ok_unit
+  | P.Metrics_push { worker; snap } ->
+    (match Metrics.snapshot_of_sexp (Rn_util.Sexp.parse_string snap) with
+    | s ->
+      Hashtbl.replace t.worker_snaps worker s;
+      S.touch t.sched worker ~now
+    | exception _ -> log "worker %d pushed a malformed metrics snapshot" worker);
+    `Reply P.Ok_unit
+  | P.Trace_done { worker; tid; data; err } ->
+    S.trace_done t.sched ~worker ~tid ~data ~err ~now;
+    log "trace %d delivered by worker %d (%d bytes%s)" tid worker (String.length data)
+      (if err = "" then "" else ", error");
+    `Reply P.Ok_unit
 
+(* Stream new progress events to progress-waiters, then complete any
+   waiter whose job reached a terminal state.  [send] may drop a
+   connection (mutating [t.waiters]), so the surviving list is
+   re-filtered against live connections at the end. *)
 let flush_waiters t =
-  let ready, pending = List.partition (fun (j, _) -> S.finished t.sched j) t.waiters in
-  t.waiters <- pending;
-  List.iter (fun (_, c) -> send t c P.Ok_unit) ready
+  let keep =
+    List.filter
+      (fun w ->
+        if not (List.memq w.wconn t.conns) then false
+        else begin
+          if w.wprogress then begin
+            let evs = S.progress_events t.sched w.wjob ~from:w.wsent in
+            List.iter
+              (fun p ->
+                w.wsent <- max w.wsent p.P.pseq;
+                send t w.wconn (P.Progress_r p))
+              evs
+          end;
+          if S.finished t.sched w.wjob && List.memq w.wconn t.conns then begin
+            send t w.wconn P.Ok_unit;
+            false
+          end
+          else true
+        end)
+      t.waiters
+  in
+  t.waiters <- List.filter (fun w -> List.memq w.wconn t.conns) keep
+
+let flush_trace_waiters t =
+  let ready, pending =
+    List.partition (fun (tid, _) -> S.trace_result t.sched ~tid <> None) t.trace_waiters
+  in
+  t.trace_waiters <- pending;
+  List.iter
+    (fun (tid, c) ->
+      (match S.trace_result t.sched ~tid with
+      | Some (Ok data) -> send t c (P.Trace_r data)
+      | Some (Error msg) -> send t c (P.Err msg)
+      | None -> ());
+      S.remove_trace t.sched ~tid)
+    ready
 
 let feed_conn t conn data ~now =
   conn.inbuf <- conn.inbuf ^ data;
@@ -228,6 +433,8 @@ let tick t =
     (S.reap t.sched ~now ~timeout:t.heartbeat);
   ensure_workers t;
   flush_waiters t;
+  flush_trace_waiters t;
+  write_stats_sidecar t ~now;
   let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
   match Unix.select fds [] [] 0.25 with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -251,7 +458,8 @@ let tick t =
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
             | exception Unix.Unix_error _ -> drop_conn t conn))
       readable;
-    flush_waiters t
+    flush_waiters t;
+    flush_trace_waiters t
 
 (* Refuse to start over a live daemon; silently replace a stale socket
    file left by a crashed or SIGKILLed one. *)
@@ -268,11 +476,16 @@ let claim_socket path =
     (try Unix.unlink path with Unix.Unix_error _ -> ())
   end
 
-let run ?(workers = 1) ?(heartbeat = 60.0) ?(spawn = true) ~socket ~store_dir () =
+let run ?(workers = 1) ?(heartbeat = 60.0) ?(spawn = true) ?log_file ~socket ~store_dir () =
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   mkdirs (Filename.dirname socket);
   mkdirs store_dir;
   claim_socket socket;
+  (match log_file with Some path when path <> "-" -> setup_log path | _ -> ());
+  log_t0 := Timing.now ();
+  (* The daemon runs no cells itself, but enabling the registry means a
+     [metricsreg] exposition of an idle daemon is still well-formed. *)
+  Metrics.set_enabled true;
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket);
   Unix.listen listen_fd 64;
@@ -285,12 +498,19 @@ let run ?(workers = 1) ?(heartbeat = 60.0) ?(spawn = true) ~socket ~store_dir ()
       workers_target = max 0 workers;
       heartbeat;
       spawn;
+      started = Timing.now ();
+      journal_bytes0 = 0;
       conns = [];
       waiters = [];
+      trace_waiters = [];
+      worker_snaps = Hashtbl.create 8;
+      slowest_written = Hashtbl.create 8;
+      last_stats_write = 0.0;
       children = [];
       stopping = false;
     }
   in
+  t.journal_bytes0 <- journal_size t;
   let term = ref false in
   let old_term =
     try Some (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> term := true)))
@@ -305,6 +525,8 @@ let run ?(workers = 1) ?(heartbeat = 60.0) ?(spawn = true) ~socket ~store_dir ()
       t.conns <- [];
       (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
       (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      t.last_stats_write <- 0.0;
+      write_stats_sidecar t ~now:(Unix.gettimeofday ());
       log "stopped")
     (fun () ->
       while not (t.stopping || !term) do

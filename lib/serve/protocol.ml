@@ -21,20 +21,46 @@ type spec = {
   retry : int;  (* per-cell retry budget, as rn_cli experiment --retry *)
 }
 
+(* One live-progress event on a streamed [wait].  [pseq] is per-job and
+   strictly increasing from 1, so a client can assert monotonicity and a
+   reconnecting watcher knows where it left off.  [pus] is the cell's
+   compute wall time in microseconds (0 for phases with no compute). *)
+type progress_phase = P_claimed | P_done | P_hit | P_failed | P_requeued
+
+type progress = {
+  pseq : int;
+  pjob : job_id;
+  pworker : int;
+  pkey : string;  (* the cell's Store.key_id *)
+  phase : progress_phase;
+  pus : int;
+}
+
 type request =
   (* client -> daemon *)
   | Submit of spec
   | Status of job_id option
-  | Wait of job_id
+  | Wait of { job : job_id; progress : bool }
   | Results of job_id
   | Cancel of job_id
   | Metrics
+  | Metrics_reg  (* full registry exposition: daemon (+) all worker pushes *)
+  | Health
+  | Trace of { exp : string; scale : scale; coord : string }
   | Shutdown
   (* worker -> daemon *)
   | Hello of { pid : int }
   | Next of { worker : int }
   | Claim of { worker : int; job : job_id; key : string }
-  | Cell_done of { worker : int; job : job_id; key : string; ok : bool; err : string }
+  | Cell_done of {
+      worker : int;
+      job : job_id;
+      key : string;
+      ok : bool;
+      err : string;
+      us : int;  (* compute wall time, microseconds *)
+    }
+  | Cell_hit of { worker : int; job : job_id; key : string }
   | Exp_done of {
       worker : int;
       job : job_id;
@@ -46,6 +72,8 @@ type request =
     }
   | Job_done of { worker : int; job : job_id }
   | Heartbeat of { worker : int }
+  | Metrics_push of { worker : int; snap : string }  (* sexp-encoded Metrics.snapshot *)
+  | Trace_done of { worker : int; tid : int; data : string; err : string }
 
 type job_state = Queued | Running | Done | Failed | Cancelled
 
@@ -63,6 +91,36 @@ type job_summary = {
 
 type worker_info = { wid : int; pid : int; alive : bool; wjob : job_id option }
 
+(* Daemon health report: fault-recovery counters, journal growth and
+   per-worker heartbeat ages.  Everything is an int (ages in ms, times
+   in us) so the codec never touches floats. *)
+type worker_health = {
+  hwid : int;
+  hpid : int;
+  halive : bool;
+  hage_ms : int;  (* since last heartbeat/request *)
+  hcells : int;  (* terminal cells first reported by this worker *)
+  hjob : job_id option;
+}
+
+type health = {
+  uptime_ms : int;
+  jobs_open : int;
+  jobs_total : int;
+  waiters : int;
+  inflight : int;  (* cells currently claimed by live workers *)
+  requeued : int;
+  claim_waits : int;  (* Theirs replies served (cross-worker waits) *)
+  done_cells : int;
+  hit_cells : int;
+  failed_cells : int;
+  mean_cell_us : int;  (* mean compute time of finished cells *)
+  journal_bytes : int;
+  journal_grown : int;  (* bytes appended since the daemon started *)
+  hworkers : worker_health list;
+  slow_claims : (string * int * int) list;  (* key, wid, age_ms; oldest first *)
+}
+
 type claim_reply =
   | Mine  (* compute it, then send Cell_done *)
   | Theirs  (* a live worker owns it: poll the store, re-ask *)
@@ -75,8 +133,13 @@ type response =
   | Status_r of { jobs : job_summary list; workers : worker_info list }
   | Results_r of string  (* concatenated rendered tables, request order *)
   | Metrics_r of (string * int) list
+  | Metrics_reg_r of string  (* sexp-encoded merged Metrics.snapshot *)
+  | Health_r of health
+  | Progress_r of progress  (* streamed before Ok_unit on a progress wait *)
+  | Trace_r of string  (* Chrome-trace JSON *)
   | Worker_id of int
   | Assign of { job : job_id; store : string; spec : spec }
+  | Trace_task of { tid : int; exp : string; scale : scale; coord : string; store : string }
   | Wait_r  (* no job available yet: sleep and ask again *)
   | Quit_r
   | Claim_r of claim_reply
@@ -141,23 +204,36 @@ let encode_request r =
   | Submit spec -> Printf.sprintf "(submit %s)" (spec_fields spec)
   | Status None -> "(status)"
   | Status (Some j) -> Printf.sprintf "(status %d)" j
-  | Wait j -> Printf.sprintf "(wait %d)" j
+  | Wait { job; progress } ->
+    if progress then Printf.sprintf "(wait %d progress)" job else Printf.sprintf "(wait %d)" job
   | Results j -> Printf.sprintf "(results %d)" j
   | Cancel j -> Printf.sprintf "(cancel %d)" j
   | Metrics -> "(metrics)"
+  | Metrics_reg -> "(metricsreg)"
+  | Health -> "(health)"
+  | Trace { exp; scale; coord } ->
+    Printf.sprintf "(trace (exp %s) (scale %s) (coord %s))" (atomize exp) (scale_name scale)
+      (atomize coord)
   | Shutdown -> "(shutdown)"
   | Hello { pid } -> Printf.sprintf "(hello (pid %d))" pid
   | Next { worker } -> Printf.sprintf "(next (worker %d))" worker
   | Claim { worker; job; key } ->
     Printf.sprintf "(claim (worker %d) (job %d) (key %s))" worker job (atomize key)
-  | Cell_done { worker; job; key; ok; err } ->
-    Printf.sprintf "(celldone (worker %d) (job %d) (key %s) (ok %s) (err %s))" worker job
-      (atomize key) (bool_name ok) (to_hex err)
+  | Cell_done { worker; job; key; ok; err; us } ->
+    Printf.sprintf "(celldone (worker %d) (job %d) (key %s) (ok %s) (err %s) (us %d))" worker
+      job (atomize key) (bool_name ok) (to_hex err) us
+  | Cell_hit { worker; job; key } ->
+    Printf.sprintf "(cellhit (worker %d) (job %d) (key %s))" worker job (atomize key)
   | Exp_done { worker; job; exp; output; hits; misses; failed } ->
     Printf.sprintf "(expdone (worker %d) (job %d) (exp %s) (output %s) (hits %d) (misses %d) (failed %s))"
       worker job (atomize exp) (to_hex output) hits misses (bool_name failed)
   | Job_done { worker; job } -> Printf.sprintf "(jobdone (worker %d) (job %d))" worker job
-  | Heartbeat { worker } -> Printf.sprintf "(heartbeat (worker %d))" worker)
+  | Heartbeat { worker } -> Printf.sprintf "(heartbeat (worker %d))" worker
+  | Metrics_push { worker; snap } ->
+    Printf.sprintf "(metricspush (worker %d) (snap %s))" worker (to_hex snap)
+  | Trace_done { worker; tid; data; err } ->
+    Printf.sprintf "(tracedone (worker %d) (tid %d) (data %s) (err %s))" worker tid
+      (to_hex data) (to_hex err))
   ^ "\n"
 
 let state_name = function
@@ -177,6 +253,30 @@ let worker_sexp w =
   Printf.sprintf "(worker (wid %d) (pid %d) (alive %s)%s)" w.wid w.pid (bool_name w.alive)
     (match w.wjob with None -> "" | Some j -> Printf.sprintf " (job %d)" j)
 
+let phase_name = function
+  | P_claimed -> "claimed"
+  | P_done -> "done"
+  | P_hit -> "hit"
+  | P_failed -> "failed"
+  | P_requeued -> "requeued"
+
+let worker_health_sexp h =
+  Printf.sprintf "(w (wid %d) (pid %d) (alive %s) (age-ms %d) (cells %d)%s)" h.hwid h.hpid
+    (bool_name h.halive) h.hage_ms h.hcells
+    (match h.hjob with None -> "" | Some j -> Printf.sprintf " (job %d)" j)
+
+let health_sexp h =
+  Printf.sprintf
+    "(health (uptime-ms %d) (jobs-open %d) (jobs-total %d) (waiters %d) (inflight %d) (requeued %d) (claim-waits %d) (done-cells %d) (hit-cells %d) (failed-cells %d) (mean-cell-us %d) (journal-bytes %d) (journal-grown %d) (hworkers%s) (slow%s))"
+    h.uptime_ms h.jobs_open h.jobs_total h.waiters h.inflight h.requeued h.claim_waits
+    h.done_cells h.hit_cells h.failed_cells h.mean_cell_us h.journal_bytes h.journal_grown
+    (String.concat "" (List.map (fun w -> " " ^ worker_health_sexp w) h.hworkers))
+    (String.concat ""
+       (List.map
+          (fun (key, wid, age) ->
+            Printf.sprintf " (s (key %s) (wid %d) (age-ms %d))" (atomize key) wid age)
+          h.slow_claims))
+
 let encode_response r =
   (match r with
   | Ok_unit -> "(ok)"
@@ -190,10 +290,19 @@ let encode_response r =
     Printf.sprintf "(ok (metrics%s))"
       (String.concat ""
          (List.map (fun (k, v) -> Printf.sprintf " (m %s %d)" (atomize k) v) kvs))
+  | Metrics_reg_r snap -> Printf.sprintf "(ok (metricsreg %s))" (to_hex snap)
+  | Health_r h -> Printf.sprintf "(ok %s)" (health_sexp h)
+  | Progress_r p ->
+    Printf.sprintf "(ok (progress (seq %d) (job %d) (worker %d) (key %s) (phase %s) (us %d)))"
+      p.pseq p.pjob p.pworker (atomize p.pkey) (phase_name p.phase) p.pus
+  | Trace_r data -> Printf.sprintf "(ok (trace %s))" (to_hex data)
   | Worker_id w -> Printf.sprintf "(ok (worker %d))" w
   | Assign { job; store; spec } ->
     Printf.sprintf "(ok (assign (job %d) (store %s) %s))" job (to_hex store)
       (spec_fields spec)
+  | Trace_task { tid; exp; scale; coord; store } ->
+    Printf.sprintf "(ok (tracetask (tid %d) (exp %s) (scale %s) (coord %s) (store %s)))" tid
+      (atomize exp) (scale_name scale) (atomize coord) (to_hex store)
   | Wait_r -> "(ok wait)"
   | Quit_r -> "(ok quit)"
   | Claim_r Mine -> "(ok mine)"
@@ -242,6 +351,15 @@ let hex_field name sx =
   | Some s -> Ok s
   | None -> Error (Printf.sprintf "field %s: bad hex" name)
 
+let scale_of_name = function
+  | "quick" -> Ok Quick
+  | "full" -> Ok Full
+  | s -> Error (Printf.sprintf "bad scale %s" s)
+
+let scale_field sx =
+  let* a = field "scale" sx in
+  scale_of_name a
+
 let spec_of_sexp sx =
   let* exps =
     match Sexp.assoc "exps" sx with
@@ -256,13 +374,7 @@ let spec_of_sexp sx =
       atoms items
     | None -> Error "missing field exps"
   in
-  let* scale_a = field "scale" sx in
-  let* scale =
-    match scale_a with
-    | "quick" -> Ok Quick
-    | "full" -> Ok Full
-    | s -> Error (Printf.sprintf "bad scale %s" s)
-  in
+  let* scale = scale_field sx in
   let* jobs = int_field "jobs" sx in
   let* retry = int_field "retry" sx in
   Ok { exps; scale; jobs; retry }
@@ -280,12 +392,22 @@ let decode_request line =
       match int_of_string_opt a with
       | Some j -> Ok (Status (Some j))
       | None -> Error "status: bad job id")
-    | "wait", [ Sexp.Atom a ] | "results", [ Sexp.Atom a ] | "cancel", [ Sexp.Atom a ] -> (
+    | "wait", [ Sexp.Atom a ] | "wait", [ Sexp.Atom a; Sexp.Atom "progress" ] -> (
       match int_of_string_opt a with
-      | Some j ->
-        Ok (if head = "wait" then Wait j else if head = "results" then Results j else Cancel j)
+      | Some job -> Ok (Wait { job; progress = List.length args = 2 })
+      | None -> Error "wait: bad job id")
+    | "results", [ Sexp.Atom a ] | "cancel", [ Sexp.Atom a ] -> (
+      match int_of_string_opt a with
+      | Some j -> Ok (if head = "results" then Results j else Cancel j)
       | None -> Error (head ^ ": bad job id"))
     | "metrics", [] -> Ok Metrics
+    | "metricsreg", [] -> Ok Metrics_reg
+    | "health", [] -> Ok Health
+    | "trace", _ ->
+      let* exp = field "exp" sx in
+      let* scale = scale_field sx in
+      let* coord = field "coord" sx in
+      Ok (Trace { exp; scale; coord })
     | "shutdown", [] -> Ok Shutdown
     | "hello", _ ->
       let* pid = int_field "pid" sx in
@@ -304,7 +426,13 @@ let decode_request line =
       let* key = field "key" sx in
       let* ok = bool_field "ok" sx in
       let* err = hex_field "err" sx in
-      Ok (Cell_done { worker; job; key; ok; err })
+      let* us = int_field "us" sx in
+      Ok (Cell_done { worker; job; key; ok; err; us })
+    | "cellhit", _ ->
+      let* worker = int_field "worker" sx in
+      let* job = int_field "job" sx in
+      let* key = field "key" sx in
+      Ok (Cell_hit { worker; job; key })
     | "expdone", _ ->
       let* worker = int_field "worker" sx in
       let* job = int_field "job" sx in
@@ -321,6 +449,16 @@ let decode_request line =
     | "heartbeat", _ ->
       let* worker = int_field "worker" sx in
       Ok (Heartbeat { worker })
+    | "metricspush", _ ->
+      let* worker = int_field "worker" sx in
+      let* snap = hex_field "snap" sx in
+      Ok (Metrics_push { worker; snap })
+    | "tracedone", _ ->
+      let* worker = int_field "worker" sx in
+      let* tid = int_field "tid" sx in
+      let* data = hex_field "data" sx in
+      let* err = hex_field "err" sx in
+      Ok (Trace_done { worker; tid; data; err })
     | _ -> Error (Printf.sprintf "unknown request %s" head))
   | _ -> Error "expected a request list"
 
@@ -351,6 +489,29 @@ let worker_of_sexp sx =
   let* alive = bool_field "alive" sx in
   let wjob = match Sexp.assoc "job" sx with Some [ v ] -> Sexp.as_int v | _ -> None in
   Ok { wid; pid; alive; wjob }
+
+let phase_of_name = function
+  | "claimed" -> Ok P_claimed
+  | "done" -> Ok P_done
+  | "hit" -> Ok P_hit
+  | "failed" -> Ok P_failed
+  | "requeued" -> Ok P_requeued
+  | s -> Error (Printf.sprintf "bad progress phase %s" s)
+
+let worker_health_of_sexp sx =
+  let* hwid = int_field "wid" sx in
+  let* hpid = int_field "pid" sx in
+  let* halive = bool_field "alive" sx in
+  let* hage_ms = int_field "age-ms" sx in
+  let* hcells = int_field "cells" sx in
+  let hjob = match Sexp.assoc "job" sx with Some [ v ] -> Sexp.as_int v | _ -> None in
+  Ok { hwid; hpid; halive; hage_ms; hcells; hjob }
+
+let slow_claim_of_sexp sx =
+  let* key = field "key" sx in
+  let* wid = int_field "wid" sx in
+  let* age = int_field "age-ms" sx in
+  Ok (key, wid, age)
 
 let rec map_result f = function
   | [] -> Ok []
@@ -387,6 +548,71 @@ let decode_response line =
       let* store = hex_field "store" body in
       let* spec = spec_of_sexp body in
       Ok (Assign { job; store; spec })
+    | "metricsreg", [ Sexp.Atom a ] -> (
+      match of_hex a with
+      | Some s -> Ok (Metrics_reg_r s)
+      | None -> Error "metricsreg: bad hex")
+    | "trace", [ Sexp.Atom a ] -> (
+      match of_hex a with Some s -> Ok (Trace_r s) | None -> Error "trace: bad hex")
+    | "progress", _ ->
+      let* pseq = int_field "seq" body in
+      let* pjob = int_field "job" body in
+      let* pworker = int_field "worker" body in
+      let* pkey = field "key" body in
+      let* phase_a = field "phase" body in
+      let* phase = phase_of_name phase_a in
+      let* pus = int_field "us" body in
+      Ok (Progress_r { pseq; pjob; pworker; pkey; phase; pus })
+    | "tracetask", _ ->
+      let* tid = int_field "tid" body in
+      let* exp = field "exp" body in
+      let* scale = scale_field body in
+      let* coord = field "coord" body in
+      let* store = hex_field "store" body in
+      Ok (Trace_task { tid; exp; scale; coord; store })
+    | "health", _ ->
+      let* uptime_ms = int_field "uptime-ms" body in
+      let* jobs_open = int_field "jobs-open" body in
+      let* jobs_total = int_field "jobs-total" body in
+      let* waiters = int_field "waiters" body in
+      let* inflight = int_field "inflight" body in
+      let* requeued = int_field "requeued" body in
+      let* claim_waits = int_field "claim-waits" body in
+      let* done_cells = int_field "done-cells" body in
+      let* hit_cells = int_field "hit-cells" body in
+      let* failed_cells = int_field "failed-cells" body in
+      let* mean_cell_us = int_field "mean-cell-us" body in
+      let* journal_bytes = int_field "journal-bytes" body in
+      let* journal_grown = int_field "journal-grown" body in
+      let* hworkers =
+        match Sexp.assoc "hworkers" body with
+        | Some items -> map_result worker_health_of_sexp items
+        | None -> Error "health: missing hworkers"
+      in
+      let* slow_claims =
+        match Sexp.assoc "slow" body with
+        | Some items -> map_result slow_claim_of_sexp items
+        | None -> Error "health: missing slow"
+      in
+      Ok
+        (Health_r
+           {
+             uptime_ms;
+             jobs_open;
+             jobs_total;
+             waiters;
+             inflight;
+             requeued;
+             claim_waits;
+             done_cells;
+             hit_cells;
+             failed_cells;
+             mean_cell_us;
+             journal_bytes;
+             journal_grown;
+             hworkers;
+             slow_claims;
+           })
     | "metrics", items ->
       let* kvs =
         map_result

@@ -14,23 +14,44 @@
    rule does the rest, because a dead worker never appended its record.
    Cells are deterministic, so the rare double-compute (a worker
    declared dead that was merely slow) appends an identical record and
-   is harmless. *)
+   is harmless.
+
+   Telemetry rides on the same transitions.  Each job keeps an ordered
+   progress-event log ([P.progress], per-job [pseq] from 1) appended on
+   claim / first terminal report / requeue; since every worker replays
+   every cell, terminal events (done / hit / failed) are deduplicated by
+   key — the first reporter wins — so their count sums exactly to the
+   number of distinct cells the sweep touched.  Claims carry the time
+   they were taken so health reports can rank in-flight cells by age,
+   and finished cells feed a per-job slowest-cells ranking plus a global
+   mean compute time. *)
 
 module P = Protocol
+
+(* How many progress events a job retains (newest kept, count exact).
+   A full-grid job emits a few events per cell, so this bound is far
+   above any real sweep; it only guards a pathological requeue storm. *)
+let max_progress_events = 200_000
+
+(* Per-job slowest-cells ranking size (mirrors Harness.slowest_cells). *)
+let slowest_k = 10
 
 type job = {
   id : P.job_id;
   spec : P.spec;
   submitted : float;
   mutable state : P.job_state;
-  claims : (string, int) Hashtbl.t;  (* key -> owning worker *)
+  claims : (string, int * float) Hashtbl.t;  (* key -> owning worker, since *)
   failed_keys : (string, string) Hashtbl.t;  (* key -> error, this job *)
-  released : (string, unit) Hashtbl.t;  (* keys orphaned by dead workers *)
+  done_keys : (string, unit) Hashtbl.t;  (* keys with a terminal progress event *)
   outputs : (string, string) Hashtbl.t;  (* exp -> rendered table *)
   mutable failed_exps : string list;
   mutable cells_done : int;
   mutable hits : int;
   mutable misses : int;
+  mutable slow : (string * int) list;  (* key, us; descending, <= slowest_k *)
+  mutable pevents : P.progress list;  (* newest first *)
+  mutable pcount : int;  (* total emitted = last pseq *)
 }
 
 type worker = {
@@ -39,23 +60,44 @@ type worker = {
   mutable alive : bool;
   mutable last_seen : float;
   mutable wjob : P.job_id option;
+  mutable cells : int;  (* terminal cells this worker reported first *)
+}
+
+(* An on-demand trace request: re-run one finished cell under an Events
+   sink.  Dispatched to any polling worker like a job assignment; if the
+   owner dies before delivering, the task is released and re-offered. *)
+type trace_task = {
+  tid : int;
+  texp : string;
+  tscale : P.scale;
+  tcoord : string;
+  mutable towner : int option;
+  mutable tresult : (string, string) result option;  (* Chrome JSON | error *)
 }
 
 type t = {
   jobs : (P.job_id, job) Hashtbl.t;
   workers : (int, worker) Hashtbl.t;
+  traces : (int, trace_task) Hashtbl.t;
   mutable next_job : int;
   mutable next_worker : int;
+  mutable next_trace : int;
   counters : (string, int ref) Hashtbl.t;
+  mutable us_sum : int;  (* total compute time of finished cells *)
+  mutable us_n : int;
 }
 
 let create () =
   {
     jobs = Hashtbl.create 16;
     workers = Hashtbl.create 16;
+    traces = Hashtbl.create 8;
     next_job = 1;
     next_worker = 1;
+    next_trace = 1;
     counters = Hashtbl.create 16;
+    us_sum = 0;
+    us_n = 0;
   }
 
 let bump ?(by = 1) t name =
@@ -66,7 +108,32 @@ let bump ?(by = 1) t name =
 let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [] |> List.sort compare
 
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
 let job t id = Hashtbl.find_opt t.jobs id
+
+(* --- progress log --- *)
+
+let pemit t j ~worker ~key ~phase ~us =
+  j.pcount <- j.pcount + 1;
+  j.pevents <-
+    { P.pseq = j.pcount; pjob = j.id; pworker = worker; pkey = key; phase; pus = us }
+    :: (if j.pcount > max_progress_events then
+          (* drop the oldest event; [pcount] still tracks every emit *)
+          match List.rev j.pevents with _ :: kept -> List.rev kept | [] -> []
+        else j.pevents);
+  bump t "progress.events"
+
+(* Events with [pseq > from], oldest first; [from] is the count the
+   watcher has already consumed (a streamed wait starts at 0 and sees
+   the job's full history). *)
+let progress_events t jid ~from =
+  match job t jid with
+  | None -> []
+  | Some j -> List.filter (fun p -> p.P.pseq > from) (List.rev j.pevents)
+
+let progress_count t jid = match job t jid with Some j -> j.pcount | None -> 0
 
 let submit t spec ~now =
   let id = t.next_job in
@@ -79,12 +146,15 @@ let submit t spec ~now =
       state = P.Queued;
       claims = Hashtbl.create 64;
       failed_keys = Hashtbl.create 8;
-      released = Hashtbl.create 8;
+      done_keys = Hashtbl.create 64;
       outputs = Hashtbl.create 8;
       failed_exps = [];
       cells_done = 0;
       hits = 0;
       misses = 0;
+      slow = [];
+      pevents = [];
+      pcount = 0;
     };
   bump t "jobs.submitted";
   id
@@ -92,7 +162,8 @@ let submit t spec ~now =
 let add_worker t ~pid ~now =
   let wid = t.next_worker in
   t.next_worker <- wid + 1;
-  Hashtbl.replace t.workers wid { wid; pid; alive = true; last_seen = now; wjob = None };
+  Hashtbl.replace t.workers wid
+    { wid; pid; alive = true; last_seen = now; wjob = None; cells = 0 };
   bump t "workers.seen";
   wid
 
@@ -105,30 +176,75 @@ let touch t wid ~now =
 let job_open j = match j.state with P.Queued | P.Running -> true | _ -> false
 let has_open_jobs t = Hashtbl.fold (fun _ j acc -> acc || job_open j) t.jobs false
 
-(* Oldest open job; every asking worker is fanned onto it. *)
+(* --- on-demand traces --- *)
+
+let add_trace t ~exp ~scale ~coord =
+  let tid = t.next_trace in
+  t.next_trace <- tid + 1;
+  Hashtbl.replace t.traces tid
+    { tid; texp = exp; tscale = scale; tcoord = coord; towner = None; tresult = None };
+  bump t "traces.requested";
+  tid
+
+let trace_result t ~tid =
+  match Hashtbl.find_opt t.traces tid with Some task -> task.tresult | None -> None
+
+let remove_trace t ~tid = Hashtbl.remove t.traces tid
+
+let trace_done t ~worker ~tid ~data ~err ~now =
+  touch t worker ~now;
+  match Hashtbl.find_opt t.traces tid with
+  | None -> ()
+  | Some task ->
+    if task.tresult = None then begin
+      task.tresult <- Some (if err = "" then Ok data else Error err);
+      bump t "traces.done"
+    end
+
+let pending_trace t =
+  Hashtbl.fold
+    (fun _ task acc ->
+      if task.towner = None && task.tresult = None then
+        match acc with Some (b : trace_task) when b.tid <= task.tid -> acc | _ -> Some task
+      else acc)
+    t.traces None
+
+let has_pending_traces t = pending_trace t <> None
+
+(* Work exists for workers: an open job, or an undispatched trace. *)
+let has_work t = has_open_jobs t || has_pending_traces t
+
+(* Oldest open job; every asking worker is fanned onto it.  Pending
+   traces take priority — they are tiny (one warm cell) and a client is
+   blocked on the reply. *)
 let next_assignment t ~worker ~now =
   match live_worker t worker with
   | None -> `Quit
   | Some w -> (
     w.last_seen <- now;
-    let best =
-      Hashtbl.fold
-        (fun _ j acc ->
-          if not (job_open j) then acc
-          else
-            match acc with
-            | Some b when b.id <= j.id -> acc
-            | _ -> Some j)
-        t.jobs None
-    in
-    match best with
-    | None ->
-      w.wjob <- None;
-      `Wait
-    | Some j ->
-      if j.state = P.Queued then j.state <- P.Running;
-      w.wjob <- Some j.id;
-      `Assign (j.id, j.spec))
+    match pending_trace t with
+    | Some task ->
+      task.towner <- Some worker;
+      `Trace (task.tid, task.texp, task.tscale, task.tcoord)
+    | None -> (
+      let best =
+        Hashtbl.fold
+          (fun _ j acc ->
+            if not (job_open j) then acc
+            else
+              match acc with
+              | Some b when b.id <= j.id -> acc
+              | _ -> Some j)
+          t.jobs None
+      in
+      match best with
+      | None ->
+        w.wjob <- None;
+        `Wait
+      | Some j ->
+        if j.state = P.Queued then j.state <- P.Running;
+        w.wjob <- Some j.id;
+        `Assign (j.id, j.spec)))
 
 let claim t ~worker ~job:jid ~key ~now =
   touch t worker ~now;
@@ -142,33 +258,60 @@ let claim t ~worker ~job:jid ~key ~now =
       | Some msg -> P.Key_failed msg
       | None -> (
         match Hashtbl.find_opt j.claims key with
-        | Some owner when owner = worker -> P.Mine
-        | Some owner when live_worker t owner <> None -> P.Theirs
+        | Some (owner, _) when owner = worker -> P.Mine
+        | Some (owner, _) when live_worker t owner <> None ->
+          bump t "cells.claim_theirs";
+          P.Theirs
         | _ ->
-          (* unclaimed, or orphaned by a dead owner *)
-          if Hashtbl.mem j.released key then begin
-            Hashtbl.remove j.released key;
-            bump t "cells.requeued"
-          end;
-          Hashtbl.replace j.claims key worker;
+          (* unclaimed, or orphaned by a dead owner (already counted as
+             requeued when the owner was declared dead) *)
+          Hashtbl.replace j.claims key (worker, now);
           bump t "cells.claimed";
+          pemit t j ~worker ~key ~phase:P.P_claimed ~us:0;
           P.Mine)))
 
-let cell_done t ~worker ~job:jid ~key ~ok ~err ~now =
+(* First terminal report per key wins; replays from the other workers of
+   the fan-out are ignored, so terminal progress events sum exactly to
+   the number of distinct cells. *)
+let terminal t j ~worker ~key ~phase ~us ~counter =
+  if not (Hashtbl.mem j.done_keys key) then begin
+    Hashtbl.replace j.done_keys key ();
+    bump t counter;
+    (match live_worker t worker with Some w -> w.cells <- w.cells + 1 | None -> ());
+    pemit t j ~worker ~key ~phase ~us;
+    true
+  end
+  else false
+
+let cell_done t ~worker ~job:jid ~key ~ok ~err ~us ~now =
   touch t worker ~now;
   match job t jid with
   | None -> ()
   | Some j ->
     Hashtbl.remove j.claims key;
-    Hashtbl.remove j.released key;
     if ok then begin
-      j.cells_done <- j.cells_done + 1;
-      bump t "cells.done"
+      if terminal t j ~worker ~key ~phase:P.P_done ~us ~counter:"cells.done" then begin
+        j.cells_done <- j.cells_done + 1;
+        t.us_sum <- t.us_sum + us;
+        t.us_n <- t.us_n + 1;
+        j.slow <-
+          (let merged =
+             List.sort (fun (_, a) (_, b) -> compare (b : int) a) ((key, us) :: j.slow)
+           in
+           List.filteri (fun i _ -> i < slowest_k) merged)
+      end
     end
     else begin
       Hashtbl.replace j.failed_keys key err;
-      bump t "cells.failed"
+      ignore (terminal t j ~worker ~key ~phase:P.P_failed ~us ~counter:"cells.failed")
     end
+
+(* A worker replayed [key] from the shared store (hit provenance). *)
+let cell_hit t ~worker ~job:jid ~key ~now =
+  touch t worker ~now;
+  match job t jid with
+  | None -> ()
+  | Some j -> ignore (terminal t j ~worker ~key ~phase:P.P_hit ~us:0 ~counter:"cells.hit")
 
 let exp_done t ~job:jid ~exp ~output ~hits ~misses ~failed =
   match job t jid with
@@ -209,14 +352,22 @@ let worker_dead t ~worker =
       Hashtbl.iter
         (fun _ j ->
           let mine =
-            Hashtbl.fold (fun k o acc -> if o = worker then k :: acc else acc) j.claims []
+            Hashtbl.fold
+              (fun k (o, _) acc -> if o = worker then k :: acc else acc)
+              j.claims []
           in
           List.iter
             (fun k ->
               Hashtbl.remove j.claims k;
-              Hashtbl.replace j.released k ())
+              bump t "cells.requeued";
+              pemit t j ~worker ~key:k ~phase:P.P_requeued ~us:0)
             mine)
-        t.jobs
+        t.jobs;
+      (* release undelivered trace tasks so another worker retries *)
+      Hashtbl.iter
+        (fun _ task ->
+          if task.towner = Some worker && task.tresult = None then task.towner <- None)
+        t.traces
     end
 
 (* Workers silent for longer than [timeout] are declared dead (their
@@ -247,7 +398,7 @@ let cancel t ~job:jid =
 let summary_of_job t j =
   let live_claims =
     Hashtbl.fold
-      (fun _ owner acc -> if live_worker t owner <> None then acc + 1 else acc)
+      (fun _ (owner, _) acc -> if live_worker t owner <> None then acc + 1 else acc)
       j.claims 0
   in
   {
@@ -282,6 +433,60 @@ let finished t jid =
   match job t jid with
   | Some j -> not (job_open j)
   | None -> false
+
+(* --- health report ingredients (the daemon adds journal/uptime) --- *)
+
+let jobs_open t = Hashtbl.fold (fun _ j acc -> if job_open j then acc + 1 else acc) t.jobs 0
+let jobs_total t = Hashtbl.length t.jobs
+let mean_cell_us t = if t.us_n = 0 then 0 else t.us_sum / t.us_n
+
+let workers_health t ~now =
+  Hashtbl.fold
+    (fun _ w acc ->
+      {
+        P.hwid = w.wid;
+        hpid = w.pid;
+        halive = w.alive;
+        hage_ms = int_of_float ((now -. w.last_seen) *. 1000.0);
+        hcells = w.cells;
+        hjob = w.wjob;
+      }
+      :: acc)
+    t.workers []
+  |> List.sort (fun a b -> compare a.P.hwid b.P.hwid)
+
+(* Live in-flight claims, oldest (slowest) first, capped at [k]. *)
+let inflight_claims ?(k = 10) t ~now =
+  let all =
+    Hashtbl.fold
+      (fun _ j acc ->
+        if not (job_open j) then acc
+        else
+          Hashtbl.fold
+            (fun key (owner, since) acc ->
+              if live_worker t owner <> None then
+                (key, owner, int_of_float ((now -. since) *. 1000.0)) :: acc
+              else acc)
+            j.claims acc)
+      t.jobs []
+  in
+  List.filteri
+    (fun i _ -> i < k)
+    (List.sort (fun (_, _, a) (_, _, b) -> compare (b : int) a) all)
+
+let inflight_count t =
+  Hashtbl.fold
+    (fun _ j acc ->
+      if not (job_open j) then acc
+      else
+        Hashtbl.fold
+          (fun _ (owner, _) acc -> if live_worker t owner <> None then acc + 1 else acc)
+          j.claims acc)
+    t.jobs 0
+
+(* Per-job slowest computed cells (key, us), slowest first — the
+   daemon's cross-worker counterpart of [Harness.slowest_cells]. *)
+let slowest t jid = match job t jid with Some j -> j.slow | None -> []
 
 (* Concatenated rendered tables in request order — the byte-identical
    image of what `rn_cli experiment <exps>` prints on stdout. *)

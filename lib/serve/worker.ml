@@ -6,9 +6,16 @@
    and completion calls are RPCs back to the daemon, and runs the job's
    experiments end to end — exactly the `rn_cli experiment` code path,
    which is what makes daemon tables byte-identical to direct runs.
-   Store hits replay locally; store misses are claimed through the
-   daemon so exactly one live worker computes each cell while the others
-   poll the journal for its append.
+   Store hits replay locally (reported to the daemon as [Cell_hit]
+   provenance); store misses are claimed through the daemon so exactly
+   one live worker computes each cell while the others poll the journal
+   for its append.
+
+   Telemetry: a background domain pushes the worker's full metrics
+   registry to the daemon every couple of seconds ([Metrics_push], which
+   doubles as a heartbeat); [Trace_task] assignments re-run one finished
+   cell warm against the shared store under an ambient Events sink and
+   ship the Chrome-trace JSON back ([Trace_done]).
 
    The daemon going away (socket EOF on any RPC) is a normal way to die:
    the worker logs it and exits, leaving the journal intact — every cell
@@ -16,6 +23,7 @@
 
 module P = Protocol
 module Store = Rn_util.Store
+module Metrics = Rn_util.Metrics
 
 let log fmt =
   Printf.ksprintf
@@ -62,10 +70,15 @@ let run_job io ~wid ~job ~dir ~(spec : P.spec) =
               | P.Claim_r P.Job_cancelled -> Rn_harness.Harness.Claim_cancelled
               | _ -> failwith "serve: unexpected claim reply");
           complete =
-            (fun key ~ok ~err ->
-              match Client.rpc io (P.Cell_done { worker = wid; job; key; ok; err }) with
+            (fun key ~ok ~err ~us ->
+              match Client.rpc io (P.Cell_done { worker = wid; job; key; ok; err; us }) with
               | P.Ok_unit -> ()
               | _ -> failwith "serve: unexpected celldone reply");
+          hit =
+            (fun key ->
+              match Client.rpc io (P.Cell_hit { worker = wid; job; key }) with
+              | P.Ok_unit -> ()
+              | _ -> failwith "serve: unexpected cellhit reply");
           poll_interval = 0.02;
         };
       let cancelled = ref false in
@@ -110,21 +123,51 @@ let run_job io ~wid ~job ~dir ~(spec : P.spec) =
         spec.P.exps;
       let hits, misses, failures = Rn_harness.Harness.store_counters () in
       Store.write_last_run ~dir ~hits ~misses ~failures;
-      (match Rn_harness.Harness.slowest_cells ~k:10 () with
-      | [] -> ()
-      | slow ->
-        let path = Filename.concat dir "slowest.txt" in
-        let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-        let oc = open_out tmp in
-        List.iter (fun (label, t) -> Printf.fprintf oc "%.3f %s\n" t label) slow;
-        close_out oc;
-        Sys.rename tmp path);
+      (* The cross-worker slowest-cells ranking is written by the daemon
+         from Cell_done timings — a per-worker file here would race. *)
       ignore (Client.rpc io (P.Job_done { worker = wid; job })))
 
-let run ?(idle_sleep = 0.2) ~socket () =
+(* Re-run one finished cell warm against the shared store with an
+   ambient Events sink and ship the Chrome-trace JSON back.  [jobs] is
+   forced to 1 so the sink captures exactly the target cell; the harness
+   bypasses the cache for the target (recompute, no write-back), and
+   determinism makes the re-run byte-faithful to the original compute. *)
+let run_trace io ~wid ~tid ~dir ~exp ~scale ~coord =
+  let store = Store.open_ dir in
+  let data, err =
+    Fun.protect
+      ~finally:(fun () ->
+        Rn_harness.Harness.clear_trace_target ();
+        Rn_harness.Harness.clear_store ();
+        Store.close store)
+      (fun () ->
+        Rn_harness.Harness.set_store store;
+        Rn_harness.Harness.set_jobs 1;
+        Rn_harness.Harness.set_trace_target ~exp ~coord ();
+        (match run_exp ~id:exp ~scale:(scale_of scale) with
+        | Ok _ | Error _ -> ());
+        match Rn_harness.Harness.take_trace_events () with
+        | Some evs -> (Rn_sim.Events.to_chrome evs, "")
+        | None ->
+          ("", Printf.sprintf "trace: no cell %s in %s @%s" coord exp (P.scale_name scale)))
+  in
+  log "trace %d: %s %s -> %d bytes%s" tid exp coord (String.length data)
+    (if err = "" then "" else " (" ^ err ^ ")");
+  ignore (Client.rpc io (P.Trace_done { worker = wid; tid; data; err }))
+
+let run ?(idle_sleep = 0.2) ?(push_interval = 2.0) ~socket () =
+  (* Workers keep the registry live so [Metrics_push] snapshots carry
+     engine counters, not just the unconditional store counters.  This
+     cannot change table bytes: metrics feed snapshots, never results. *)
+  Metrics.set_enabled true;
   let io = Client.connect socket in
+  let stop = Atomic.make false in
+  let pusher = ref None in
   Fun.protect
-    ~finally:(fun () -> Client.close io)
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      (match !pusher with Some d -> ( try Domain.join d with _ -> ()) | None -> ());
+      Client.close io)
     (fun () ->
       let wid =
         match Client.rpc io (P.Hello { pid = Unix.getpid () }) with
@@ -132,6 +175,31 @@ let run ?(idle_sleep = 0.2) ~socket () =
         | _ -> failwith "serve: unexpected hello reply"
       in
       log "connected as worker %d" wid;
+      (* Periodic registry push into the daemon (also a heartbeat).
+         [Client.rpc] holds the connection mutex, so sharing the socket
+         with the main loop is safe; any error (daemon gone, connection
+         closed) just skips the push — the main loop owns death. *)
+      if push_interval > 0.0 then
+        pusher :=
+          Some
+            (Domain.spawn (fun () ->
+                 let rec nap left =
+                   if left > 0.0 && not (Atomic.get stop) then begin
+                     Unix.sleepf (min 0.05 left);
+                     nap (left -. 0.05)
+                   end
+                 in
+                 while not (Atomic.get stop) do
+                   nap push_interval;
+                   if not (Atomic.get stop) then
+                     try
+                       let snap =
+                         Rn_util.Sexp.to_string
+                           (Metrics.sexp_of_snapshot (Metrics.snapshot ()))
+                       in
+                       ignore (Client.rpc io (P.Metrics_push { worker = wid; snap }))
+                     with _ -> ()
+                 done));
       let rec loop () =
         match Client.rpc io (P.Next { worker = wid }) with
         | P.Quit_r -> log "daemon said quit"
@@ -142,6 +210,9 @@ let run ?(idle_sleep = 0.2) ~socket () =
           log "assigned job %d (%s @%s)" job (String.concat "," spec.P.exps)
             (P.scale_name spec.P.scale);
           run_job io ~wid ~job ~dir:store ~spec;
+          loop ()
+        | P.Trace_task { tid; exp; scale; coord; store } ->
+          run_trace io ~wid ~tid ~dir:store ~exp ~scale ~coord;
           loop ()
         | P.Err m -> failwith (Printf.sprintf "serve: daemon error: %s" m)
         | _ -> failwith "serve: unexpected next reply"

@@ -162,6 +162,10 @@ module Make (M : MESSAGE) = struct
     let adv_kernel =
       match adv_kernel with Some k -> k | None -> Atomic.get default_adv_kernel
     in
+    (* No explicit sink: fall back to the process-wide ambient sink (the
+       trace-on-demand hook).  Resolved here, once per config, so every
+       consumer of [cfg.sink] sees the same decision. *)
+    let sink = match sink with Some _ -> sink | None -> Events.ambient () in
     let delta_bound =
       if delta_bound > 0 then delta_bound else Dual.max_degree_g dual
     in

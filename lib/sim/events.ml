@@ -85,6 +85,19 @@ let create ?(capacity = 65536) ?rounds ?procs ?(sample = 1) () =
     filtered = 0;
   }
 
+(* --- ambient sink ---
+
+   A process-wide default consulted by [Engine.config] when no explicit
+   [?sink] is passed.  This is how trace-on-demand reaches engine runs
+   buried inside harness cells without threading a sink through every
+   experiment: the trace runner installs an ambient sink around the one
+   cell it wants, recomputes it, and reads the events back.  Atomic so a
+   worker domain and the main domain never see a torn pointer. *)
+
+let ambient_sink : sink option Atomic.t = Atomic.make None
+let set_ambient s = Atomic.set ambient_sink s
+let ambient () = Atomic.get ambient_sink
+
 let keep t e =
   e.round >= t.round_lo
   && e.round <= t.round_hi

@@ -66,6 +66,19 @@ val filtered : sink -> int
 
 val clear : sink -> unit
 
+(** {1 Ambient sink}
+
+    A process-wide default sink consulted by [Engine.config] when no
+    explicit [?sink] is passed.  Lets a caller trace engine runs buried
+    inside code that never heard of sinks (harness cells, on-demand
+    trace re-runs) by bracketing the computation with
+    [set_ambient (Some s) … set_ambient None].  Like an explicit sink
+    it forces the scalar engine path; results are byte-identical either
+    way (see test_engine_equiv). *)
+
+val set_ambient : sink option -> unit
+val ambient : unit -> sink option
+
 (** {1 Export / import}
 
     Each [to_*] has an inverse that accepts exactly what it wrote. *)

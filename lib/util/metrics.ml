@@ -551,6 +551,108 @@ let snapshot_of_sexp sexp =
     }
   | _ -> fail ()
 
+(* --- exposition formats ---
+
+   [to_json] and [to_prometheus] are pure functions of the snapshot, so
+   any exposition surface (CLI, daemon socket) renders identically.
+   Snapshots are name-sorted, which makes both outputs deterministic. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json s =
+  let b = Buffer.create 512 in
+  let sep = ref false in
+  let comma () =
+    if !sep then Buffer.add_char b ',';
+    sep := true
+  in
+  let obj name render items =
+    comma ();
+    Buffer.add_string b (Printf.sprintf "\"%s\":{" name);
+    let first = ref true in
+    List.iter
+      (fun (n, v) ->
+        if not !first then Buffer.add_char b ',';
+        first := false;
+        Buffer.add_string b (Printf.sprintf "\"%s\":" (json_escape n));
+        render v)
+      items;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_char b '{';
+  obj "counters" (fun v -> Buffer.add_string b (string_of_int v)) s.counters;
+  obj "gauges" (fun v -> Buffer.add_string b (string_of_int v)) s.gauges;
+  obj "hists"
+    (fun h ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"buckets\":[" h.count
+           h.sum
+           (if h.count = 0 then 0 else h.vmin)
+           (if h.count = 0 then 0 else h.vmax));
+      List.iteri
+        (fun i (ub, c) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "[%d,%d]" ub c))
+        h.buckets;
+      Buffer.add_string b "]}")
+    s.hists;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* Prometheus exposition: metric names keep [a-zA-Z0-9_:], everything
+   else becomes '_'.  Histogram buckets are cumulative per the text
+   format's convention, ending with the implicit [+Inf] bucket. *)
+let prom_name prefix n =
+  let b = Buffer.create (String.length n + String.length prefix) in
+  Buffer.add_string b prefix;
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    n;
+  Buffer.contents b
+
+let to_prometheus ?(prefix = "rn_") s =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b l) fmt in
+  List.iter
+    (fun (n, v) ->
+      let pn = prom_name prefix n in
+      line "# TYPE %s counter\n%s %d\n" pn pn v)
+    s.counters;
+  List.iter
+    (fun (n, v) ->
+      let pn = prom_name prefix n in
+      line "# TYPE %s gauge\n%s %d\n" pn pn v)
+    s.gauges;
+  List.iter
+    (fun (n, h) ->
+      let pn = prom_name prefix n in
+      line "# TYPE %s histogram\n" pn;
+      let cum = ref 0 in
+      List.iter
+        (fun (ub, c) ->
+          cum := !cum + c;
+          line "%s_bucket{le=\"%d\"} %d\n" pn ub !cum)
+        h.buckets;
+      line "%s_bucket{le=\"+Inf\"} %d\n" pn h.count;
+      line "%s_sum %d\n%s_count %d\n" pn h.sum pn h.count)
+    s.hists;
+  Buffer.contents b
+
 let pp_hist ppf h =
   Format.fprintf ppf "n=%d mean=%.1f p50=%d p95=%d max=%d" h.count (hist_mean h)
     (percentile h 0.5) (percentile h 0.95)

@@ -129,5 +129,18 @@ val bucket_upper : int -> int
 val sexp_of_snapshot : snapshot -> Sexp.t
 
 val snapshot_of_sexp : Sexp.t -> snapshot
+
+(** Compact JSON object
+    [{"counters":{..},"gauges":{..},"hists":{..}}]; histogram values
+    carry [count]/[sum]/[min]/[max] plus [(upper bound, count)] bucket
+    pairs.  Deterministic (snapshots are name-sorted). *)
+val to_json : snapshot -> string
+
+(** Prometheus text exposition.  Metric names are prefixed (default
+    ["rn_"]) and mangled to the [[a-zA-Z0-9_:]] charset; histogram
+    buckets are emitted cumulatively with a trailing [+Inf] bucket per
+    the format's convention. *)
+val to_prometheus : ?prefix:string -> snapshot -> string
+
 val pp_hist : Format.formatter -> hist_snapshot -> unit
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -7,6 +7,10 @@
 # 1. runs EXPERIMENTS (default "E5 E8a") directly with --no-cache
 #                                                     -> reference tables
 # 2. cold sweep through the daemon (fresh store)      -> must match
+#    + telemetry checks while the daemon is up: progress stream
+#      non-empty/monotone, metrics JSON + Prometheus exposition,
+#      health, slowest.txt, and an on-demand trace byte-compared
+#      against a direct traced re-run
 # 3. crash drill on a second fresh store: submit, SIGKILL one worker
 #    mid-sweep, SIGKILL the daemon itself, restart the daemon on the
 #    same store, re-submit (resumes from the journal) -> must match
@@ -35,14 +39,16 @@ cleanup() {
 }
 
 start_daemon() { # STORE_DIR
-  # Both call sites run with no daemon alive, so any socket file is a
+  # All call sites run with no daemon alive, so any socket file is a
   # stale leftover (e.g. from the SIGKILL drill).  Remove it before
   # spawning: otherwise the readiness wait below passes instantly and
   # the first client races the new daemon's bind.
   rm -f "$sock"
+  # --log rotates the previous daemon's log to daemon.log.1 and stamps
+  # every line with a monotonic timestamp (asserted below).
   # shellcheck disable=SC2086
   $RN_CLI serve --socket "$sock" --store "$1" --workers "$workers" \
-    2>> "$tmp/daemon.log" &
+    --log "$tmp/daemon.log" &
   DAEMON_PID=$!
   i=0
   # shellcheck disable=SC2086
@@ -63,11 +69,49 @@ stop_daemon() {
 note "reference run (direct, --no-cache)"
 rn experiment $exps --no-cache --jobs 1 > "$tmp/ref.out" 2> "$tmp/ref.err"
 
-note "cold sweep through the daemon"
+note "cold sweep through the daemon (watched through the progress stream)"
 start_daemon "$tmp/store-cold"
 # shellcheck disable=SC2086
-rn submit --socket "$sock" $exps --wait > "$tmp/cold.out" 2> "$tmp/cold.err"
+rn submit --socket "$sock" $exps --wait --progress > "$tmp/cold.out" 2> "$tmp/cold.err"
 assert_same "$tmp/ref.out" "$tmp/cold.out" "cold daemon tables differ from direct run"
+
+note "progress stream is non-empty and monotone"
+grep -c '^progress seq=' "$tmp/cold.err" > /dev/null \
+  || fail "no progress events on --wait --progress (see $tmp/cold.err)"
+awk -F'seq=' '/^progress /{split($2, a, " "); if (a[1] + 0 <= prev) exit 1; prev = a[1] + 0}' \
+  "$tmp/cold.err" || fail "progress sequence numbers are not strictly increasing"
+
+note "daemon log has monotonic timestamps"
+grep -q '^\[serve +' "$tmp/daemon.log" || fail "daemon.log lines lack the [serve +...] prefix"
+
+note "metrics exposition (registry merge) is valid JSON"
+rn serve metrics --socket "$sock" --format json > "$tmp/metrics.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$tmp/metrics.json" > /dev/null \
+    || fail "serve metrics --format json is not valid JSON"
+else
+  note "python3 not available, skipping JSON validation"
+fi
+grep -q '"cells.done"' "$tmp/metrics.json" || fail "metrics exposition lacks scheduler counters"
+rn serve metrics --socket "$sock" --format prometheus | grep -q '^# TYPE rn_' \
+  || fail "prometheus exposition lacks TYPE lines"
+rn serve health --socket "$sock" > "$tmp/health.out"
+grep -q '^cells: done ' "$tmp/health.out" || fail "serve health output missing cell counters"
+
+note "daemon sweep wrote the slowest-cells ranking"
+[ -s "$tmp/store-cold/slowest.txt" ] || fail "daemon did not write slowest.txt"
+
+note "on-demand trace matches a direct traced re-run byte-for-byte"
+slow_label=$(awk 'NR==1{print $2}' "$tmp/store-cold/slowest.txt")
+slow_exp=${slow_label%%/*}
+slow_coord=${slow_label##*/}
+rn serve trace --socket "$sock" "$slow_exp" "$slow_coord" --out "$tmp/trace-daemon.json" \
+  2> /dev/null
+rn trace cell "$slow_exp" "$slow_coord" --store "$tmp/store-cold" \
+  --out "$tmp/trace-direct.json" 2> /dev/null
+[ -s "$tmp/trace-daemon.json" ] || fail "daemon trace is empty"
+assert_same "$tmp/trace-direct.json" "$tmp/trace-daemon.json" \
+  "daemon trace differs from direct traced re-run"
 stop_daemon
 
 note "crash drill: SIGKILL a worker mid-sweep, then the daemon"
@@ -91,6 +135,7 @@ DAEMON_PID=
 
 note "restarting the daemon on the same store and resuming"
 start_daemon "$tmp/store-crash"
+[ -f "$tmp/daemon.log.1" ] || fail "daemon restart did not rotate the previous log to daemon.log.1"
 # shellcheck disable=SC2086
 rn submit --socket "$sock" $exps --wait > "$tmp/resumed.out" 2> "$tmp/resumed.err"
 assert_same "$tmp/ref.out" "$tmp/resumed.out" "resumed tables differ from direct run"
@@ -113,6 +158,8 @@ grep -Eq "^job $warm_job .* hits [1-9]" "$tmp/status.out" || {
 note "store survives the drill intact"
 rn store verify --store "$tmp/store-crash"
 rn status --socket "$sock" --metrics
+rn store stats --store "$tmp/store-crash" --json | grep -q '"daemon":{' \
+  || fail "store stats --json lacks the daemon sidecar block"
 stop_daemon
 
 echo "serve_smoke: OK ($exps, workers=$workers: direct = cold = killed+resumed = warm, warm 100% hits)"

@@ -33,6 +33,8 @@ let spec_gen =
     let* retry = int_range 0 3 in
     return { P.exps; scale = (if full then P.Full else P.Quick); jobs; retry })
 
+let scale_gen = QCheck.Gen.(map (fun b -> if b then P.Full else P.Quick) bool)
+
 let request_gen =
   QCheck.Gen.(
     let id = int_range 1 999 in
@@ -41,10 +43,15 @@ let request_gen =
         map (fun s -> P.Submit s) spec_gen;
         return (P.Status None);
         map (fun j -> P.Status (Some j)) id;
-        map (fun j -> P.Wait j) id;
+        map (fun (j, p) -> P.Wait { job = j; progress = p }) (tup2 id bool);
         map (fun j -> P.Results j) id;
         map (fun j -> P.Cancel j) id;
         return P.Metrics;
+        return P.Metrics_reg;
+        return P.Health;
+        map
+          (fun (exp, scale, coord) -> P.Trace { exp; scale; coord })
+          (tup3 word_gen scale_gen word_gen);
         return P.Shutdown;
         map (fun pid -> P.Hello { pid }) id;
         map (fun worker -> P.Next { worker }) id;
@@ -52,14 +59,22 @@ let request_gen =
           (fun (worker, job, key) -> P.Claim { worker; job; key })
           (tup3 id id word_gen);
         map
-          (fun (worker, job, key, ok, err) -> P.Cell_done { worker; job; key; ok; err })
-          (tup5 id id word_gen bool free_gen);
+          (fun ((worker, job, key), (ok, err, us)) ->
+            P.Cell_done { worker; job; key; ok; err; us })
+          (tup2 (tup3 id id word_gen) (tup3 bool free_gen (int_range 0 1_000_000)));
+        map
+          (fun (worker, job, key) -> P.Cell_hit { worker; job; key })
+          (tup3 id id word_gen);
         map
           (fun ((worker, job, exp), (output, hits, misses, failed)) ->
             P.Exp_done { worker; job; exp; output; hits; misses; failed })
           (tup2 (tup3 id id word_gen) (tup4 free_gen id id bool));
         map (fun (worker, job) -> P.Job_done { worker; job }) (tup2 id id);
         map (fun worker -> P.Heartbeat { worker }) id;
+        map (fun (worker, snap) -> P.Metrics_push { worker; snap }) (tup2 id free_gen);
+        map
+          (fun (worker, tid, data, err) -> P.Trace_done { worker; tid; data; err })
+          (tup4 id id free_gen free_gen);
       ])
 
 let summary_gen =
@@ -82,6 +97,53 @@ let summary_gen =
         misses = f;
       })
 
+let phase_gen =
+  QCheck.Gen.oneofl [ P.P_claimed; P.P_done; P.P_hit; P.P_failed; P.P_requeued ]
+
+let progress_gen =
+  QCheck.Gen.(
+    map
+      (fun ((pseq, pjob, pworker), (pkey, phase, pus)) ->
+        { P.pseq; pjob; pworker; pkey; phase; pus })
+      (tup2 (tup3 (int_range 1 99999) (int_range 1 999) (int_range 1 999))
+         (tup3 word_gen phase_gen (int_range 0 1_000_000))))
+
+let worker_health_gen =
+  QCheck.Gen.(
+    map
+      (fun ((hwid, hpid, halive), (hage_ms, hcells, hjob)) ->
+        { P.hwid; hpid; halive; hage_ms; hcells; hjob })
+      (tup2
+         (tup3 (int_range 1 99) (int_range 1 99999) bool)
+         (tup3 (int_range 0 999999) (int_range 0 9999) (option (int_range 1 99)))))
+
+let health_gen =
+  QCheck.Gen.(
+    let nat = int_range 0 99999 in
+    map
+      (fun ((a, b, c, d), (e, f, g, h), (i, j, k, l), (m, ws, slow)) ->
+        {
+          P.uptime_ms = a;
+          jobs_open = b;
+          jobs_total = c;
+          waiters = d;
+          inflight = e;
+          requeued = f;
+          claim_waits = g;
+          done_cells = h;
+          hit_cells = i;
+          failed_cells = j;
+          mean_cell_us = k;
+          journal_bytes = l;
+          journal_grown = m;
+          hworkers = ws;
+          slow_claims = slow;
+        })
+      (tup4 (tup4 nat nat nat nat) (tup4 nat nat nat nat) (tup4 nat nat nat nat)
+         (tup3 nat
+            (list_size (int_range 0 3) worker_health_gen)
+            (list_size (int_range 0 3) (tup3 word_gen (int_range 1 99) nat)))))
+
 let response_gen =
   QCheck.Gen.(
     let id = int_range 1 999 in
@@ -89,6 +151,14 @@ let response_gen =
       [
         return P.Ok_unit;
         map (fun j -> P.Job_id j) id;
+        map (fun s -> P.Metrics_reg_r s) free_gen;
+        map (fun h -> P.Health_r h) health_gen;
+        map (fun p -> P.Progress_r p) progress_gen;
+        map (fun s -> P.Trace_r s) free_gen;
+        map
+          (fun ((tid, exp, scale), (coord, store)) ->
+            P.Trace_task { tid; exp; scale; coord; store })
+          (tup2 (tup3 id word_gen scale_gen) (tup2 word_gen free_gen));
         map
           (fun (jobs, pids) ->
             let workers =
@@ -200,7 +270,7 @@ let test_sched_assign_and_claim () =
   check_claim "first asker owns" P.Mine (S.claim s ~worker:w1 ~job:j ~key:"k1" ~now:2.0);
   check_claim "owner re-asks, still owns" P.Mine (S.claim s ~worker:w1 ~job:j ~key:"k1" ~now:2.1);
   check_claim "peer is told theirs" P.Theirs (S.claim s ~worker:w2 ~job:j ~key:"k1" ~now:2.2);
-  S.cell_done s ~worker:w1 ~job:j ~key:"k1" ~ok:true ~err:"" ~now:3.0;
+  S.cell_done s ~worker:w1 ~job:j ~key:"k1" ~ok:true ~err:"" ~us:100 ~now:3.0;
   (* after completion the claim is gone; a re-ask claims fresh (the
      asker will find the record in the store first in real life) *)
   check_claim "post-completion re-claim" P.Mine (S.claim s ~worker:w2 ~job:j ~key:"k1" ~now:3.1)
@@ -233,7 +303,7 @@ let test_sched_failed_key () =
   let s, j, w1, w2 = setup () in
   ignore (S.next_assignment s ~worker:w1 ~now:1.0);
   check_claim "w1 owns" P.Mine (S.claim s ~worker:w1 ~job:j ~key:"k1" ~now:1.0);
-  S.cell_done s ~worker:w1 ~job:j ~key:"k1" ~ok:false ~err:"boom" ~now:2.0;
+  S.cell_done s ~worker:w1 ~job:j ~key:"k1" ~ok:false ~err:"boom" ~us:0 ~now:2.0;
   check_claim "peers learn the failure" (P.Key_failed "boom")
     (S.claim s ~worker:w2 ~job:j ~key:"k1" ~now:2.1);
   (* a failed exp makes the job Failed and results an error *)
@@ -287,6 +357,80 @@ let test_sched_incomplete_job_done () =
   (* a worker claiming "job done" with outputs missing must not finish it *)
   S.job_done s ~worker:w ~job:j ~now:1.0;
   Alcotest.(check bool) "job still open" false (S.finished s j)
+
+(* Progress events: the per-job log is ordered (pseq strictly from 1),
+   records each lifecycle transition, supports resume-from, and
+   deduplicates terminal events per key so the done/hit/failed counts
+   sum exactly to the number of distinct cells. *)
+let test_sched_progress_stream () =
+  let s, j, w1, w2 = setup () in
+  ignore (S.next_assignment s ~worker:w1 ~now:1.0);
+  ignore (S.next_assignment s ~worker:w2 ~now:1.0);
+  ignore (S.claim s ~worker:w1 ~job:j ~key:"k1" ~now:2.0);
+  ignore (S.claim s ~worker:w2 ~job:j ~key:"k2" ~now:2.1);
+  S.cell_done s ~worker:w2 ~job:j ~key:"k2" ~ok:true ~err:"" ~us:500 ~now:2.5;
+  S.worker_dead s ~worker:w1;  (* k1 orphaned -> requeued *)
+  ignore (S.claim s ~worker:w2 ~job:j ~key:"k1" ~now:3.0);
+  S.cell_hit s ~worker:w2 ~job:j ~key:"k3" ~now:3.1;
+  S.cell_done s ~worker:w2 ~job:j ~key:"k1" ~ok:false ~err:"boom" ~us:0 ~now:3.2;
+  let evs = S.progress_events s j ~from:0 in
+  List.iteri
+    (fun i p -> Alcotest.(check int) "pseq strictly increasing from 1" (i + 1) p.P.pseq)
+    evs;
+  Alcotest.(check (list string))
+    "phases in transition order"
+    [ "claimed"; "claimed"; "done"; "requeued"; "claimed"; "hit"; "failed" ]
+    (List.map (fun p -> P.phase_name p.P.phase) evs);
+  (* a resumed watcher sees only what it has not consumed *)
+  Alcotest.(check int) "resume from 5" 2 (List.length (S.progress_events s j ~from:5));
+  Alcotest.(check int) "progress_count" 7 (S.progress_count s j);
+  (* replays from the other workers of the fan-out emit nothing *)
+  S.cell_done s ~worker:w2 ~job:j ~key:"k2" ~ok:true ~err:"" ~us:9 ~now:4.0;
+  S.cell_hit s ~worker:w2 ~job:j ~now:4.1 ~key:"k3";
+  Alcotest.(check int) "terminal events deduplicated" 7 (S.progress_count s j);
+  Alcotest.(check int) "cells.done counted once" 1 (S.counter_value s "cells.done");
+  Alcotest.(check int) "cells.hit counted once" 1 (S.counter_value s "cells.hit");
+  Alcotest.(check int) "cells.failed counted once" 1 (S.counter_value s "cells.failed");
+  Alcotest.(check int) "cells.requeued counted" 1 (S.counter_value s "cells.requeued");
+  (* timings: only the ok cell feeds the mean and the slowest ranking *)
+  Alcotest.(check int) "mean cell us" 500 (S.mean_cell_us s);
+  Alcotest.(check (list (pair string int))) "slowest ranking" [ ("k2", 500) ] (S.slowest s j)
+
+(* On-demand trace tasks: offered to idle workers ahead of job
+   assignment, released when the owner dies, first delivery wins. *)
+let test_sched_trace_tasks () =
+  let s = S.create () in
+  let w1 = S.add_worker s ~pid:1 ~now:0.0 in
+  let w2 = S.add_worker s ~pid:2 ~now:0.0 in
+  Alcotest.(check bool) "no work yet" false (S.has_work s);
+  let tid = S.add_trace s ~exp:"E5" ~scale:P.Quick ~coord:"n=64" in
+  Alcotest.(check bool) "pending trace is work" true (S.has_work s);
+  (match S.next_assignment s ~worker:w1 ~now:1.0 with
+  | `Trace (tid', exp, scale, coord) ->
+    Alcotest.(check int) "task id" tid tid';
+    Alcotest.(check string) "exp" "E5" exp;
+    Alcotest.(check bool) "scale" true (scale = P.Quick);
+    Alcotest.(check string) "coord" "n=64" coord
+  | _ -> Alcotest.fail "expected the trace task");
+  (match S.next_assignment s ~worker:w2 ~now:1.0 with
+  | `Wait -> ()
+  | _ -> Alcotest.fail "a dispatched trace is not re-offered");
+  (* owner dies before delivering: the task is released and re-offered *)
+  S.worker_dead s ~worker:w1;
+  (match S.next_assignment s ~worker:w2 ~now:2.0 with
+  | `Trace (tid', _, _, _) -> Alcotest.(check int) "re-offered task" tid tid'
+  | _ -> Alcotest.fail "expected the released trace task");
+  S.trace_done s ~worker:w2 ~tid ~data:"{}" ~err:"" ~now:3.0;
+  (match S.trace_result s ~tid with
+  | Some (Ok "{}") -> ()
+  | _ -> Alcotest.fail "expected the delivered trace");
+  (* duplicate delivery (released-then-both-computed race) is ignored *)
+  S.trace_done s ~worker:w2 ~tid ~data:"other" ~err:"" ~now:3.1;
+  (match S.trace_result s ~tid with
+  | Some (Ok "{}") -> ()
+  | _ -> Alcotest.fail "first delivery wins");
+  S.remove_trace s ~tid;
+  Alcotest.(check bool) "no pending traces left" false (S.has_work s)
 
 (* --- store: multiple handles on one journal (the worker substrate) --- *)
 
@@ -372,9 +516,10 @@ let test_e2e_daemon_sweep () =
     Domain.spawn (fun () -> Rn_serve.Worker.run ~idle_sleep:0.01 ~socket:sock ())
   in
   let io = Client.connect sock in
-  Fun.protect
-    ~finally:(fun () -> Client.close io)
-    (fun () ->
+  let coord, daemon_trace =
+    Fun.protect
+      ~finally:(fun () -> Client.close io)
+      (fun () ->
       let submit () =
         match
           Client.rpc io (P.Submit { P.exps = [ "E5" ]; scale = P.Quick; jobs = 1; retry = 0 })
@@ -382,40 +527,118 @@ let test_e2e_daemon_sweep () =
         | P.Job_id j -> j
         | _ -> Alcotest.fail "expected a job id"
       in
-      let wait j =
-        match Client.rpc io (P.Wait j) with
-        | P.Ok_unit -> ()
-        | _ -> Alcotest.fail "expected wait to succeed"
-      in
       let results j =
         match Client.rpc io (P.Results j) with
         | P.Results_r out -> out
         | P.Err m -> Alcotest.fail m
         | _ -> Alcotest.fail "expected results"
       in
+      (* cold job, watched through the progress stream *)
       let j1 = submit () in
-      wait j1;
+      let cold = ref [] in
+      (match Client.wait_progress io j1 ~on_progress:(fun p -> cold := p :: !cold) with
+      | P.Ok_unit -> ()
+      | _ -> Alcotest.fail "expected progress wait to succeed");
+      let cold = List.rev !cold in
+      Alcotest.(check bool) "cold progress stream non-empty" true (cold <> []);
+      List.iteri
+        (fun i p -> Alcotest.(check int) "stream pseq monotone" (i + 1) p.P.pseq)
+        cold;
       Alcotest.(check string) "daemon sweep == direct run" expected (results j1);
-      (* warm re-submit: identical bytes, zero misses *)
+      (* terminal per-cell states sum exactly to the cells in the store *)
+      let record_count = List.length (Store.scan_file (Store.journal_path dir)).Store.good in
+      let count phase l = List.length (List.filter (fun p -> p.P.phase = phase) l) in
+      let terminal l = count P.P_done l + count P.P_hit l + count P.P_failed l in
+      Alcotest.(check bool) "store has records" true (record_count > 0);
+      Alcotest.(check int) "cold terminal events = store cells" record_count (terminal cold);
+      Alcotest.(check int) "cold cells all computed" record_count (count P.P_done cold);
+      (* warm re-submit: identical bytes, zero misses, all-hit provenance *)
       let j2 = submit () in
-      wait j2;
+      let warm = ref [] in
+      (match Client.wait_progress io j2 ~on_progress:(fun p -> warm := p :: !warm) with
+      | P.Ok_unit -> ()
+      | _ -> Alcotest.fail "expected progress wait to succeed");
+      let warm = List.rev !warm in
       Alcotest.(check string) "warm re-submit identical" expected (results j2);
+      Alcotest.(check int) "warm terminal events = store cells" record_count (terminal warm);
+      Alcotest.(check int) "warm cells all store hits" record_count (count P.P_hit warm);
       (match Client.rpc io (P.Status (Some j2)) with
       | P.Status_r { jobs = [ sm ]; _ } ->
         Alcotest.(check int) "warm misses" 0 sm.P.misses;
         Alcotest.(check bool) "warm hits > 0" true (sm.P.hits > 0)
       | _ -> Alcotest.fail "expected one job summary");
-      (* unknown experiment is rejected at submit *)
+      (* a plain wait on a finished job still returns immediately *)
+      (match Client.rpc io (P.Wait { job = j2; progress = false }) with
+      | P.Ok_unit -> ()
+      | _ -> Alcotest.fail "expected plain wait on finished job");
+      (* health reflects the sweep's terminal counters *)
+      (match Client.rpc io P.Health with
+      | P.Health_r h ->
+        Alcotest.(check int) "health done cells" record_count h.P.done_cells;
+        Alcotest.(check int) "health hit cells" record_count h.P.hit_cells;
+        Alcotest.(check bool) "health journal bytes" true (h.P.journal_bytes > 0)
+      | _ -> Alcotest.fail "expected health");
+      (* merged metrics exposition parses back into a snapshot that
+         carries the scheduler counters and the worker's pushed registry *)
+      (match Client.rpc io P.Metrics_reg with
+      | P.Metrics_reg_r s ->
+        let snap = Rn_util.Metrics.snapshot_of_sexp (Rn_util.Sexp.parse_string s) in
+        Alcotest.(check (option int))
+          "exposition carries cells.done" (Some record_count)
+          (List.assoc_opt "cells.done" snap.Rn_util.Metrics.counters)
+      | _ -> Alcotest.fail "expected metrics exposition");
+      (* on-demand trace of a finished cell, via a worker re-run *)
+      let coord =
+        match (Store.scan_file (Store.journal_path dir)).Store.good with
+        | r :: _ -> r.Store.key.Store.coord
+        | [] -> Alcotest.fail "store is empty"
+      in
+      let data =
+        match Client.rpc io (P.Trace { exp = "E5"; scale = P.Quick; coord }) with
+        | P.Trace_r data -> data
+        | P.Err m -> Alcotest.fail ("trace failed: " ^ m)
+        | _ -> Alcotest.fail "expected a trace reply"
+      in
+      let evs = Rn_sim.Events.of_string data in
+      Alcotest.(check bool) "trace round-trips through Events.of_string" true (evs <> []);
+      (* unknown experiment is rejected at submit and at trace *)
       (match
          Client.rpc io (P.Submit { P.exps = [ "NOPE" ]; scale = P.Quick; jobs = 1; retry = 0 })
        with
       | P.Err _ -> ()
       | _ -> Alcotest.fail "expected submit of unknown experiment to fail");
-      match Client.rpc io P.Shutdown with
+      (match Client.rpc io (P.Trace { exp = "NOPE"; scale = P.Quick; coord }) with
+      | P.Err _ -> ()
+      | _ -> Alcotest.fail "expected trace of unknown experiment to fail");
+      (match Client.rpc io P.Shutdown with
       | P.Ok_unit -> ()
       | _ -> Alcotest.fail "expected shutdown ok");
+      (coord, data))
+  in
   Domain.join worker;
-  Domain.join daemon
+  Domain.join daemon;
+  (* determinism: a direct traced re-run of the same cell against the
+     same store yields byte-identical Chrome JSON (what `rn_cli trace
+     cell` prints; scripts/serve_smoke.sh re-checks this end to end) *)
+  let direct =
+    let store = Store.open_ dir in
+    Fun.protect
+      ~finally:(fun () ->
+        Harness.clear_trace_target ();
+        Harness.clear_store ();
+        Store.close store)
+      (fun () ->
+        Harness.set_store store;
+        Harness.set_jobs 1;
+        Harness.set_trace_target ~exp:"E5" ~coord ();
+        (match All.find "E5" with
+        | Some f -> ignore (f Harness.Quick)
+        | None -> Alcotest.fail "E5 not registered");
+        match Harness.take_trace_events () with
+        | Some evs -> Rn_sim.Events.to_chrome evs
+        | None -> Alcotest.fail "direct trace produced no events")
+  in
+  Alcotest.(check string) "daemon trace == direct traced run" direct daemon_trace
 
 let () =
   Alcotest.run "serve"
@@ -438,6 +661,8 @@ let () =
           Alcotest.test_case "cancel" `Quick test_sched_cancel;
           Alcotest.test_case "results order and dedup" `Quick test_sched_results_order_and_done;
           Alcotest.test_case "incomplete job stays open" `Quick test_sched_incomplete_job_done;
+          Alcotest.test_case "progress stream order and dedup" `Quick test_sched_progress_stream;
+          Alcotest.test_case "trace task lifecycle" `Quick test_sched_trace_tasks;
         ] );
       ( "store-multiproc",
         [
