@@ -304,32 +304,32 @@ let scale_perf () =
    (2.946 s / 0.127 s on the CI reference box); the acceptance bar for
    the dense entry is >= 3x under them, so a regression means the mask
    path stopped engaging. *)
+(* circulant dual: reliable ring i +/- 1..rel_k, gray annulus
+   i +/- (rel_k+1)..(rel_k+gray_k) — deterministic, uniform-degree,
+   with the contiguous gray-id ranges the kernel exploits *)
+let circulant_dual ~n ~rel_k ~gray_k =
+  let band lo hi =
+    let a = Array.make (n * (hi - lo + 1)) 0 in
+    let idx = ref 0 in
+    for u = 0 to n - 1 do
+      for j = lo to hi do
+        let v = (u + j) mod n in
+        let x = min u v and y = max u v in
+        a.(!idx) <- (x * n) + y;
+        incr idx
+      done
+    done;
+    a
+  in
+  let g = Rn_graph.Graph.of_packed_unsorted n (band 1 rel_k) in
+  let gray_pk = band (rel_k + 1) (rel_k + gray_k) in
+  Array.sort compare gray_pk;
+  Dual.make_packed ~g ~gray_pk ()
+
 let adversary_perf () =
   (* the 1M-node scale entries run just before this one; compact so the
      timings measure the adversary paths, not leftover heap pressure *)
   Gc.compact ();
-  (* circulant dual: reliable ring i +/- 1..rel_k, gray annulus
-     i +/- (rel_k+1)..(rel_k+gray_k) — deterministic, uniform-degree,
-     with the contiguous gray-id ranges the kernel exploits *)
-  let circulant_dual ~n ~rel_k ~gray_k =
-    let band lo hi =
-      let a = Array.make (n * (hi - lo + 1)) 0 in
-      let idx = ref 0 in
-      for u = 0 to n - 1 do
-        for j = lo to hi do
-          let v = (u + j) mod n in
-          let x = min u v and y = max u v in
-          a.(!idx) <- (x * n) + y;
-          incr idx
-        done
-      done;
-      a
-    in
-    let g = Rn_graph.Graph.of_packed_unsorted n (band 1 rel_k) in
-    let gray_pk = band (rel_k + 1) (rel_k + gray_k) in
-    Array.sort compare gray_pk;
-    Dual.make_packed ~g ~gray_pk ()
-  in
   let dual = circulant_dual ~n:65536 ~rel_k:8 ~gray_k:32 in
   let det = Detector.static (Detector.perfect (Dual.g dual)) in
   let spiteful () =
@@ -372,6 +372,52 @@ let adversary_perf () =
      n=16k %.3f s ---\n\n"
     (t_sp +. t_jam) t_sp t_jam t_scalar;
   [ ("adversary-dense-n65536", t_sp +. t_jam); ("jamming-scalar-n16384", t_scalar) ]
+
+(* Sharded resume loop, gated like the kernel entries:
+
+     mis-resume-n65536  24 rounds of the real MIS schedule on a 64k
+                        circulant world with the resume loop sharded
+                        across 4 domains — 64k live algorithm fibers
+                        per round, so the resume phase dominates and
+                        the speedup (on multicore hosts) is what this
+                        entry certifies.
+     decay-star32       200 directed-decay runs on the 33-node star:
+                        the mixed listener/broadcaster batched-idle
+                        fast path (leaves park as soon as the centre's
+                        stop order lands) on top of the pure-listener
+                        one.
+
+   The committed baselines are scalar-resume timings on the CI
+   reference box; on a single-core host the sharded entry falls back to
+   near-scalar cost (slices run back to back on the one domain), which
+   the check tolerance absorbs. *)
+let resume_perf () =
+  Gc.compact ();
+  let dual = circulant_dual ~n:65536 ~rel_k:8 ~gray_k:8 in
+  let det = Detector.static (Detector.perfect (Dual.g dual)) in
+  let params = Core.Params.default in
+  let mis ~rounds =
+    let cfg =
+      R.config ~seed:23 ~stop:(Rn_sim.Engine.At_round rounds) ~resume_shards:4
+        ~resume_kernel:`On
+        ~adversary:(Rn_sim.Adversary.bernoulli 0.5)
+        ~detector:det dual
+    in
+    ignore (R.run cfg (fun ctx -> Core.Mis.body params ctx))
+  in
+  mis ~rounds:4 (* warm-up: spawns the pool domains, builds the CSR *);
+  let (), t_mis = timed (fun () -> mis ~rounds:24) in
+  let (), t_decay =
+    timed (fun () ->
+        for _ = 1 to 200 do
+          bench_directed_decay ()
+        done)
+  in
+  Printf.printf
+    "--- sharded resume: MIS n=64k 24 rounds %.3f s, directed-decay star32 x200 %.3f s \
+     ---\n\n"
+    t_mis t_decay;
+  [ ("mis-resume-n65536", t_mis); ("decay-star32", t_decay) ]
 
 (* Sweep-service overhead, gated like the kernel entries:
 
@@ -536,6 +582,7 @@ let () =
   let kernel_entries = kernel_perf () in
   let scale_entries = scale_perf () in
   let adversary_entries = adversary_perf () in
+  let resume_entries = resume_perf () in
   let serve_entries = serve_perf () in
   if profile then Rn_util.Timing.set_enabled true;
   Printf.printf
@@ -609,6 +656,6 @@ let () =
   | Some path ->
     write_json ~path ~full ~jobs ~micro
       ~experiments:
-        (trace_entries @ kernel_entries @ scale_entries @ adversary_entries @ serve_entries
-        @ List.rev !wallclocks)
+        (trace_entries @ kernel_entries @ scale_entries @ adversary_entries
+        @ resume_entries @ serve_entries @ List.rev !wallclocks)
   | None -> ()

@@ -388,13 +388,20 @@ module Store = Rn_util.Store
    its store payload: a warm sweep reports the metrics recorded when the
    cell was computed. *)
 let run_experiments ids full jobs profile metrics store_dir no_cache retry cell_timeout
-    adv_kernel =
+    adv_kernel resume_shards resume_kernel =
   Rn_harness.Harness.set_jobs jobs;
-  (* The adversary kernel is a pure evaluation strategy (byte-identical
-     results at any setting), so an override is safe to apply globally —
-     it cannot invalidate cached cells. *)
+  (* The adversary and resume kernels are pure evaluation strategies
+     (byte-identical results at any setting), so overrides are safe to
+     apply globally — they cannot invalidate cached cells. *)
   Rn_sim.Engine.set_default_adv_kernel
     (kernel_mode_of_string ~flag:"--adv-kernel" adv_kernel);
+  if resume_shards < 1 then begin
+    Printf.eprintf "rn_cli experiment: --resume-shards must be >= 1\n";
+    exit 2
+  end;
+  Rn_sim.Engine.set_default_resume_shards resume_shards;
+  Rn_sim.Engine.set_default_resume_kernel
+    (kernel_mode_of_string ~flag:"--resume-kernel" resume_kernel);
   if profile then Rn_util.Timing.set_enabled true;
   if metrics then begin
     Rn_util.Metrics.set_enabled true;
@@ -527,12 +534,30 @@ let exp_adv_kernel_arg =
            strategy — tables are byte-identical for every value (and compatible with \
            cached cells).")
 
+let exp_resume_shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "resume-shards" ] ~docv:"N"
+        ~doc:
+          "Shard each round's fiber resume loop across N domains for every cell. \
+           Pure evaluation strategy — tables are byte-identical at any value (and \
+           compatible with cached cells).")
+
+let exp_resume_kernel_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "resume-kernel" ] ~docv:"MODE"
+        ~doc:
+          "Resume kernel mode for every cell: auto (live-fiber cost model), on, or \
+           off (scalar path). Byte-identical for every value.")
+
 let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's experiment tables (see DESIGN.md).")
     Term.(
       const run_experiments $ ids_arg $ full_arg $ jobs_arg $ profile_arg $ metrics_arg
-      $ store_arg $ no_cache_arg $ retry_arg $ cell_timeout_arg $ exp_adv_kernel_arg)
+      $ store_arg $ no_cache_arg $ retry_arg $ cell_timeout_arg $ exp_adv_kernel_arg
+      $ exp_resume_shards_arg $ exp_resume_kernel_arg)
 
 (* --- store command --- *)
 
@@ -747,14 +772,20 @@ let figures_cmd =
 
 (* --- scale command --- *)
 
-let run_scale full out sizes shards kernel adv_kernel adversary check =
+let run_scale full out sizes shards kernel adv_kernel resume_shards resume_kernel adversary
+    check =
   let scale = if full then Rn_harness.Harness.Full else Rn_harness.Harness.Quick in
   if shards < 1 then begin
     Printf.eprintf "rn_cli scale: --shards must be >= 1\n";
     exit 2
   end;
+  if resume_shards < 1 then begin
+    Printf.eprintf "rn_cli scale: --resume-shards must be >= 1\n";
+    exit 2
+  end;
   let kernel = kernel_mode_of_string ~flag:"--kernel" kernel in
   let adv_kernel = kernel_mode_of_string ~flag:"--adv-kernel" adv_kernel in
+  let resume_kernel = kernel_mode_of_string ~flag:"--resume-kernel" resume_kernel in
   let sizes =
     match sizes with
     | None -> None
@@ -773,7 +804,8 @@ let run_scale full out sizes shards kernel adv_kernel adversary check =
         exit 2)
   in
   Rn_harness.Harness.print
-    (Rn_harness.Exp_scale.run ?out ?sizes ~shards ~kernel ~adv_kernel ~adversary ~check scale)
+    (Rn_harness.Exp_scale.run ?out ?sizes ~shards ~kernel ~adv_kernel ~resume_shards
+       ~resume_kernel ~adversary ~check scale)
 
 let scale_out_arg =
   Arg.(
@@ -810,6 +842,23 @@ let scale_adv_kernel_arg =
           "Adversary kernel mode: auto (per-round cost model), on (forced for policies \
            that have one), or off (scalar path). Results are byte-identical either way.")
 
+let scale_resume_shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "resume-shards" ] ~docv:"N"
+        ~doc:
+          "Shard each round's fiber resume loop across N domains. Results are \
+           byte-identical at any shard count.")
+
+let scale_resume_kernel_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "resume-kernel" ] ~docv:"MODE"
+        ~doc:
+          "Resume kernel mode: auto (live-fiber cost model), on (forced whenever \
+           resume-shards > 1), or off (scalar path). Results are byte-identical \
+           either way.")
+
 let scale_adversary_arg =
   Arg.(
     value
@@ -837,7 +886,8 @@ let scale_cmd =
           result store.")
     Term.(
       const run_scale $ full_arg $ scale_out_arg $ scale_sizes_arg $ scale_shards_arg
-      $ scale_kernel_arg $ scale_adv_kernel_arg $ scale_adversary_arg $ scale_check_arg)
+      $ scale_kernel_arg $ scale_adv_kernel_arg $ scale_resume_shards_arg
+      $ scale_resume_kernel_arg $ scale_adversary_arg $ scale_check_arg)
 
 (* --- graph command --- *)
 
@@ -1247,33 +1297,49 @@ let run_serve_top socket interval count =
           (Serve_p.scale_name s.Serve_p.spec.Serve_p.scale))
       jobs;
     if jobs <> [] then add "\n";
-    let total_rate = ref 0.0 and alive = ref 0 in
+    let total_rate = ref 0.0 and rate_known = ref false and alive = ref 0 in
     List.iter
       (fun (w : Serve_p.worker_health) ->
         if w.Serve_p.halive then incr alive;
-        let before = Option.value (Hashtbl.find_opt prev w.Serve_p.hwid) ~default:0 in
+        (* A rate needs two samples of the same worker's counter: on the
+           first frame (dt = 0), or the first time a worker appears, or
+           after a counter reset (respawn), there is no rate yet — render
+           "--" instead of 0.0 or a divide-by-dt spike. *)
+        let before = Hashtbl.find_opt prev w.Serve_p.hwid in
         Hashtbl.replace prev w.Serve_p.hwid w.Serve_p.hcells;
         let rate =
-          if dt <= 0.0 then 0.0 else float_of_int (w.Serve_p.hcells - before) /. dt
+          match before with
+          | Some b when dt > 0.0 && w.Serve_p.hcells >= b ->
+            Some (float_of_int (w.Serve_p.hcells - b) /. dt)
+          | _ -> None
         in
-        total_rate := !total_rate +. rate;
-        add "worker %-2d pid %-7d %-5s heartbeat %5.1fs  cells %-6d %6.1f cells/s%s\n"
+        (match rate with
+        | Some r ->
+          total_rate := !total_rate +. r;
+          rate_known := true
+        | None -> ());
+        add "worker %-2d pid %-7d %-5s heartbeat %5.1fs  cells %-6d %s%s\n"
           w.Serve_p.hwid w.Serve_p.hpid
           (if w.Serve_p.halive then "alive" else "lost")
           (float_of_int w.Serve_p.hage_ms /. 1000.0)
-          w.Serve_p.hcells rate
+          w.Serve_p.hcells
+          (match rate with
+          | Some r -> Printf.sprintf "%6.1f cells/s" r
+          | None -> "    -- cells/s")
           (match w.Serve_p.hjob with
           | None -> ""
           | Some j -> Printf.sprintf "  job %d" j))
       h.Serve_p.hworkers;
-    let eta =
-      if h.Serve_p.inflight = 0 || !alive = 0 then 0.0
-      else
-        float_of_int (h.Serve_p.inflight * h.Serve_p.mean_cell_us)
-        /. 1e6 /. float_of_int !alive
-    in
-    add "throughput %.1f cells/s" !total_rate;
-    if eta > 0.0 then add "  eta ~%.0fs (in-flight x mean / workers)" eta;
+    if !rate_known then add "throughput %.1f cells/s" !total_rate
+    else add "throughput -- cells/s";
+    (* No mean cell time yet (nothing finished) means the ETA is unknown,
+       not zero — say so rather than hiding it while work is in flight. *)
+    if h.Serve_p.inflight > 0 && !alive > 0 then
+      if h.Serve_p.mean_cell_us > 0 then
+        add "  eta ~%.0fs (in-flight x mean / workers)"
+          (float_of_int (h.Serve_p.inflight * h.Serve_p.mean_cell_us)
+          /. 1e6 /. float_of_int !alive)
+      else add "  eta -- (no finished cells yet)";
     add "\n";
     (match h.Serve_p.slow_claims with
     | [] -> ()

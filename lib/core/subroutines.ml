@@ -42,8 +42,11 @@ let directed_decay_rounds (params : Params.t) ~n =
 
 (* [directed_decay params ctx ~is_mis ~noms] where [noms] maps destination
    MIS neighbours to nominee payloads.  Returns, for an MIS process, every
-   (sender, nominee) pair addressed to it (empty for covered processes). *)
-let directed_decay_live (params : Params.t) ctx ~is_mis ~noms =
+   (sender, nominee) pair addressed to it (empty for covered processes).
+   [?early_idle:false] disables the mixed-set batched-idle fast path —
+   only the differential tests use it (the two schedules must produce
+   identical results round for round). *)
+let directed_decay_live ?(early_idle = true) (params : Params.t) ctx ~is_mis ~noms =
   let n = R.n ctx and me = R.me ctx in
   let logn = Ilog.log2_up n in
   let ldd = dd_phase_rounds params ~n in
@@ -66,8 +69,11 @@ let directed_decay_live (params : Params.t) ctx ~is_mis ~noms =
     | x :: rest -> x :: take (k - 1) rest
   in
   let phase_received = ref false in
-  for i = 1 to logn do
-    let p = min 0.5 (float_of_int (1 lsl (i - 1)) /. float_of_int n) in
+  let parked = ref false in
+  let i = ref 0 in
+  while (not !parked) && !i < logn do
+    incr i;
+    let p = min 0.5 (float_of_int (1 lsl (!i - 1)) /. float_of_int n) in
     phase_received := false;
     for _ = 1 to ldd do
       (* Each virtual sender flips its own coin; simultaneous winners are
@@ -98,7 +104,19 @@ let directed_decay_live (params : Params.t) ctx ~is_mis ~noms =
     bounded_broadcast params ctx ~delta:params.delta_bb stop ~on_recv:(fun m ->
         match m with
         | Msg.Stop_order { src } when Radio.in_detector ctx src -> Hashtbl.remove active src
-        | _ -> ())
+        | _ -> ());
+    (* Mixed-set fast path: a covered process whose nomination table just
+       emptied (every destination issued its stop order) is a pure
+       listener for the remaining phases — the empty table yields zero
+       coin flips per decay round, every receive is discarded (the
+       Nominations handler is MIS-only), and stop orders remove from an
+       empty table.  That tail is round-for-round identical to silence,
+       so park the fiber once instead of resuming it every round. *)
+    if early_idle && (not is_mis) && !i < logn && Hashtbl.length active = 0 then begin
+      let bb = bb_rounds params ~n ~delta:params.delta_bb in
+      R.idle ctx ((logn - !i) * (ldd + bb));
+      parked := true
+    end
   done;
   List.rev !received
 

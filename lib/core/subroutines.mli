@@ -33,3 +33,16 @@ val directed_decay_rounds : Params.t -> n:int -> int
     ([is_mis = true]), every (sender, nominee) pair addressed to it. *)
 val directed_decay :
   Params.t -> Radio.ctx -> is_mis:bool -> noms:(int * int) list -> (int * int) list
+
+(** The schedule behind {!directed_decay}, exposing the batched-idle fast
+    paths for differential testing.  [~early_idle:false] disables the
+    mixed-set fast path (a covered process whose nomination table empties
+    mid-run parks through the remaining phases in one idle); the two
+    schedules are observation-for-observation identical. *)
+val directed_decay_live :
+  ?early_idle:bool ->
+  Params.t ->
+  Radio.ctx ->
+  is_mis:bool ->
+  noms:(int * int) list ->
+  (int * int) list

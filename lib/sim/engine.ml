@@ -61,6 +61,14 @@ let m_bits_sent = Metrics.counter "engine.bits_sent"
 let m_silent_rounds = Metrics.counter "engine.silent_rounds"
 let m_sharded_rounds = Metrics.counter "engine.sharded_rounds"
 let m_adv_kernel_rounds = Metrics.counter "engine.adv_kernel_rounds"
+
+(* Resume-shard counters are recorded on the *calling* domain after the
+   merge (the per-shard buffers carry the raw counts home): [Metrics.scoped]
+   snapshots see only the calling domain's records, so counting on the
+   worker domains would leak the events out of per-cell snapshots even
+   though the global atomics themselves merge commutatively. *)
+let m_resume_sharded_rounds = Metrics.counter "engine.resume_sharded_rounds"
+let m_resume_sharded_steps = Metrics.counter "engine.resume_sharded_steps"
 let m_timeouts = Metrics.counter "engine.timeouts"
 let m_round_bcast = Metrics.histogram "engine.round_broadcasters"
 let m_run_rounds = Metrics.histogram "engine.run_rounds"
@@ -106,6 +114,38 @@ let default_adv_kernel : [ `Auto | `On | `Off ] Atomic.t = Atomic.make `Auto
 
 let set_default_adv_kernel k = Atomic.set default_adv_kernel k
 let get_default_adv_kernel () = Atomic.get default_adv_kernel
+
+(* Same plumbing for the resume-phase sharding ([config]'s
+   [?resume_shards]/[?resume_kernel]): the sharded resume is a pure
+   evaluation strategy (per-process RNG streams are independently derived
+   and a fiber's step reads only its own receive slot), so a process-wide
+   override is safe and cannot invalidate cached results. *)
+let default_resume_shards : int Atomic.t = Atomic.make 1
+let set_default_resume_shards s = Atomic.set default_resume_shards (max 1 s)
+let get_default_resume_shards () = Atomic.get default_resume_shards
+let default_resume_kernel : [ `Auto | `On | `Off ] Atomic.t = Atomic.make `Auto
+let set_default_resume_kernel k = Atomic.set default_resume_kernel k
+let get_default_resume_kernel () = Atomic.get default_resume_kernel
+
+(* Under [`Auto], a round's resume phase shards only when at least this
+   many fibers await their receive: below it, the Pool dispatch and merge
+   cost more than stepping the fibers on one domain. *)
+let resume_auto_threshold = 1024
+
+(* Private per-shard collection buffers for the sharded resume phase: a
+   stepped fiber contributes at most one join *or* one idle-parking, plus
+   at most one first decision and one finish, so slice-sized arrays never
+   overflow.  Buffers hold only ints — the merge is blits, pushes, and
+   counter adds on the main domain, in ascending shard order. *)
+type resume_buf = {
+  rb_join : int array; (* fibers that performed Sync, in step order *)
+  mutable rb_join_n : int;
+  rb_idle_r : int array; (* heap keys of fibers that performed Idle *)
+  rb_idle_v : int array;
+  mutable rb_idle_n : int;
+  mutable rb_finished : int; (* fibers whose body returned *)
+  mutable rb_decided : int; (* first-time outputs *)
+}
 
 module Make (M : MESSAGE) = struct
   type receive = Own | Silence | Recv of M.t
@@ -153,14 +193,38 @@ module Make (M : MESSAGE) = struct
            accumulation is partitioned across the same Pool domains.
            Results are byte-identical at any setting (certified by
            test_adversary_kernel). *)
+    resume_shards : int;
+        (* resume-phase sharding: with [resume_shards > 1] (and
+           [resume_kernel] not [`Off], no sink), each round's work list —
+           the synced fibers in worklist order, then the idlers due this
+           round in heap-pop order — is partitioned into contiguous
+           slices stepped in parallel on Pool domains.  Each shard
+           collects its joins / idle-parkings / finish and decide counts
+           into a private buffer; the main domain merges the buffers in
+           ascending shard order.  Pure evaluation strategy — results
+           are byte-identical at any shard count (test_resume_shard). *)
+    resume_kernel : [ `Auto | `On | `Off ];
+        (* gates the sharded resume: `Auto shards a round only when the
+           live-fiber count clears [resume_auto_threshold] (Pool
+           dispatch has a fixed cost), `On shards every round, `Off
+           never shards.  A sink forces the scalar path, like the other
+           kernels (the scalar step emits Decide events in step order). *)
   }
 
   let config ?(adversary = Adversary.silent) ?(seed = 0) ?b_bits ?(delta_bound = 0)
       ?wake ?(stop = All_done) ?(max_rounds = 2_000_000) ?observer ?sink
-      ?(kernel = `Auto) ?(shards = 1) ?adv_kernel ~detector dual =
+      ?(kernel = `Auto) ?(shards = 1) ?adv_kernel ?resume_shards ?resume_kernel
+      ~detector dual =
     if shards < 1 then invalid_arg "Engine.config: shards < 1";
     let adv_kernel =
       match adv_kernel with Some k -> k | None -> Atomic.get default_adv_kernel
+    in
+    let resume_shards =
+      match resume_shards with Some s -> s | None -> Atomic.get default_resume_shards
+    in
+    if resume_shards < 1 then invalid_arg "Engine.config: resume_shards < 1";
+    let resume_kernel =
+      match resume_kernel with Some k -> k | None -> Atomic.get default_resume_kernel
     in
     (* No explicit sink: fall back to the process-wide ambient sink (the
        trace-on-demand hook).  Resolved here, once per config, so every
@@ -184,6 +248,8 @@ module Make (M : MESSAGE) = struct
       kernel;
       shards;
       adv_kernel;
+      resume_shards;
+      resume_kernel;
     }
 
   type ctx = {
@@ -292,6 +358,19 @@ module Make (M : MESSAGE) = struct
       | None -> (false, fun (_ : Events.event) -> ())
     in
     let met = Metrics.enabled () in
+    (* Resume-phase sharding.  [resume_assign.(v)] routes fiber [v]'s next
+       effect: -1 (the default, and always outside a sharded resume) means
+       the handler mutates the global worklist/heap/counters directly; a
+       shard index means it appends to that shard's private buffer.
+       Assignments are set by the main domain before the Pool dispatch and
+       cleared after the merge, so the wake phase and the scalar path never
+       see one.  A sink forces the scalar step (Decide events must come out
+       in step order), like the delivery and adversary kernels. *)
+    let resume_shards =
+      if tracing || cfg.resume_kernel = `Off then 1 else cfg.resume_shards
+    in
+    let resume_assign = Array.make (max 1 nn) (-1) in
+    let resume_bufs : resume_buf array ref = ref [||] in
     let mk_ctx v =
       {
         me = v;
@@ -311,7 +390,12 @@ module Make (M : MESSAGE) = struct
             | None ->
               outputs.(v) <- Some value;
               decided.(v) <- Some !round_counter;
-              incr n_decided;
+              (let s = resume_assign.(v) in
+               if s < 0 then incr n_decided
+               else begin
+                 let b = (!resume_bufs).(s) in
+                 b.rb_decided <- b.rb_decided + 1
+               end);
               if tracing then
                 emit { Events.round = !round_counter; proc = v; kind = Decide { value } });
       }
@@ -380,12 +464,23 @@ module Make (M : MESSAGE) = struct
     (* The round a fresh [Idle k] starts counting from: the current round
        during the wake phase, the next round during the resume phase. *)
     let idle_base = ref 0 in
+    (* During a sharded resume the handler closures execute on whichever
+       Pool domain stepped the fiber; [resume_assign.(v)] routes their
+       side effects into that shard's private buffer.  [idle_base] and
+       [round_counter] are only read during a resume phase and only
+       written by the main domain between phases, so the reads are
+       stable. *)
     let handler v : (unit, unit) Effect.Deep.handler =
       {
         retc =
           (fun () ->
-            incr n_finished;
-            pending.(v) <- No_fiber);
+            pending.(v) <- No_fiber;
+            let s = resume_assign.(v) in
+            if s < 0 then incr n_finished
+            else begin
+              let b = (!resume_bufs).(s) in
+              b.rb_finished <- b.rb_finished + 1
+            end);
         exnc = raise;
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -395,13 +490,28 @@ module Make (M : MESSAGE) = struct
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   sends.(v) <- send;
                   pending.(v) <- Synced k;
-                  joining.(!n_joining) <- v;
-                  incr n_joining)
+                  let s = resume_assign.(v) in
+                  if s < 0 then begin
+                    joining.(!n_joining) <- v;
+                    incr n_joining
+                  end
+                  else begin
+                    let b = (!resume_bufs).(s) in
+                    b.rb_join.(b.rb_join_n) <- v;
+                    b.rb_join_n <- b.rb_join_n + 1
+                  end)
             | Idle dur ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   pending.(v) <- Idling k;
-                  heap_push (!idle_base + dur - 1) v)
+                  let s = resume_assign.(v) in
+                  if s < 0 then heap_push (!idle_base + dur - 1) v
+                  else begin
+                    let b = (!resume_bufs).(s) in
+                    b.rb_idle_r.(b.rb_idle_n) <- !idle_base + dur - 1;
+                    b.rb_idle_v.(b.rb_idle_n) <- v;
+                    b.rb_idle_n <- b.rb_idle_n + 1
+                  end)
             | _ -> None);
       }
     in
@@ -463,9 +573,33 @@ module Make (M : MESSAGE) = struct
       match !pool with
       | Some p -> p
       | None ->
-        let p = Pool.create ~jobs:(max shards adv_shards) in
+        let p = Pool.create ~jobs:(max (max shards adv_shards) resume_shards) in
         pool := Some p;
         p
+    in
+    (* Sharded-resume scratch, built on the first sharded round: the work
+       list (synced fibers then due idlers) and one buffer per shard,
+       slice-sized — a stepped fiber appends at most one join or one
+       idle-parking. *)
+    let resume_work =
+      if resume_shards > 1 then Array.make (max 1 nn) 0 else no_broadcasters
+    in
+    let get_resume_bufs () =
+      if Array.length !resume_bufs = 0 then begin
+        let cap = (nn / resume_shards) + 1 in
+        resume_bufs :=
+          Array.init resume_shards (fun _ ->
+              {
+                rb_join = Array.make cap 0;
+                rb_join_n = 0;
+                rb_idle_r = Array.make cap 0;
+                rb_idle_v = Array.make cap 0;
+                rb_idle_n = 0;
+                rb_finished = 0;
+                rb_decided = 0;
+              })
+      end;
+      !resume_bufs
     in
     (* Adversary kernel scratch, built on the first kernel round (never
        for policies without a kernel or under [`Off]). *)
@@ -829,25 +963,107 @@ module Make (M : MESSAGE) = struct
            p_start ();
            idle_base := r + 1;
            n_joining := 0;
-           for i = 0 to !n_active - 1 do
-             let v = active.(i) in
-             match pending.(v) with
-             | Synced k ->
-               let recv = receives.(v) in
-               receives.(v) <- Silence;
-               sends.(v) <- None;
-               pending.(v) <- No_fiber;
-               Effect.Deep.continue k recv
-             | Idling _ | No_fiber -> assert false
-           done;
-           while !heap_n > 0 && heap_r.(0) = r do
-             let v = heap_pop () in
-             match pending.(v) with
-             | Idling k ->
-               pending.(v) <- No_fiber;
-               Effect.Deep.continue k ()
-             | Synced _ | No_fiber -> assert false
-           done;
+           let use_resume_shards =
+             resume_shards > 1
+             &&
+             match cfg.resume_kernel with
+             | `Off -> false
+             | `On -> true
+             | `Auto ->
+               (* Pool dispatch + merge are a fixed per-round cost; only
+                  rounds with enough fibers to step amortise it. *)
+               !n_active >= resume_auto_threshold
+           in
+           if use_resume_shards then begin
+             (* Sharded resume: fix the work list up front — the synced
+                fibers in worklist order, then every idler due this round
+                in heap-pop order.  [idle] guarantees dur >= 1, so any
+                Idle performed by a stepped fiber parks at a key >= r+1:
+                the due set cannot grow while we step, which is what
+                makes popping it before the first step sound.  Contiguous
+                slices then step on Pool domains; per-process RNG streams
+                are independently derived and a step reads only its own
+                [receives] slot, so slices are independent.  Merging the
+                per-shard buffers in ascending shard order reproduces the
+                sequential pop-all-then-step outcome exactly; any
+                residual ordering freedom (heap layout among equal keys,
+                worklist order) is unobservable in results — certified
+                against the scalar path and [run_reference] by
+                test_resume_shard. *)
+             Array.blit active 0 resume_work 0 !n_active;
+             let mw = ref !n_active in
+             while !heap_n > 0 && heap_r.(0) = r do
+               resume_work.(!mw) <- heap_pop ();
+               incr mw
+             done;
+             let m = !mw in
+             if met then begin
+               Metrics.incr m_resume_sharded_rounds;
+               Metrics.add m_resume_sharded_steps m
+             end;
+             let bufs = get_resume_bufs () in
+             for s = 0 to resume_shards - 1 do
+               let b = bufs.(s) in
+               b.rb_join_n <- 0;
+               b.rb_idle_n <- 0;
+               b.rb_finished <- 0;
+               b.rb_decided <- 0;
+               for i = s * m / resume_shards to (((s + 1) * m) / resume_shards) - 1 do
+                 resume_assign.(resume_work.(i)) <- s
+               done
+             done;
+             Pool.run_n (get_pool ())
+               (fun s ->
+                 for i = s * m / resume_shards to (((s + 1) * m) / resume_shards) - 1 do
+                   let v = resume_work.(i) in
+                   match pending.(v) with
+                   | Synced k ->
+                     let recv = receives.(v) in
+                     receives.(v) <- Silence;
+                     sends.(v) <- None;
+                     pending.(v) <- No_fiber;
+                     Effect.Deep.continue k recv
+                   | Idling k ->
+                     pending.(v) <- No_fiber;
+                     Effect.Deep.continue k ()
+                   | No_fiber -> assert false
+                 done)
+               resume_shards;
+             for s = 0 to resume_shards - 1 do
+               let b = bufs.(s) in
+               Array.blit b.rb_join 0 joining !n_joining b.rb_join_n;
+               n_joining := !n_joining + b.rb_join_n;
+               for i = 0 to b.rb_idle_n - 1 do
+                 heap_push b.rb_idle_r.(i) b.rb_idle_v.(i)
+               done;
+               n_finished := !n_finished + b.rb_finished;
+               n_decided := !n_decided + b.rb_decided
+             done;
+             for i = 0 to m - 1 do
+               resume_assign.(resume_work.(i)) <- -1
+             done
+           end
+           else begin
+             for i = 0 to !n_active - 1 do
+               let v = active.(i) in
+               match pending.(v) with
+               | Synced k ->
+                 let recv = receives.(v) in
+                 receives.(v) <- Silence;
+                 sends.(v) <- None;
+                 pending.(v) <- No_fiber;
+                 Effect.Deep.continue k recv
+               | Idling _ | No_fiber -> assert false
+             done;
+             while !heap_n > 0 && heap_r.(0) = r do
+               let v = heap_pop () in
+               match pending.(v) with
+               | Idling k ->
+                 pending.(v) <- No_fiber;
+                 Effect.Deep.continue k ()
+               | Synced _ | No_fiber -> assert false
+             done
+           end;
            Array.blit joining 0 active 0 !n_joining;
            n_active := !n_joining;
            p_stop Timing.Resume;

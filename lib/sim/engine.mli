@@ -49,6 +49,18 @@ val set_default_adv_kernel : [ `Auto | `On | `Off ] -> unit
 
 val get_default_adv_kernel : unit -> [ `Auto | `On | `Off ]
 
+(** Process-wide defaults for {!Make.config}'s [?resume_shards] and
+    [?resume_kernel], mirroring {!set_default_adv_kernel}: the sharded
+    resume phase is a pure evaluation strategy (byte-identical results
+    at any shard count), so a CLI override applied through the shared
+    functor instantiation never invalidates cached results.  Values
+    below 1 are clamped to 1. *)
+val set_default_resume_shards : int -> unit
+
+val get_default_resume_shards : unit -> int
+val set_default_resume_kernel : [ `Auto | `On | `Off ] -> unit
+val get_default_resume_kernel : unit -> [ `Auto | `On | `Off ]
+
 module Make (M : MESSAGE) : sig
   (** What a process sees at the end of a round: its own broadcast, silence
       (zero or ≥ 2 reachable broadcasters — indistinguishable), or a
@@ -108,6 +120,31 @@ module Make (M : MESSAGE) : sig
             delivery.  Pure evaluation strategy — byte-identical results
             at any setting; defaults to {!set_default_adv_kernel}'s
             value ([`Auto] initially). *)
+    resume_shards : int;
+        (** resume-phase sharding (≥ 1).  With [resume_shards > 1] (and
+            [resume_kernel] not [`Off], no [sink]), each round's fiber
+            work list — the synced fibers in worklist order, then the
+            idlers due this round in heap-pop order — is cut into
+            contiguous slices stepped in parallel on {!Rn_util.Pool}
+            domains (OCaml 5 continuations are not domain-pinned).
+            Every shard collects its broadcast intents, idle-parkings,
+            and finish/decide counts into a private preallocated buffer;
+            the main domain merges the buffers in ascending shard order.
+            Steps are independent because per-process RNG streams are
+            derived independently from the seed and a step reads only
+            its own receive slot — so the broadcaster set, wake buckets,
+            idle heap, and every downstream adversary and delivery
+            decision are byte-identical at any shard count.  Pure
+            evaluation strategy, like [kernel] and [shards]; defaults to
+            {!set_default_resume_shards}'s value (1 initially). *)
+    resume_kernel : [ `Auto | `On | `Off ];
+        (** gates the sharded resume: [`Auto] shards a round only when
+            enough fibers await their receive to amortise the Pool
+            dispatch (a live-fiber-count cost model), [`On] shards every
+            round, [`Off] never shards.  An attached [sink] forces the
+            scalar step (Decide events must be emitted in step order).
+            Defaults to {!set_default_resume_kernel}'s value ([`Auto]
+            initially). *)
   }
 
   (** Build a config with sensible defaults: silent adversary, seed 0,
@@ -126,6 +163,8 @@ module Make (M : MESSAGE) : sig
     ?kernel:[ `Auto | `On | `Off ] ->
     ?shards:int ->
     ?adv_kernel:[ `Auto | `On | `Off ] ->
+    ?resume_shards:int ->
+    ?resume_kernel:[ `Auto | `On | `Off ] ->
     detector:Rn_detect.Detector.dynamic ->
     Rn_graph.Dual.t ->
     config

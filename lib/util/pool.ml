@@ -118,6 +118,49 @@ let run t f xs =
     | None -> ());
     Array.to_list (Array.map (function Some v -> v | None -> assert false) results)
 
+(* [run_n t f n]: [run] specialised to the engine's pinned contiguous
+   slices — apply [f] to each index 0..n-1 on the workers and block to
+   completion, without building an id list or collecting results.  Same
+   first-exception contract as [run]. *)
+let run_n t f n =
+  if n = 1 then f 0
+  else if n > 1 then begin
+    let b =
+      { b_mutex = Mutex.create (); b_done = Condition.create (); b_pending = n; b_error = None }
+    in
+    let task i () =
+      let abandoned = Mutex.protect b.b_mutex (fun () -> b.b_error <> None) in
+      (if not abandoned then
+         match f i with
+         | () -> ()
+         | exception e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.protect b.b_mutex (fun () ->
+               if b.b_error = None then b.b_error <- Some (e, bt)));
+      Mutex.protect b.b_mutex (fun () ->
+          b.b_pending <- b.b_pending - 1;
+          if b.b_pending = 0 then Condition.broadcast b.b_done)
+    in
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run_n: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.mutex;
+    Mutex.lock b.b_mutex;
+    while b.b_pending > 0 do
+      Condition.wait b.b_done b.b_mutex
+    done;
+    Mutex.unlock b.b_mutex;
+    match b.b_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
 let map ~jobs f xs =
   if jobs <= 1 then List.map f xs
   else

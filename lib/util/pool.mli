@@ -37,6 +37,15 @@ val size : t -> int
     batch completes.  Raises [Invalid_argument] after [shutdown]. *)
 val run : t -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [run_n t f n] applies [f] to every index [0 .. n-1] on [t]'s workers
+    and blocks until the batch completes: {!run} specialised to the
+    pinned contiguous slices of the engine's sharded phases — no id
+    list, no result collection.  The first worker exception is re-raised
+    with its backtrace; the batch-completion mutex gives the caller a
+    happens-before edge over every write the workers made.  [n = 1] runs
+    [f 0] on the calling domain; [n <= 0] is a no-op. *)
+val run_n : t -> (int -> unit) -> int -> unit
+
 (** Finish the queued work, stop the workers, and join their domains.
     Idempotent. *)
 val shutdown : t -> unit

@@ -1,16 +1,19 @@
 #!/bin/sh
 # Shard-equivalence smoke: the CI-facing proof that intra-run delivery
-# sharding is pure evaluation strategy (ISSUE 6 acceptance criteria).
+# sharding AND resume-loop sharding are pure evaluation strategy
+# (ISSUE 6 and ISSUE 10 acceptance criteria).
 #
 #   scripts/shard_smoke.sh [SIZES]
 #
 # Runs the S1 beacon scenario in --check mode (deterministic columns
 # only: world shape and send/delivery/collision counts, no timings) at
-# --shards 1, 2 and 4, and once more with the kernel forced off (the
+# --shards 1, 2 and 4, once more with the kernel forced off (the
 # scalar per-edge path that predates both the word-parallel kernel and
-# sharding).  All four tables must be byte-identical: the sharded
-# scatter, the dense kernel, and the scalar walk are three evaluation
-# strategies for one semantics.
+# sharding), and then across --resume-shards 1/2/4 x --kernel on/off
+# (resume kernel forced on, so sharding engages below the auto
+# threshold).  All tables must be byte-identical: the sharded scatter,
+# the dense kernel, the scalar walk, and the sharded resume loop are
+# evaluation strategies for one semantics.
 #
 # SIZES is a comma-separated n grid (default small enough for CI).
 #
@@ -44,4 +47,17 @@ note "--kernel on --shards 4 (forced kernel under sharding)"
 run "$tmp/on4.out" --kernel on --shards 4
 assert_same "$tmp/s1.out" "$tmp/on4.out" "--kernel on --shards 4 table differs from --shards 1"
 
-echo "shard_smoke: OK (sizes=$sizes: shards 1 = 2 = 4 = scalar = forced kernel, byte-identical)"
+for rs in 1 2 4; do
+  for k in on off; do
+    note "--resume-shards $rs --resume-kernel on --kernel $k"
+    run "$tmp/rs$rs-$k.out" --resume-shards "$rs" --resume-kernel on --kernel "$k"
+    assert_same "$tmp/s1.out" "$tmp/rs$rs-$k.out" \
+      "--resume-shards $rs --kernel $k table differs from reference"
+  done
+done
+
+note "--resume-shards 4 --shards 4 (both phases sharded)"
+run "$tmp/both4.out" --resume-shards 4 --resume-kernel on --shards 4
+assert_same "$tmp/s1.out" "$tmp/both4.out" "doubly sharded table differs from reference"
+
+echo "shard_smoke: OK (sizes=$sizes: shards 1 = 2 = 4 = scalar = forced kernel = resume-shards 1/2/4 x kernel on/off, byte-identical)"

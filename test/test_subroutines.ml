@@ -127,6 +127,31 @@ let test_dd_covered_returns_nothing () =
     Alcotest.(check bool) "covered gets no deliveries" true (res.R.returns.(v) = Some [])
   done
 
+let test_dd_mixed_fast_path () =
+  (* The mixed listener/broadcaster fast path: once a covered process's
+     nomination table empties (all destinations issued stop orders), the
+     remaining phases are parked in one batched idle.  The optimised
+     schedule must be observation-for-observation identical to the
+     unoptimised one: same deliveries, same stats, same round count. *)
+  let runs early_idle =
+    let dual = Dual.classic (Gen.star 9) in
+    run_network dual (fun ctx ->
+        let me = R.me ctx in
+        let noms = if me = 0 then [] else [ (0, me) ] in
+        if me = 0 then Core.Subroutines.directed_decay params ctx ~is_mis:true ~noms
+        else
+          Core.Subroutines.directed_decay_live ~early_idle params ctx ~is_mis:false ~noms)
+  in
+  let fast = runs true and slow = runs false in
+  Alcotest.(check bool) "same returns" true (fast.R.returns = slow.R.returns);
+  Alcotest.check Alcotest.int "same rounds" slow.R.rounds fast.R.rounds;
+  Alcotest.check Alcotest.int "same deliveries" slow.R.stats.deliveries fast.R.stats.deliveries;
+  Alcotest.check Alcotest.int "same collisions" slow.R.stats.collisions fast.R.stats.collisions;
+  Alcotest.check Alcotest.int "same sends" slow.R.stats.sends fast.R.stats.sends;
+  Alcotest.check Alcotest.int "full schedule length"
+    (Core.Subroutines.directed_decay_rounds params ~n:9)
+    fast.R.rounds
+
 let test_dd_respects_small_b () =
   (* nomination combining must respect the message bound *)
   let dual = Dual.classic (Gen.star 5) in
@@ -159,6 +184,7 @@ let () =
           Alcotest.test_case "star delivery" `Quick test_dd_star_delivery;
           Alcotest.test_case "length formula" `Quick test_dd_length_formula;
           Alcotest.test_case "two destinations" `Quick test_dd_two_destinations;
+          Alcotest.test_case "mixed-set fast path" `Quick test_dd_mixed_fast_path;
           Alcotest.test_case "covered return nothing" `Quick test_dd_covered_returns_nothing;
           Alcotest.test_case "respects small b" `Quick test_dd_respects_small_b;
         ] );
